@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Cisp_data Cisp_design Cisp_lp Cisp_rf Cisp_towers Ctx Float Greedy Ilp Inputs List Local_search Printf Scenario Topology

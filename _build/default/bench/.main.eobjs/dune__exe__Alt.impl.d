@@ -1,0 +1,1 @@
+bench/alt.ml: Array Cisp_data Cisp_design Cisp_orbit Cisp_util Ctx Inputs List Printf String Topology

@@ -1,0 +1,1 @@
+bench/ctx.ml: Cisp_design List Printf Unix

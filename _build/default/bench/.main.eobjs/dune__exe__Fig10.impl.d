@@ -1,0 +1,1 @@
+bench/fig10.ml: Capacity Cisp_design Cost Ctx List Printf Scenario Topology

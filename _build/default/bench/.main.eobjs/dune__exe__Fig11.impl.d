@@ -1,0 +1,1 @@
+bench/fig11.ml: Array Capacity Cisp_design Cisp_sim Cisp_traffic Ctx Fig9 List Printf Scenario

@@ -1,0 +1,1 @@
+bench/fig12.ml: Cisp_apps Cisp_util Ctx List Printf

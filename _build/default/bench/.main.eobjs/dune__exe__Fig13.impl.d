@@ -1,0 +1,1 @@
+bench/fig13.ml: Array Cisp_apps Cisp_util Ctx List Printf

@@ -1,0 +1,1 @@
+bench/fig2.ml: Array Cisp_design Cisp_lp Ctx Greedy Ilp Inputs List Printf Scenario Topology

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Capacity Cisp_data Cisp_design Cost Ctx Inputs List Printf Topology

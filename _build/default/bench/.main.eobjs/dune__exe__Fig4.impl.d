@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Capacity Cisp_data Cisp_design Cisp_graph Cisp_towers Cost Ctx Inputs List Printf Scenario Topology

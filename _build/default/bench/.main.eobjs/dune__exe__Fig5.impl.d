@@ -1,0 +1,1 @@
+bench/fig5.ml: Cisp_design Cisp_sim Cisp_traffic Ctx Inputs List Printf

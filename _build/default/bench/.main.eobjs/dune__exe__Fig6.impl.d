@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Cisp_sim Cisp_util Ctx List Printf

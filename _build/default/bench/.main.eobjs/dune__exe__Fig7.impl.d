@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Cisp_design Cisp_util Cisp_weather Ctx List Printf

@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Capacity Cisp_design Cisp_towers Cost Ctx List Printf Scenario Topology

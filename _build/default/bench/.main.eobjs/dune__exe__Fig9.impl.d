@@ -1,0 +1,1 @@
+bench/fig9.ml: Array Capacity Cisp_data Cisp_design Cisp_geo Cisp_traffic Cost Ctx List Option Printf Scenario Topology

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Alt Array Ctx Fig10 Fig11 Fig12 Fig13 Fig2 Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 List Micro Printf Sec2 Sec8 String Sys Unix

@@ -1,0 +1,1 @@
+bench/sec2.ml: Array Cisp_weather Ctx Printf

@@ -1,0 +1,1 @@
+bench/sec8.ml: Cisp_apps Cisp_design Ctx List Printf

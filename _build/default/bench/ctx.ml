@@ -1,0 +1,69 @@
+(* Shared benchmark context: the expensive artifacts (tower graph,
+   fiber net, designed topologies) are built once and reused across
+   experiments, mirroring how the paper's figures all derive from one
+   design pipeline. *)
+
+module Scenario = Cisp_design.Scenario
+module Inputs = Cisp_design.Inputs
+module Topology = Cisp_design.Topology
+
+type t = {
+  quick : bool;   (* trimmed sweeps for smoke-testing the harness *)
+  mutable inputs_cache : (string * Inputs.t) list;
+  mutable topo_cache : (string * Topology.t) list;
+}
+
+let create ~quick = { quick; inputs_cache = []; topo_cache = [] }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let section name =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" name;
+  Printf.printf "==================================================================\n%!"
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ---------- US baseline ---------- *)
+
+let us_config t =
+  if t.quick then { Scenario.default_config with n_sites = Some 30 }
+  else Scenario.default_config
+
+let us_budget t = if t.quick then 900 else 3000
+
+let us_artifacts t = Scenario.artifacts ~config:(us_config t) ()
+
+let memo_inputs t key build =
+  match List.assoc_opt key t.inputs_cache with
+  | Some i -> i
+  | None ->
+    let i = build () in
+    t.inputs_cache <- (key, i) :: t.inputs_cache;
+    i
+
+let memo_topo t key build =
+  match List.assoc_opt key t.topo_cache with
+  | Some x -> x
+  | None ->
+    let x = build () in
+    t.topo_cache <- (key, x) :: t.topo_cache;
+    x
+
+let us_inputs t =
+  memo_inputs t "us" (fun () -> Scenario.population_inputs (us_artifacts t))
+
+let us_topology t =
+  memo_topo t "us" (fun () ->
+      Scenario.design (us_inputs t) ~budget:(us_budget t))
+
+let aggregate_gbps = 100.0
+
+let us_plan t =
+  let a = us_artifacts t in
+  let spare = Cisp_design.Capacity.spare_from_registry a.Scenario.hops in
+  Cisp_design.Capacity.plan ~spare_series_at_hop:spare (us_inputs t) (us_topology t)
+    ~aggregate_gbps

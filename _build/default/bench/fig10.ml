@@ -1,0 +1,55 @@
+(* Fig 10: sensitivity to tower-space and range constraints.  Each
+   combination of max hop range and usable tower-height fraction is a
+   full re-run of hop feasibility + design; results are reported as
+   percentage increases over the (100 km, full height) baseline.
+
+   Runs on a reduced site set so the dozen artifact rebuilds stay
+   affordable; the percentages, not the absolute values, are the
+   result. *)
+
+open Cisp_design
+
+let run ctx =
+  Ctx.section "Fig 10: impact of tower height and range restrictions";
+  let n_sites = if ctx.Ctx.quick then 15 else 40 in
+  let budget = 27 * n_sites in
+  let combos =
+    if ctx.Ctx.quick then [ (100.0, 1.0); (60.0, 0.45) ]
+    else
+      [
+        (100.0, 1.0);
+        (100.0, 0.85); (100.0, 0.65); (100.0, 0.45);
+        (80.0, 0.85); (80.0, 0.65); (80.0, 0.45);
+        (60.0, 0.85); (60.0, 0.65); (60.0, 0.45);
+      ]
+  in
+  let evaluate (range, height) =
+    let config =
+      {
+        Scenario.default_config with
+        n_sites = Some n_sites;
+        max_range_km = range;
+        height_fraction = height;
+      }
+    in
+    let a = Scenario.artifacts ~config () in
+    let inputs = Scenario.population_inputs a in
+    let topo = Scenario.design inputs ~budget in
+    let spare = Capacity.spare_from_registry a.Scenario.hops in
+    let plan = Capacity.plan ~spare_series_at_hop:spare inputs topo ~aggregate_gbps:Ctx.aggregate_gbps in
+    let cpg = Capacity.cost_per_gb Cost.default plan ~aggregate_gbps:Ctx.aggregate_gbps in
+    (Topology.stretch_of topo, cpg)
+  in
+  let results = List.map (fun combo -> (combo, Ctx.time (fun () -> evaluate combo))) combos in
+  let (_, ((base_stretch, base_cpg), _)) = List.hd results in
+  Printf.printf "%-10s %-8s %-10s %-12s %-12s %-12s\n" "range km" "height" "stretch" "cost/GB"
+    "stretch +%" "cost +%";
+  List.iter
+    (fun ((range, height), ((stretch, cpg), secs)) ->
+      Printf.printf "%-10.0f %-8.2f %-10.3f $%-11.2f %-12.1f %-12.1f (%.0fs)\n%!" range height
+        stretch cpg
+        (100.0 *. (stretch -. base_stretch) /. base_stretch)
+        (100.0 *. (cpg -. base_cpg) /. base_cpg)
+        secs)
+    results;
+  Ctx.note "paper: worst case +10%% stretch and +11%% cost across these restrictions."

@@ -1,0 +1,44 @@
+(* Fig 3: the 100 Gbps, ~1.05x-stretch US network at a 3000-tower
+   budget, with its bandwidth-augmentation classes. *)
+
+open Cisp_design
+
+let run ctx =
+  Ctx.section "Fig 3: US backbone at the 3000-tower budget, 100 Gbps";
+  let inputs = Ctx.us_inputs ctx in
+  let topo, design_secs = Ctx.time (fun () -> Ctx.us_topology ctx) in
+  let plan = Ctx.us_plan ctx in
+  let stretch = Topology.stretch_of topo in
+  Printf.printf "sites=%d  budget=%d towers (used %d)  links built=%d  (design %.1fs)\n"
+    (Inputs.n_sites inputs) (Ctx.us_budget ctx) topo.Topology.cost
+    (List.length topo.Topology.built) design_secs;
+  Printf.printf "mean stretch          : %.3f   (paper: 1.05)\n" stretch;
+  Printf.printf "MW-carried traffic    : %.1f%%\n" (100.0 *. plan.Capacity.mw_carried_fraction);
+  Printf.printf "tower-tower hops      : %d\n" plan.Capacity.hops_total;
+  Printf.printf "hop augmentation classes (new towers per hop end):\n";
+  List.iter
+    (fun (cls, count) ->
+      let label =
+        match cls with
+        | 0 -> "existing towers only (blue)"
+        | 1 -> "1 new tower each end (green)"
+        | 2 -> "2 new towers each end (red)"
+        | k -> Printf.sprintf "%d new towers each end" k
+      in
+      Printf.printf "  %-32s %d hops\n" label count)
+    plan.Capacity.hop_classes;
+  Printf.printf "  (paper: 1660 existing / 552 one-new / 86 two-new)\n";
+  let cpg = Capacity.cost_per_gb Cost.default plan ~aggregate_gbps:Ctx.aggregate_gbps in
+  Printf.printf "cost per GB @ %.0f Gbps : $%.2f   (paper: $0.81)\n%!" Ctx.aggregate_gbps cpg;
+  (* Longest built link, for Fig 4(b). *)
+  (match
+     List.fold_left
+       (fun acc (i, j) ->
+         let d = inputs.Inputs.mw_km.(i).(j) in
+         match acc with Some (_, _, d') when d' >= d -> acc | _ -> Some (i, j, d))
+       None topo.Topology.built
+   with
+  | Some (i, j, d) ->
+    Printf.printf "longest MW link: %s <-> %s, %.0f km\n%!"
+      inputs.Inputs.sites.(i).Cisp_data.City.name inputs.Inputs.sites.(j).Cisp_data.City.name d
+  | None -> ())

@@ -1,0 +1,73 @@
+(* Fig 5: packet-level behaviour under population perturbation
+   (gamma in {0.1, 0.3, 0.5}) across offered load, with shortest-path
+   routing.  Also reports the latency penalty of the alternative
+   routing schemes (the paper's ~10% remark). *)
+
+open Cisp_design
+module Sim = Cisp_sim
+
+let sim_duration ctx = if ctx.Ctx.quick then 0.004 else 0.015
+
+let run_one ctx inputs topo plan ~demands ~label =
+  let eng = Sim.Engine.create () in
+  let mw_gbps = Sim.Builder.provisioned_mw_gbps plan in
+  let net = Sim.Builder.build eng inputs topo ~mw_gbps in
+  let model =
+    { Sim.Routing.inputs; topology = topo; mw_gbps; fiber_gbps = Sim.Builder.default_config.Sim.Builder.fiber_gbps }
+  in
+  let paths = Sim.Routing.paths model Sim.Routing.Shortest_path ~demands_gbps:demands in
+  let stop = sim_duration ctx in
+  Sim.Udp.poisson_commodities net ~paths ~demands_gbps:demands ~packet_bytes:500 ~start:0.0 ~stop;
+  Sim.Engine.run eng ~until:(stop +. 0.2);
+  ignore label;
+  (Sim.Net.mean_delay_ms net, Sim.Net.loss_rate net)
+
+let run ctx =
+  Ctx.section "Fig 5: delay and loss under population perturbation (shortest-path routing)";
+  let inputs = Ctx.us_inputs ctx in
+  let topo = Ctx.us_topology ctx in
+  let plan = Ctx.us_plan ctx in
+  let loads = if ctx.Ctx.quick then [ 50; 90 ] else [ 30; 50; 70; 90; 100; 110; 120 ] in
+  let gammas = [ 0.1; 0.3; 0.5 ] in
+  Printf.printf "%-8s %-8s %-14s %-12s\n" "gamma" "load%" "mean delay ms" "loss rate";
+  List.iter
+    (fun gamma ->
+      let perturbed =
+        Cisp_traffic.Perturb.population inputs.Inputs.sites ~gamma ~seed:31
+      in
+      List.iter
+        (fun load ->
+          let demands =
+            Cisp_traffic.Matrix.scale_to_gbps perturbed
+              ~aggregate_gbps:(Ctx.aggregate_gbps *. float_of_int load /. 100.0)
+          in
+          let delay, loss = run_one ctx inputs topo plan ~demands ~label:(gamma, load) in
+          Printf.printf "%-8.1f %-8d %-14.3f %-12.5f\n%!" gamma load delay loss)
+        loads)
+    gammas;
+  Ctx.note
+    "paper: delay moves < 0.1 ms and loss stays ~0 up to ~70%% load even at gamma = 0.5.";
+
+  Ctx.section "Fig 5 (text): latency cost of alternative routing schemes";
+  let demands = Cisp_traffic.Matrix.scale_to_gbps inputs.Inputs.traffic ~aggregate_gbps:Ctx.aggregate_gbps in
+  let mw_gbps = Sim.Builder.provisioned_mw_gbps plan in
+  let model =
+    { Sim.Routing.inputs; topology = topo; mw_gbps; fiber_gbps = Sim.Builder.default_config.Sim.Builder.fiber_gbps }
+  in
+  let schemes =
+    [
+      ("shortest-path", Sim.Routing.Shortest_path);
+      ("min-max-utilization", Sim.Routing.Min_max_utilization);
+      ("throughput-optimal", Sim.Routing.Throughput_optimal);
+    ]
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun (name, scheme) ->
+      let paths, secs = Ctx.time (fun () -> Sim.Routing.paths model scheme ~demands_gbps:demands) in
+      let lat = Sim.Routing.mean_route_latency_ms model paths ~demands_gbps:demands in
+      if scheme = Sim.Routing.Shortest_path then base := lat;
+      Printf.printf "%-22s mean route latency %.3f ms (%+.1f%%)  [%.1fs]\n%!" name lat
+        (100.0 *. (lat -. !base) /. !base) secs)
+    schemes;
+  Ctx.note "paper: the alternative schemes pay ~10%% extra latency."

@@ -1,0 +1,84 @@
+(* Fig 6: the edge/core speed mismatch.  Ten senders feed 100 KB TCP
+   flows through node M into a 100 Mbps link; sender access links are
+   100 Mbps (control) or 10 Gbps (mismatch); pacing on/off. *)
+
+module Sim = Cisp_sim
+
+let n_sources = 10
+let bottleneck_gbps = 0.1
+let flow_bytes = 100_000
+
+type outcome = { q50_bytes : float; q95_bytes : float; fct50_ms : float }
+
+let run_one ~src_gbps ~pacing ~seed ~duration =
+  let eng = Sim.Engine.create () in
+  let m = n_sources and d = n_sources + 1 in
+  let net = Sim.Net.create eng ~n_nodes:(n_sources + 2) in
+  for s = 0 to n_sources - 1 do
+    Sim.Net.add_duplex net s m ~gbps:src_gbps ~delay_ms:5.0 ~buffer_bytes:max_int
+  done;
+  (* M has an unbounded queue, as in the paper. *)
+  Sim.Net.add_duplex net m d ~gbps:bottleneck_gbps ~delay_ms:5.0 ~buffer_bytes:max_int;
+  let rng = Cisp_util.Rng.create seed in
+  (* Poisson flow arrivals at 70% of the bottleneck. *)
+  let arrival_rate = 0.7 *. bottleneck_gbps *. 1e9 /. (float_of_int flow_bytes *. 8.0) in
+  let fcts = ref [] in
+  let flow_counter = ref 0 in
+  let rec arrivals t =
+    if t < duration then begin
+      Sim.Engine.schedule eng ~at:t (fun () ->
+          let s = Cisp_util.Rng.int rng n_sources in
+          incr flow_counter;
+          let id = 1000 + !flow_counter in
+          let start = Sim.Engine.now eng in
+          let cfg = { (Sim.Tcp.default_config ~ack_delay_s:0.010) with Sim.Tcp.pacing } in
+          Sim.Tcp.start_flow net cfg ~flow_id:id ~route:[| s; m; d |] ~size_bytes:flow_bytes
+            ~at:start ~on_complete:(fun finish -> fcts := (finish -. start) :: !fcts));
+      arrivals (t +. Cisp_util.Rng.exponential rng arrival_rate)
+    end
+  in
+  arrivals (Cisp_util.Rng.exponential rng arrival_rate);
+  (* Sample the bottleneck queue every millisecond. *)
+  let samples = ref [] in
+  let rec sampler t =
+    if t < duration then
+      Sim.Engine.schedule eng ~at:t (fun () ->
+          samples := float_of_int (Sim.Net.queue_bytes net ~src:m ~dst:d) :: !samples;
+          sampler (t +. 0.001))
+  in
+  sampler 0.001;
+  Sim.Engine.run eng ~until:(duration +. 2.0);
+  let qs = Array.of_list !samples in
+  let fct = Array.of_list (List.map (fun x -> x *. 1000.0) !fcts) in
+  {
+    q50_bytes = (if Array.length qs = 0 then 0.0 else Cisp_util.Stats.percentile qs 50.0);
+    q95_bytes = (if Array.length qs = 0 then 0.0 else Cisp_util.Stats.percentile qs 95.0);
+    fct50_ms = (if Array.length fct = 0 then 0.0 else Cisp_util.Stats.percentile fct 50.0);
+  }
+
+let run ctx =
+  Ctx.section "Fig 6: TCP pacing vs the edge/core speed mismatch";
+  let runs = if ctx.Ctx.quick then 3 else 20 in
+  let duration = if ctx.Ctx.quick then 2.0 else 5.0 in
+  Printf.printf "%-12s %-8s %-16s %-16s %-12s\n" "src rate" "pacing" "queue p50 (B)" "queue p95 (B)" "FCT p50 ms";
+  List.iter
+    (fun src_gbps ->
+      List.iter
+        (fun pacing ->
+          let acc50 = ref [] and acc95 = ref [] and accf = ref [] in
+          for seed = 1 to runs do
+            let o = run_one ~src_gbps ~pacing ~seed:(seed * 977) ~duration in
+            acc50 := o.q50_bytes :: !acc50;
+            acc95 := o.q95_bytes :: !acc95;
+            accf := o.fct50_ms :: !accf
+          done;
+          let avg l = Cisp_util.Stats.mean (Array.of_list l) in
+          Printf.printf "%-12s %-8b %-16.0f %-16.0f %-12.1f\n%!"
+            (if src_gbps >= 1.0 then Printf.sprintf "%.0f Gbps" src_gbps
+             else Printf.sprintf "%.0f Mbps" (src_gbps *. 1000.0))
+            pacing (avg !acc50) (avg !acc95) (avg !accf))
+        [ false; true ])
+    [ 0.1; 10.0 ];
+  Ctx.note
+    "paper: without pacing the mismatched (10 Gbps) senders inflate the p95 queue;\n\
+     with pacing queues match the control and FCTs are unaffected."

@@ -1,0 +1,77 @@
+(* Fig 9: cost per GB under the three traffic models: city-city
+   (population product), DC-to-edge, and inter-DC. *)
+
+open Cisp_design
+module Matrix = Cisp_traffic.Matrix
+
+let closest_dc sites n_cities i =
+  (* DCs occupy indices n_cities .. n-1. *)
+  let n = Array.length sites in
+  let best = ref None in
+  for d = n_cities to n - 1 do
+    let dist =
+      Cisp_geo.Geodesy.distance_km sites.(i).Cisp_data.City.coord sites.(d).Cisp_data.City.coord
+    in
+    match !best with
+    | Some (_, dist') when dist' <= dist -> ()
+    | _ -> best := Some (d, dist)
+  done;
+  Option.map fst !best
+
+let us_dc_artifacts ctx =
+  let centers =
+    match (Ctx.us_config ctx).Scenario.n_sites with
+    | Some k -> Cisp_data.Us_cities.top k |> Cisp_data.Sites.coalesce
+    | None -> Cisp_data.Sites.us_population_centers ()
+  in
+  let cities = centers in
+  let sites = cities @ Cisp_data.Datacenters.all in
+  let config =
+    (* n_sites already applied to [cities]; None here so the
+       zero-population DC sites survive. *)
+    { (Ctx.us_config ctx) with
+      Scenario.region = Scenario.Custom ("us+dc", sites);
+      n_sites = None }
+  in
+  (Scenario.artifacts ~config (), List.length cities)
+
+let dc_edge_traffic sites n_cities =
+  let cities = Array.sub sites 0 n_cities in
+  Matrix.dc_edge ~cities ~n_total:(Array.length sites) ~dc_of:(closest_dc sites n_cities)
+
+let interdc_traffic sites n_cities =
+  let n = Array.length sites in
+  let m = Array.make_matrix n n 0.0 in
+  for i = n_cities to n - 1 do
+    for j = n_cities to n - 1 do
+      if i <> j then m.(i).(j) <- 1.0
+    done
+  done;
+  Matrix.normalize m
+
+let run ctx =
+  Ctx.section "Fig 9: cost per GB by traffic model (100 Gbps aggregate)";
+  let a, n_cities = us_dc_artifacts ctx in
+  let sites = a.Scenario.sites in
+  let spare = Capacity.spare_from_registry a.Scenario.hops in
+  let budget = Ctx.us_budget ctx in
+  let models =
+    [
+      ("city-city", Matrix.population_product sites);
+      ("dc-edge", dc_edge_traffic sites n_cities);
+      ("inter-dc", interdc_traffic sites n_cities);
+    ]
+  in
+  Printf.printf "%-12s %-10s %-8s %-12s %-10s\n" "model" "stretch" "links" "used towers" "cost/GB";
+  List.iter
+    (fun (name, traffic) ->
+      let inputs = Scenario.inputs a ~traffic in
+      (* Each model is designed within the same tower budget; sparser
+         models simply stop early when no link helps. *)
+      let topo = Scenario.design inputs ~budget in
+      let plan = Capacity.plan ~spare_series_at_hop:spare inputs topo ~aggregate_gbps:Ctx.aggregate_gbps in
+      Printf.printf "%-12s %-10.3f %-8d %-12d $%-10.2f\n%!" name (Topology.stretch_of topo)
+        (List.length topo.Topology.built) topo.Topology.cost
+        (Capacity.cost_per_gb Cost.default plan ~aggregate_gbps:Ctx.aggregate_gbps))
+    models;
+  Ctx.note "paper: the city-city model is the most expensive; DC scenarios are cheaper."

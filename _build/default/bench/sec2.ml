@@ -1,0 +1,17 @@
+(* §2 "Packet loss": the Chicago-New Jersey HFT relay through a
+   Hurricane-Sandy-like window. *)
+
+module Hft = Cisp_weather.Hft
+
+let run ctx =
+  Ctx.section "Sec 2: HFT relay loss across a hurricane window";
+  let minutes = if ctx.Ctx.quick then 600 else 2743 in
+  let r = Hft.run ~minutes () in
+  Printf.printf "minutes=%d  mean loss=%.1f%%  median loss=%.1f%%\n" r.Hft.minutes
+    (100.0 *. r.Hft.mean_loss) (100.0 *. r.Hft.median_loss);
+  let fail_minutes =
+    Array.fold_left (fun acc l -> if l > 0.5 then acc + 1 else acc) 0 r.Hft.loss_series
+  in
+  Printf.printf "minutes in near-outage (>50%% loss): %d (%.1f%%)\n%!" fail_minutes
+    (100.0 *. float_of_int fail_minutes /. float_of_int r.Hft.minutes);
+  Ctx.note "paper: mean 16.1%%, median 1.4%% over the same window (hurricane driving the mean)."

@@ -1,0 +1,22 @@
+(* §8: cost-benefit analysis — value per GB by application vs the
+   network's cost per GB. *)
+
+module Econ = Cisp_apps.Econ
+
+let run ctx =
+  Ctx.section "Sec 8: value per GB vs cost per GB";
+  let plan = Ctx.us_plan ctx in
+  let cost_per_gb =
+    Cisp_design.Capacity.cost_per_gb Cisp_design.Cost.default plan
+      ~aggregate_gbps:Ctx.aggregate_gbps
+  in
+  Printf.printf "network cost per GB: $%.2f (paper: $0.81)\n" cost_per_gb;
+  Printf.printf "%-14s %-20s %s\n" "application" "value per GB" "exceeds cost?";
+  List.iter
+    (fun v ->
+      Printf.printf "%-14s $%.2f - $%-12.2f %b\n" v.Econ.application v.Econ.value_per_gb.Econ.low
+        v.Econ.value_per_gb.Econ.high v.Econ.exceeds_cost)
+    (Econ.summary ~cost_per_gb);
+  Printf.printf "(paper: search $1.84-3.74, e-commerce $3.26-22.82, gaming >= $3.7)\n";
+  Printf.printf "Steam US aggregate at 10 Kbps/player: %.0f Gbps (paper: ~27)\n%!"
+    (Econ.steam_us_aggregate_gbps ~players:16_000_000 ~us_share:0.17 ~kbps_per_player:10.0)

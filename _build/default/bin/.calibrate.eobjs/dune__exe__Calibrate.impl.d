@@ -1,0 +1,1 @@
+bin/calibrate.ml: Array Cisp_data Cisp_geo Cisp_terrain Cisp_towers Cisp_util Format List Printf String Unix

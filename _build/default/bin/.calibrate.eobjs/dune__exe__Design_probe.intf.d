@@ -1,0 +1,1 @@
+bin/design_probe.mli:

@@ -1,0 +1,1 @@
+bin/cisp_cli.ml: Apps Arg Array Cisp Cmd Cmdliner Design Format List Printf Term Util Weather

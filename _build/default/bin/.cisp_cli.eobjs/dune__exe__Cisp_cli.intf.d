@@ -1,0 +1,1 @@
+bin/cisp_cli.mli:

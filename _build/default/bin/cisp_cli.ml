@@ -1,0 +1,151 @@
+(* cISP command-line interface.
+
+   Subcommands:
+     design   - run the design pipeline and print the topology summary
+     weather  - year-long weather sweep over a designed network
+     econ     - the paper's cost-benefit table
+     hft      - the Chicago-NJ HFT relay loss reconstruction *)
+
+open Cmdliner
+open Cisp
+
+(* ---------- shared options ---------- *)
+
+let region_conv =
+  let parse = function
+    | "us" -> Ok `Us
+    | "europe" | "eu" -> Ok `Europe
+    | s -> Error (`Msg (Printf.sprintf "unknown region %S (us | europe)" s))
+  in
+  let print ppf r = Format.pp_print_string ppf (match r with `Us -> "us" | `Europe -> "europe") in
+  Arg.conv (parse, print)
+
+let region_t =
+  Arg.(value & opt region_conv `Us & info [ "region" ] ~docv:"REGION" ~doc:"us or europe")
+
+let sites_t =
+  Arg.(value & opt (some int) None & info [ "sites" ] ~docv:"N" ~doc:"Top-N population centers (default: all)")
+
+let budget_t =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"TOWERS" ~doc:"Tower budget (default: 27 per site)")
+
+let gbps_t =
+  Arg.(value & opt float 100.0 & info [ "gbps" ] ~docv:"GBPS" ~doc:"Aggregate capacity to provision")
+
+let range_t =
+  Arg.(value & opt float 100.0 & info [ "range" ] ~docv:"KM" ~doc:"Max microwave hop range")
+
+let height_t =
+  Arg.(value & opt float 1.0 & info [ "height-fraction" ] ~docv:"F" ~doc:"Usable fraction of tower height")
+
+let geojson_t =
+  Arg.(value & opt (some string) None & info [ "geojson" ] ~docv:"FILE" ~doc:"Write the designed network as GeoJSON")
+
+let config_of region sites range height =
+  let base =
+    match region with
+    | `Us -> Design.Scenario.default_config
+    | `Europe -> Design.Scenario.europe_config
+  in
+  { base with Design.Scenario.n_sites = sites; max_range_km = range; height_fraction = height }
+
+let effective_budget budget sites =
+  match budget with Some b -> b | None -> 27 * Array.length sites
+
+(* ---------- design ---------- *)
+
+let design_cmd =
+  let run region sites budget gbps range height geojson =
+    let config = config_of region sites range height in
+    Printf.printf "building artifacts...\n%!";
+    let a = Design.Scenario.artifacts ~config () in
+    let inputs = Design.Scenario.population_inputs a in
+    let budget = effective_budget budget a.Design.Scenario.sites in
+    Printf.printf "designing (%d sites, %d-tower budget)...\n%!"
+      (Array.length a.Design.Scenario.sites) budget;
+    let topo = Design.Scenario.design inputs ~budget in
+    Printf.printf "links: %d   towers: %d   stretch: %.3f\n"
+      (List.length topo.Design.Topology.built)
+      topo.Design.Topology.cost
+      (Design.Topology.stretch_of topo);
+    let spare = Design.Capacity.spare_from_registry a.Design.Scenario.hops in
+    let plan = Design.Capacity.plan ~spare_series_at_hop:spare inputs topo ~aggregate_gbps:gbps in
+    Printf.printf "provisioned %.0f Gbps: %d hops, %d radios, %d new towers\n" gbps
+      plan.Design.Capacity.hops_total plan.Design.Capacity.radios plan.Design.Capacity.new_towers;
+    Printf.printf "cost per GB: $%.2f\n"
+      (Design.Capacity.cost_per_gb Design.Cost.default plan ~aggregate_gbps:gbps);
+    match geojson with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Design.Export.topology_with_plan_geojson inputs topo plan);
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "design" ~doc:"Design a cISP topology (paper sections 3-4)")
+    Term.(const run $ region_t $ sites_t $ budget_t $ gbps_t $ range_t $ height_t $ geojson_t)
+
+(* ---------- weather ---------- *)
+
+let weather_cmd =
+  let intervals_t =
+    Arg.(value & opt int 365 & info [ "intervals" ] ~docv:"N" ~doc:"Weather intervals over the year")
+  in
+  let run region sites budget intervals =
+    let config = config_of region sites 100.0 1.0 in
+    let a = Design.Scenario.artifacts ~config () in
+    let inputs = Design.Scenario.population_inputs a in
+    let budget = effective_budget budget a.Design.Scenario.sites in
+    let topo = Design.Scenario.design inputs ~budget in
+    let climate =
+      match region with
+      | `Us -> Weather.Rainfield.us_climate
+      | `Europe -> Weather.Rainfield.eu_climate
+    in
+    let r = Weather.Year.run ~intervals ~climate ~hops:a.Design.Scenario.hops inputs topo in
+    Printf.printf "%d intervals, %.1f failed links per interval (of %d built)\n"
+      r.Weather.Year.intervals r.Weather.Year.mean_failed_links
+      (List.length topo.Design.Topology.built);
+    let med f = Util.Stats.median (Array.map f r.Weather.Year.per_pair) in
+    Printf.printf "median pair stretch: best %.3f | p99 %.3f | worst %.3f | fiber %.3f\n"
+      (med (fun p -> p.Weather.Year.best))
+      (med (fun p -> p.Weather.Year.p99))
+      (med (fun p -> p.Weather.Year.worst))
+      (med (fun p -> p.Weather.Year.fiber))
+  in
+  Cmd.v
+    (Cmd.info "weather" ~doc:"Year-long precipitation sweep (paper section 6.1)")
+    Term.(const run $ region_t $ sites_t $ budget_t $ intervals_t)
+
+(* ---------- econ ---------- *)
+
+let econ_cmd =
+  let cost_t =
+    Arg.(value & opt float 0.81 & info [ "cost-per-gb" ] ~docv:"USD" ~doc:"Network cost per GB")
+  in
+  let run cost_per_gb =
+    Printf.printf "%-14s %-22s %s\n" "application" "value per GB" "exceeds cost?";
+    List.iter
+      (fun v ->
+        Printf.printf "%-14s $%.2f - $%-14.2f %b\n" v.Apps.Econ.application
+          v.Apps.Econ.value_per_gb.Apps.Econ.low v.Apps.Econ.value_per_gb.Apps.Econ.high
+          v.Apps.Econ.exceeds_cost)
+      (Apps.Econ.summary ~cost_per_gb)
+  in
+  Cmd.v (Cmd.info "econ" ~doc:"Cost-benefit table (paper section 8)") Term.(const run $ cost_t)
+
+(* ---------- hft ---------- *)
+
+let hft_cmd =
+  let run () =
+    let r = Weather.Hft.run () in
+    Printf.printf "Chicago-NJ relay, %d trading minutes incl. a hurricane window:\n" r.Weather.Hft.minutes;
+    Printf.printf "mean loss %.1f%%, median %.1f%% (paper: 16.1%% / 1.4%%)\n"
+      (100.0 *. r.Weather.Hft.mean_loss) (100.0 *. r.Weather.Hft.median_loss)
+  in
+  Cmd.v (Cmd.info "hft" ~doc:"HFT relay loss reconstruction (paper section 2)") Term.(const run $ const ())
+
+let () =
+  let doc = "cISP: a speed-of-light ISP designer (NSDI 2022 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "cisp" ~doc) [ design_cmd; weather_cmd; econ_cmd; hft_cmd ]))

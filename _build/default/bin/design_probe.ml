@@ -1,0 +1,122 @@
+(* Dev tool: exercise the design pipeline at small and medium scale. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let open Cisp_design in
+  (* Small synthetic instance: 7 sites on a ring + center. *)
+  let sites =
+    Array.of_list
+      (List.init 7 (fun i ->
+           let angle = float_of_int i *. 51.4 in
+           let c = Cisp_geo.Geodesy.destination
+               (Cisp_geo.Coord.make ~lat:39.0 ~lon:(-95.0))
+               ~bearing_deg:angle ~distance_km:(300.0 +. (100.0 *. float_of_int (i mod 3)))
+           in
+           Cisp_data.City.make (Printf.sprintf "S%d" i)
+             ~lat:(Cisp_geo.Coord.lat c) ~lon:(Cisp_geo.Coord.lon c)
+             ~population:(100_000 * (i + 1))))
+  in
+  let traffic = Cisp_traffic.Matrix.population_product sites in
+  let inputs = Inputs.synthetic ~sites ~mw_stretch:1.02 ~mw_cost_per_km:0.02 ~fiber_stretch:1.9 ~traffic in
+  let budget = 30 in
+  let candidates = Greedy.candidates inputs in
+  Printf.printf "synthetic n=7: %d candidates\n%!" (List.length candidates);
+  let greedy, tg = time (fun () -> Greedy.design inputs ~budget) in
+  Printf.printf "greedy: stretch=%.4f cost=%d links=%d (%.2fs)\n%!"
+    (Topology.stretch_of greedy) greedy.Topology.cost (List.length greedy.Topology.built) tg;
+  let ls, tl = time (fun () -> Local_search.improve inputs ~budget ~candidates greedy) in
+  Printf.printf "greedy+ls: stretch=%.4f cost=%d (%.2fs)\n%!" (Topology.stretch_of ls) ls.Topology.cost tl;
+  let (ilp, stats), ti = time (fun () -> Ilp.design inputs ~budget ~candidates) in
+  Printf.printf "ilp: stretch=%.4f cost=%d links=%d nodes=%d lps=%d status=%s (%.2fs)\n%!"
+    (Topology.stretch_of ilp) ilp.Topology.cost (List.length ilp.Topology.built)
+    stats.Ilp.nodes_explored stats.Ilp.lp_solves
+    (match stats.Ilp.milp_status with
+     | `Optimal -> "optimal" | `Feasible_gap g -> Printf.sprintf "gap %.3f" g
+     | `Infeasible -> "infeasible" | `Unbounded -> "unbounded" | `No_solution -> "none")
+    ti;
+  let rounded, tr = time (fun () -> Lp_rounding.design inputs ~budget ~candidates) in
+  (match rounded with
+  | Some r -> Printf.printf "lp-round: stretch=%.4f cost=%d (%.2fs)\n%!" (Topology.stretch_of r) r.Topology.cost tr
+  | None -> Printf.printf "lp-round: infeasible\n%!");
+  (* Medium real scenario. *)
+  let config = { Scenario.default_config with n_sites = Some 20 } in
+  let a, ta = time (fun () -> Scenario.artifacts ~config ()) in
+  Printf.printf "\nus-20: %d towers, %d hops (%.1fs); fiber inflation=%.2f\n%!"
+    (List.length a.Scenario.towers) a.Scenario.hops.Cisp_towers.Hops.feasible_hops ta
+    (Cisp_fiber.Conduit.mean_latency_inflation a.Scenario.fiber);
+  let inp = Scenario.population_inputs a in
+  let topo, td = time (fun () -> Scenario.design inp ~budget:600) in
+  Printf.printf "design(600): stretch=%.4f cost=%d links=%d (%.1fs)\n%!"
+    (Topology.stretch_of topo) topo.Topology.cost (List.length topo.Topology.built) td;
+  let spare = Capacity.spare_from_registry a.Scenario.hops in
+  let plan = Capacity.plan ~spare_series_at_hop:spare inp topo ~aggregate_gbps:100.0 in
+  Printf.printf "capacity: hops=%d radios=%d new_towers=%d rented=%d mw_frac=%.2f\n%!"
+    plan.Capacity.hops_total plan.Capacity.radios plan.Capacity.new_towers
+    plan.Capacity.rented_towers plan.Capacity.mw_carried_fraction;
+  List.iter (fun (cls, count) -> Printf.printf "  class %d: %d hops\n" cls count) plan.Capacity.hop_classes;
+  Printf.printf "cost/GB @100Gbps: $%.2f\n%!" (Capacity.cost_per_gb Cost.default plan ~aggregate_gbps:100.0)
+
+(* Full-scale probe, guarded by an env var so the default run stays fast. *)
+let () =
+  if Sys.getenv_opt "PROBE_FULL" <> None then begin
+    let a, ta = time (fun () -> Cisp_design.Scenario.artifacts ()) in
+    Printf.printf "\nus-full: %d sites, %d towers, %d hops (%.1fs); fiber inflation=%.2f\n%!"
+      (Array.length a.Cisp_design.Scenario.sites)
+      (List.length a.Cisp_design.Scenario.towers)
+      a.Cisp_design.Scenario.hops.Cisp_towers.Hops.feasible_hops ta
+      (Cisp_fiber.Conduit.mean_latency_inflation a.Cisp_design.Scenario.fiber);
+    let inp, ti = time (fun () -> Cisp_design.Scenario.population_inputs a) in
+    Printf.printf "inputs built (%.1fs)\n%!" ti;
+    List.iter
+      (fun budget ->
+        let topo, td = time (fun () -> Cisp_design.Scenario.design inp ~budget) in
+        Printf.printf "design(%d): stretch=%.4f cost=%d links=%d (%.1fs)\n%!" budget
+          (Cisp_design.Topology.stretch_of topo) topo.Cisp_design.Topology.cost
+          (List.length topo.Cisp_design.Topology.built) td;
+        if budget = 3000 then begin
+          let spare = Cisp_design.Capacity.spare_from_registry a.Cisp_design.Scenario.hops in
+          let plan = Cisp_design.Capacity.plan ~spare_series_at_hop:spare inp topo ~aggregate_gbps:100.0 in
+          Printf.printf "capacity@100G: hops=%d radios=%d new=%d rented=%d\n%!"
+            plan.Cisp_design.Capacity.hops_total plan.Cisp_design.Capacity.radios
+            plan.Cisp_design.Capacity.new_towers plan.Cisp_design.Capacity.rented_towers;
+          List.iter (fun (c, n) -> Printf.printf "  class %d: %d hops\n" c n)
+            plan.Cisp_design.Capacity.hop_classes;
+          Printf.printf "cost/GB: $%.2f\n%!"
+            (Cisp_design.Capacity.cost_per_gb Cisp_design.Cost.default plan ~aggregate_gbps:100.0)
+        end)
+      [ 1000; 3000; 6000 ]
+  end
+
+(* Probe: link utilizations at 120% load on the full design. *)
+let () =
+  if Sys.getenv_opt "PROBE_UTIL" <> None then begin
+    let module D = Cisp_design in
+    let module S = Cisp_sim in
+    let a = D.Scenario.artifacts () in
+    let inputs = D.Scenario.population_inputs a in
+    let topo = D.Scenario.design inputs ~budget:3000 in
+    let spare = D.Capacity.spare_from_registry a.D.Scenario.hops in
+    let plan = D.Capacity.plan ~spare_series_at_hop:spare inputs topo ~aggregate_gbps:100.0 in
+    let mw_gbps = S.Builder.provisioned_mw_gbps plan in
+    let loads120 = D.Capacity.route_loads inputs topo ~aggregate_gbps:120.0 in
+    let utils = List.map (fun (l, load) -> load /. mw_gbps l) loads120 in
+    let arr = Array.of_list utils in
+    Format.printf "offered util at 120%%: %a@." Cisp_util.Stats.pp_summary (Cisp_util.Stats.summarize arr);
+    let over = List.length (List.filter (fun u -> u > 1.0) utils) in
+    Printf.printf "links over capacity: %d of %d\n" over (List.length utils);
+    (* now simulate and measure utilization *)
+    let eng = S.Engine.create () in
+    let net = S.Builder.build eng inputs topo ~mw_gbps in
+    let model = { S.Routing.inputs; topology = topo; mw_gbps; fiber_gbps = 400.0 } in
+    let demands = Cisp_traffic.Matrix.scale_to_gbps inputs.D.Inputs.traffic ~aggregate_gbps:120.0 in
+    let paths = S.Routing.paths model S.Routing.Shortest_path ~demands_gbps:demands in
+    S.Udp.poisson_commodities net ~paths ~demands_gbps:demands ~packet_bytes:500 ~start:0.0 ~stop:0.015;
+    S.Engine.run eng ~until:0.215;
+    Printf.printf "sim: events=%d mean_delay=%.3f loss=%.5f max_util=%.3f\n"
+      (S.Engine.events_processed eng) (S.Net.mean_delay_ms net) (S.Net.loss_rate net)
+      (S.Net.max_utilization net ~duration_s:0.015)
+  end

@@ -1,0 +1,1 @@
+examples/europe_backbone.ml: Array Cisp Data Design List Printf String Util

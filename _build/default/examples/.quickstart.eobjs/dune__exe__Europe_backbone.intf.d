@@ -1,0 +1,1 @@
+examples/europe_backbone.mli:

@@ -1,0 +1,1 @@
+examples/gaming_latency.ml: Apps Cisp List Printf Util

@@ -1,0 +1,1 @@
+examples/interdc.ml: Array Cisp Data Design List Printf Traffic Util

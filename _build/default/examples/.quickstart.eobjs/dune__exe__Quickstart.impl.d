@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cisp Data Design Geo List Printf Traffic

@@ -1,0 +1,1 @@
+examples/us_backbone.ml: Array Cisp Data Design Fiber Float List Printf Sys Towers

@@ -1,0 +1,1 @@
+examples/us_backbone.mli:

@@ -1,0 +1,1 @@
+examples/weather_resilience.ml: Array Cisp Design List Printf Util Weather

@@ -1,0 +1,41 @@
+(* The paper's Europe instantiation (Fig 8): same methodology, cities
+   over 300k population, fiber assumed at the US-like 1.9x inflation:
+
+     dune exec examples/europe_backbone.exe *)
+
+open Cisp
+
+let () =
+  let config =
+    { Design.Scenario.europe_config with Design.Scenario.n_sites = Some 40 }
+  in
+  let a = Design.Scenario.artifacts ~config () in
+  Printf.printf "European sites: %d (towers %d)\n%!" (Array.length a.Design.Scenario.sites)
+    (List.length a.Design.Scenario.towers);
+  let inputs = Design.Scenario.population_inputs a in
+  let topo = Design.Scenario.design inputs ~budget:1100 in
+  Printf.printf "stretch %.3f with %d towers (paper: 1.04 with ~3k at full scale)\n"
+    (Design.Topology.stretch_of topo) topo.Design.Topology.cost;
+  (* A few emblematic pairs. *)
+  let d = Design.Topology.distances topo in
+  let name i = a.Design.Scenario.sites.(i).Data.City.name in
+  let find prefix =
+    let rec go i =
+      if i >= Array.length a.Design.Scenario.sites then None
+      else if String.length (name i) >= String.length prefix
+              && String.sub (name i) 0 (String.length prefix) = prefix
+      then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.iter
+    (fun (x, y) ->
+      match (find x, find y) with
+      | Some i, Some j ->
+        Printf.printf "%-12s -> %-12s: %.1f ms one-way (c-latency %.1f ms, stretch %.2f)\n" x y
+          (Util.Units.ms_of_km_at_c d.(i).(j))
+          (Util.Units.ms_of_km_at_c inputs.Design.Inputs.geodesic_km.(i).(j))
+          (Design.Topology.pair_stretch inputs d i j)
+      | _ -> ())
+    [ ("London", "Berlin"); ("Paris", "Madrid"); ("Amsterdam", "Rome"); ("Warsaw", "Paris") ]

@@ -1,0 +1,41 @@
+(* An inter-datacenter cISP (paper §6.3): connect the six public US
+   Google datacenter locations with equal pairwise capacity:
+
+     dune exec examples/interdc.exe *)
+
+open Cisp
+
+let () =
+  let dcs = Data.Datacenters.all in
+  let config =
+    {
+      Design.Scenario.default_config with
+      Design.Scenario.region = Design.Scenario.Custom ("interdc-example", dcs);
+    }
+  in
+  let a = Design.Scenario.artifacts ~config () in
+  let sites = a.Design.Scenario.sites in
+  let traffic = Traffic.Matrix.uniform_pairs (Array.length sites) in
+  let inputs = Design.Scenario.inputs a ~traffic in
+  let topo = Design.Scenario.design inputs ~budget:450 in
+  Printf.printf "inter-DC network: %d links, %d towers, stretch %.3f\n"
+    (List.length topo.Design.Topology.built)
+    topo.Design.Topology.cost
+    (Design.Topology.stretch_of topo);
+  let d = Design.Topology.distances topo in
+  Printf.printf "%-28s %-28s %-10s %-10s\n" "from" "to" "ms" "stretch";
+  Array.iteri
+    (fun i _ ->
+      Array.iteri
+        (fun j _ ->
+          if i < j then
+            Printf.printf "%-28s %-28s %-10.2f %-10.2f\n" sites.(i).Data.City.name
+              sites.(j).Data.City.name
+              (Util.Units.ms_of_km_at_c d.(i).(j))
+              (Design.Topology.pair_stretch inputs d i j))
+        sites)
+    sites;
+  let spare = Design.Capacity.spare_from_registry a.Design.Scenario.hops in
+  let plan = Design.Capacity.plan ~spare_series_at_hop:spare inputs topo ~aggregate_gbps:100.0 in
+  Printf.printf "cost per GB at 100 Gbps: $%.2f (cheaper than the city-city model, as in Fig 9)\n"
+    (Design.Capacity.cost_per_gb Design.Cost.default plan ~aggregate_gbps:100.0)

@@ -1,0 +1,54 @@
+(* Quickstart: design a tiny speed-of-light network from scratch.
+
+   Five cities, synthetic everything; shows the three design steps of
+   the paper on a scale that runs in under a second:
+
+     dune exec examples/quickstart.exe *)
+
+open Cisp
+
+let () =
+  (* 1. Sites: five cities around a 400 km ring. *)
+  let sites =
+    Array.init 5 (fun i ->
+        let c =
+          Geo.Geodesy.destination
+            (Geo.Coord.make ~lat:39.0 ~lon:(-95.0))
+            ~bearing_deg:(float_of_int i *. 72.0) ~distance_km:400.0
+        in
+        Data.City.make (Printf.sprintf "City-%d" i) ~lat:(Geo.Coord.lat c)
+          ~lon:(Geo.Coord.lon c)
+          ~population:((i + 1) * 250_000))
+  in
+  (* 2. Inputs: microwave at 1.02x geodesic, fiber at 1.9x (the two
+     empirical constants the whole paper revolves around), and
+     population-product traffic. *)
+  let inputs =
+    Design.Inputs.synthetic ~sites ~mw_stretch:1.02 ~mw_cost_per_km:0.02 ~fiber_stretch:1.9
+      ~traffic:(Traffic.Matrix.population_product sites)
+  in
+  Printf.printf "fiber-only mean stretch: %.3f\n"
+    (Design.Topology.stretch_of (Design.Topology.empty inputs));
+  (* 3. Design under a 60-tower budget (greedy + local search),
+     cross-checked against the exact ILP. *)
+  let budget = 60 in
+  let topo = Design.Scenario.design inputs ~budget in
+  Printf.printf "designed network: %d links, %d towers, stretch %.3f\n"
+    (List.length topo.Design.Topology.built)
+    topo.Design.Topology.cost
+    (Design.Topology.stretch_of topo);
+  let exact, stats = Design.Ilp.design inputs ~budget ~candidates:(Design.Greedy.candidates inputs) in
+  Printf.printf "exact ILP (%d LP solves): stretch %.3f\n" stats.Design.Ilp.lp_solves
+    (Design.Topology.stretch_of exact);
+  (* 4. Provision 20 Gbps and price it. *)
+  let plan = Design.Capacity.plan inputs topo ~aggregate_gbps:20.0 in
+  Printf.printf "capacity plan: %d hops, %d radios, %d new towers\n"
+    plan.Design.Capacity.hops_total plan.Design.Capacity.radios plan.Design.Capacity.new_towers;
+  Printf.printf "cost: $%.2f per GB at 20 Gbps\n"
+    (Design.Capacity.cost_per_gb Design.Cost.default plan ~aggregate_gbps:20.0);
+  List.iter
+    (fun (i, j) ->
+      Printf.printf "  built: %s <-> %s (%.0f km MW vs %.0f km fiber)\n"
+        sites.(i).Data.City.name sites.(j).Data.City.name
+        inputs.Design.Inputs.mw_km.(i).(j) inputs.Design.Inputs.fiber_km.(i).(j))
+    topo.Design.Topology.built

@@ -1,0 +1,29 @@
+(* Weather resilience (paper §6.1 / Fig 7): design a regional network
+   and sweep a synthetic year of precipitation over it:
+
+     dune exec examples/weather_resilience.exe *)
+
+open Cisp
+
+let () =
+  let config = { Design.Scenario.default_config with n_sites = Some 25 } in
+  let a = Design.Scenario.artifacts ~config () in
+  let inputs = Design.Scenario.population_inputs a in
+  let topo = Design.Scenario.design inputs ~budget:700 in
+  Printf.printf "network: %d links, fair-weather stretch %.3f\n%!"
+    (List.length topo.Design.Topology.built)
+    (Design.Topology.stretch_of topo);
+  let r =
+    Weather.Year.run ~intervals:120 ~climate:Weather.Rainfield.us_climate
+      ~hops:a.Design.Scenario.hops inputs topo
+  in
+  Printf.printf "%d intervals, %.1f links down on average\n" r.Weather.Year.intervals
+    r.Weather.Year.mean_failed_links;
+  let med f = Util.Stats.median (Array.map f r.Weather.Year.per_pair) in
+  Printf.printf "median across pairs:\n";
+  Printf.printf "  fair-weather stretch : %.3f\n" (med (fun p -> p.Weather.Year.best));
+  Printf.printf "  99th pct over a year : %.3f\n" (med (fun p -> p.Weather.Year.p99));
+  Printf.printf "  worst over a year    : %.3f\n" (med (fun p -> p.Weather.Year.worst));
+  Printf.printf "  fiber fallback       : %.3f\n" (med (fun p -> p.Weather.Year.fiber));
+  Printf.printf "even the worst weather keeps the median pair %.1fx faster than fiber.\n"
+    (med (fun p -> p.Weather.Year.fiber) /. med (fun p -> p.Weather.Year.worst))

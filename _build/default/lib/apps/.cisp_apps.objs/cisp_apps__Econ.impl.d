@@ -1,0 +1,1 @@
+lib/apps/econ.ml: Cisp_util

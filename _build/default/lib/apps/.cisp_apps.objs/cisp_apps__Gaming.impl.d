@@ -1,0 +1,1 @@
+lib/apps/gaming.ml: Array Cisp_util List

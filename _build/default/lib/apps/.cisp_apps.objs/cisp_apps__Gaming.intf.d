@@ -1,0 +1,1 @@
+lib/apps/gaming.mli: Cisp_util

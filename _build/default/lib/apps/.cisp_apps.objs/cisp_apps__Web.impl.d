@@ -1,0 +1,1 @@
+lib/apps/web.ml: Array Cisp_util Float Hashtbl List Option

@@ -1,0 +1,58 @@
+(** Cost-benefit estimates (paper §8).
+
+    Quantitative lower bounds on cISP's value per GB in three
+    application areas, reconstructed from the paper's cited published
+    constants, to be compared against the network's cost per GB
+    (~$0.81 at 100 Gbps). *)
+
+type range = { low : float; high : float }
+
+(** {2 Web search} *)
+
+type search_params = {
+  us_search_traffic_gbps : float;     (** 12 *)
+  profit_gain_200ms_usd : float;      (** $87M / year *)
+  profit_gain_400ms_usd : float;      (** $177M / year *)
+}
+
+val default_search : search_params
+
+val search_value_per_gb : ?params:search_params -> speedup_ms:float -> unit -> float
+(** Linear interpolation between the paper's two anchor speedups. *)
+
+(** {2 E-commerce} *)
+
+type ecommerce_params = {
+  yearly_traffic_pb : float;          (** 483 PB *)
+  yearly_profit_usd : float;          (** $7.9B *)
+  conversion_per_100ms : range;       (** 1% .. 7% *)
+  cisp_byte_fraction : float;         (** <10% of bytes ride cISP *)
+}
+
+val default_ecommerce : ecommerce_params
+
+val ecommerce_value_per_gb : ?params:ecommerce_params -> speedup_ms:float -> unit -> range
+
+(** {2 Gaming} *)
+
+type gaming_params = {
+  vpn_usd_per_month : float;          (** $4, cheap accelerated VPN *)
+  hours_per_day : float;              (** 8, "full-time gaming" *)
+  kbps_per_player : float;            (** 10 *)
+}
+
+val default_gaming : gaming_params
+
+val gaming_value_per_gb : ?params:gaming_params -> unit -> float
+
+val steam_us_aggregate_gbps :
+  players:int -> us_share:float -> kbps_per_player:float -> float
+(** §6.6: 16M players x 17% US x 10 Kbps ~ 27 Gbps. *)
+
+(** {2 Summary} *)
+
+type verdict = { application : string; value_per_gb : range; exceeds_cost : bool }
+
+val summary : cost_per_gb:float -> verdict list
+(** The paper's bottom line: every application's value per GB
+    substantially exceeds the cost per GB. *)

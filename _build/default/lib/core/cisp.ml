@@ -1,0 +1,22 @@
+(** Umbrella namespace for the cISP reproduction.
+
+    [Cisp.Design] is the paper's primary contribution (topology design,
+    capacity planning, cost model); the other modules are the
+    substrates it stands on.  See DESIGN.md for the system inventory
+    and EXPERIMENTS.md for the paper-vs-measured record. *)
+
+module Util = Cisp_util
+module Geo = Cisp_geo
+module Terrain = Cisp_terrain
+module Rf = Cisp_rf
+module Towers = Cisp_towers
+module Fiber = Cisp_fiber
+module Graph = Cisp_graph
+module Lp = Cisp_lp
+module Data = Cisp_data
+module Traffic = Cisp_traffic
+module Design = Cisp_design
+module Sim = Cisp_sim
+module Orbit = Cisp_orbit
+module Weather = Cisp_weather
+module Apps = Cisp_apps

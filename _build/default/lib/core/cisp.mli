@@ -1,0 +1,28 @@
+(** Umbrella namespace for the cISP reproduction.
+
+    {!Design} is the paper's primary contribution — topology design
+    (§3), capacity planning (§3.3), the cost model (§2), and the
+    end-to-end {!Design.Scenario} driver.  The remaining modules are
+    the substrates it stands on; each is an independent library that
+    can be used on its own (e.g. {!Lp} is a general MILP solver,
+    {!Sim} a general packet-level simulator).
+
+    See DESIGN.md for the system inventory and the substitution table
+    (what of the paper's proprietary inputs each substrate replaces),
+    and EXPERIMENTS.md for the paper-vs-measured record. *)
+
+module Util = Cisp_util
+module Geo = Cisp_geo
+module Terrain = Cisp_terrain
+module Rf = Cisp_rf
+module Towers = Cisp_towers
+module Fiber = Cisp_fiber
+module Graph = Cisp_graph
+module Lp = Cisp_lp
+module Data = Cisp_data
+module Traffic = Cisp_traffic
+module Design = Cisp_design
+module Sim = Cisp_sim
+module Orbit = Cisp_orbit
+module Weather = Cisp_weather
+module Apps = Cisp_apps

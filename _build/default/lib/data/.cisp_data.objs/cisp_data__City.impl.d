@@ -1,0 +1,1 @@
+lib/data/city.ml: Cisp_geo Format Int

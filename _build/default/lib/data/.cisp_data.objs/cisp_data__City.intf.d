@@ -1,0 +1,1 @@
+lib/data/city.mli: Cisp_geo Format

@@ -1,0 +1,1 @@
+lib/data/eu_cities.mli: City

@@ -1,0 +1,1 @@
+lib/data/sites.ml: Array Cisp_geo City Eu_cities Hashtbl List Option Us_cities

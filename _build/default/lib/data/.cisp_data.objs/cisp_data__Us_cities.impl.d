@@ -1,0 +1,1 @@
+lib/data/us_cities.ml: City List

@@ -1,0 +1,10 @@
+type t = { name : string; coord : Cisp_geo.Coord.t; population : int }
+
+let make name ~lat ~lon ~population =
+  assert (population >= 0);
+  { name; coord = Cisp_geo.Coord.make ~lat ~lon; population }
+
+let pp ppf c =
+  Format.fprintf ppf "%s %a pop=%d" c.name Cisp_geo.Coord.pp c.coord c.population
+
+let compare_population_desc a b = Int.compare b.population a.population

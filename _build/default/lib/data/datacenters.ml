@@ -1,0 +1,9 @@
+let all =
+  [
+    City.make "DC Berkeley County, SC" ~lat:33.19 ~lon:(-80.01) ~population:0;
+    City.make "DC Council Bluffs, IA" ~lat:41.26 ~lon:(-95.86) ~population:0;
+    City.make "DC Douglas County, GA" ~lat:33.75 ~lon:(-84.75) ~population:0;
+    City.make "DC Lenoir, NC" ~lat:35.91 ~lon:(-81.54) ~population:0;
+    City.make "DC Mayes County, OK" ~lat:36.30 ~lon:(-95.32) ~population:0;
+    City.make "DC The Dalles, OR" ~lat:45.59 ~lon:(-121.18) ~population:0;
+  ]

@@ -1,0 +1,6 @@
+(** The six publicly known US Google data-center locations used by the
+    paper's inter-DC and DC-edge traffic models (§6.3). *)
+
+val all : City.t list
+(** Population field is 0 — these are capacity endpoints, not
+    population centers. *)

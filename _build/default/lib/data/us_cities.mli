@@ -1,0 +1,13 @@
+(** The 200 most populous cities of the contiguous United States
+    (2010-census city-proper populations, approximate coordinates).
+
+    This is the site input of paper §4: "we connect only the 200 most
+    populous cities in the contiguous United States", which are then
+    coalesced (see {!Sites}) into ~120 population centers.  Honolulu
+    and Anchorage are excluded as non-contiguous, exactly as in the
+    paper. *)
+
+val all : City.t list
+(** All 200 cities, sorted by descending population. *)
+
+val top : int -> City.t list

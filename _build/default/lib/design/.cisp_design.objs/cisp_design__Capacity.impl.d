@@ -1,0 +1,1 @@
+lib/design/capacity.ml: Array Cisp_data Cisp_geo Cisp_graph Cisp_rf Cisp_towers Cisp_traffic Cost Float Hashtbl Inputs Int List Option Topology

@@ -1,0 +1,1 @@
+lib/design/capacity.mli: Cisp_towers Cost Inputs Topology

@@ -1,0 +1,1 @@
+lib/design/cost.ml: Cisp_util

@@ -1,0 +1,1 @@
+lib/design/cost.mli:

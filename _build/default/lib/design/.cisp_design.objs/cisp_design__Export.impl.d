@@ -1,0 +1,1 @@
+lib/design/export.ml: Array Buffer Capacity Cisp_data Cisp_geo Float Hashtbl Inputs List Option Printf String Topology

@@ -1,0 +1,1 @@
+lib/design/export.mli: Capacity Inputs Topology

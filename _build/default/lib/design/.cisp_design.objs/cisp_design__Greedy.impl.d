@@ -1,0 +1,1 @@
+lib/design/greedy.ml: Array Cisp_graph Float Inputs List Topology

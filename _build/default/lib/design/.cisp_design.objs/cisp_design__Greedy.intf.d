@@ -1,0 +1,1 @@
+lib/design/greedy.mli: Inputs Topology

@@ -1,0 +1,1 @@
+lib/design/ilp.ml: Array Cisp_lp Hashtbl Inputs List Printf Topology

@@ -1,0 +1,1 @@
+lib/design/ilp.mli: Cisp_lp Inputs Topology

@@ -1,0 +1,1 @@
+lib/design/inputs.ml: Array Cisp_data Cisp_fiber Cisp_geo Cisp_towers Cisp_traffic Float Option Result

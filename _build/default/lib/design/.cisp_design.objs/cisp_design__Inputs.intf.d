@@ -1,0 +1,1 @@
+lib/design/inputs.mli: Cisp_data Cisp_fiber Cisp_towers Cisp_traffic

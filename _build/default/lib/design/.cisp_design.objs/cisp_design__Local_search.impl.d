@@ -1,0 +1,1 @@
+lib/design/local_search.ml: Array Capacity Float Greedy Inputs List Topology

@@ -1,0 +1,1 @@
+lib/design/local_search.mli: Inputs Topology

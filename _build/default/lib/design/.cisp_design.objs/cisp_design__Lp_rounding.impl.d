@@ -1,0 +1,1 @@
+lib/design/lp_rounding.ml: Array Cisp_lp Float Ilp Inputs List Topology

@@ -1,0 +1,1 @@
+lib/design/lp_rounding.mli: Inputs Topology

@@ -1,0 +1,1 @@
+lib/design/scenario.ml: Array Capacity Cisp_data Cisp_fiber Cisp_rf Cisp_terrain Cisp_towers Cisp_traffic Cost Greedy Hashtbl Ilp Inputs List Local_search Lp_rounding Topology

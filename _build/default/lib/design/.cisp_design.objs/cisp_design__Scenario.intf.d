@@ -1,0 +1,1 @@
+lib/design/scenario.mli: Capacity Cisp_data Cisp_fiber Cisp_lp Cisp_terrain Cisp_towers Cisp_traffic Cost Inputs Topology

@@ -1,0 +1,1 @@
+lib/design/topology.ml: Array Cisp_towers Float Inputs List Printf

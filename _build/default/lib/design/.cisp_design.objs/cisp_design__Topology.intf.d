@@ -1,0 +1,1 @@
+lib/design/topology.mli: Inputs

@@ -1,0 +1,23 @@
+(** GeoJSON export of designed networks.
+
+    The paper ships map figures (Fig 3, Fig 8) and two animations: the
+    hybrid network evolving from mostly-fiber to mostly-MW with budget
+    [20], and a year of weather over the network [18].  This module
+    produces the underlying geodata: drop the output into any GeoJSON
+    viewer to reproduce the figures. *)
+
+val topology_geojson : Inputs.t -> Topology.t -> string
+(** FeatureCollection: one point per site (name, population) and one
+    LineString per built MW link, with properties [medium = "mw"],
+    link length and stretch.  Site pairs that ride fiber are omitted
+    (the paper draws only a few illustrative fiber paths). *)
+
+val topology_with_plan_geojson : Inputs.t -> Topology.t -> Capacity.plan -> string
+(** Like {!topology_geojson} with each link's provisioned parallel
+    series count as a [series] property — the blue/green/red coloring
+    of Fig 3. *)
+
+val budget_evolution :
+  Inputs.t -> budgets:int list -> design:(Inputs.t -> budget:int -> Topology.t) ->
+  (int * Topology.t * string) list
+(** The [20] animation: a topology and its GeoJSON per budget step. *)

@@ -1,0 +1,101 @@
+type rule = Absolute | Per_cost
+
+let candidates (inputs : Inputs.t) =
+  let n = Inputs.n_sites inputs in
+  let base = Topology.fiber_baseline inputs in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if inputs.mw_km.(i).(j) < base.(i).(j) then acc := (i, j) :: !acc
+    done
+  done;
+  List.rev !acc
+
+(* Benefit of adding link (i,j) to the metric [d]: total decrease of
+   the objective sum_st w_st * D_st where w_st = h_st / d_st. *)
+let benefit (inputs : Inputs.t) w d (i, j) =
+  let n = Inputs.n_sites inputs in
+  let mw = inputs.mw_km.(i).(j) in
+  let total = ref 0.0 in
+  for s = 0 to n - 1 do
+    let dsi = d.(s).(i) and dsj = d.(s).(j) in
+    let ws = w.(s) and ds = d.(s) in
+    for t = 0 to n - 1 do
+      let wst = ws.(t) in
+      if wst > 0.0 then begin
+        let alt = Float.min (dsi +. mw +. d.(j).(t)) (dsj +. mw +. d.(i).(t)) in
+        let cur = ds.(t) in
+        if alt < cur then total := !total +. (wst *. (cur -. alt))
+      end
+    done
+  done;
+  !total
+
+let weight_matrix (inputs : Inputs.t) =
+  let n = Inputs.n_sites inputs in
+  let w = Array.make_matrix n n 0.0 in
+  for s = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      if s <> t && inputs.geodesic_km.(s).(t) > 0.0 then
+        w.(s).(t) <- inputs.traffic.(s).(t) /. inputs.geodesic_km.(s).(t)
+    done
+  done;
+  w
+
+let score rule cost b = match rule with Absolute -> b | Per_cost -> b /. float_of_int (max 1 cost)
+
+let design_ordered ?(rule = Per_cost) (inputs : Inputs.t) ~budget =
+  let cands = Array.of_list (candidates inputs) in
+  let w = weight_matrix inputs in
+  let d = ref (Topology.fiber_baseline inputs) in
+  let topo = ref (Topology.empty inputs) in
+  (* Lazy greedy: heap keyed by negated (possibly stale) score. *)
+  let heap = Cisp_graph.Heap.create () in
+  Array.iter
+    (fun (i, j) ->
+      let c = Topology.link_cost inputs i j in
+      if c <= budget then begin
+        let b = benefit inputs w !d (i, j) in
+        if b > 1e-15 then Cisp_graph.Heap.push heap (-.score rule c b) ((i, j), b)
+      end)
+    cands;
+  let spent = ref 0 in
+  let order = ref [] in
+  let rec step () =
+    match Cisp_graph.Heap.pop heap with
+    | None -> ()
+    | Some (neg_stale, ((i, j), _)) ->
+      let c = Topology.link_cost inputs i j in
+      if !spent + c > budget then step () (* cannot afford; try others *)
+      else begin
+        let b = benefit inputs w !d (i, j) in
+        if b <= 1e-15 then step ()
+        else begin
+          let s = score rule c b in
+          let next_best =
+            match Cisp_graph.Heap.peek heap with Some (k, _) -> -.k | None -> neg_infinity
+          in
+          if s >= next_best -. 1e-15 then begin
+            (* Fresh score still wins: take it. *)
+            topo := Topology.add !topo (i, j);
+            order := (i, j) :: !order;
+            spent := !spent + c;
+            d := Topology.distances_incremental inputs !d (i, j);
+            step ()
+          end
+          else begin
+            ignore neg_stale;
+            Cisp_graph.Heap.push heap (-.s) ((i, j), b);
+            step ()
+          end
+        end
+      end
+  in
+  step ();
+  (!topo, List.rev !order)
+
+let design ?rule inputs ~budget = fst (design_ordered ?rule inputs ~budget)
+
+let candidate_set ?rule inputs ~budget ~inflation =
+  let inflated = int_of_float (Float.ceil (float_of_int budget *. inflation)) in
+  snd (design_ordered ?rule inputs ~budget:inflated)

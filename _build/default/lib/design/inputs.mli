@@ -1,0 +1,47 @@
+(** Inputs to the topology-design problem (paper §3.2).
+
+    For [n] sites: geodesic distances d_ij, microwave link lengths
+    m_ij and costs c_ij from step 1, fiber latency-equivalent
+    distances o_ij (route length already multiplied by the 1.5 glass
+    factor), and a normalized traffic matrix h_ij. *)
+
+type t = {
+  sites : Cisp_data.City.t array;
+  geodesic_km : float array array;   (** d_ij *)
+  mw_km : float array array;         (** m_ij; [infinity] if no MW link *)
+  mw_cost : int array array;         (** c_ij in towers; 0 where infeasible *)
+  mw_links : Cisp_towers.Hops.link option array array;
+      (** detailed tower paths when built from real hop data *)
+  fiber_km : float array array;      (** o_ij, latency-equivalent *)
+  traffic : Cisp_traffic.Matrix.t;   (** h_ij, normalized *)
+}
+
+val n_sites : t -> int
+
+val of_hops :
+  hops:Cisp_towers.Hops.t ->
+  fiber:Cisp_fiber.Conduit.t ->
+  traffic:Cisp_traffic.Matrix.t ->
+  t
+(** Assemble from the step-1 artifacts. *)
+
+val synthetic :
+  sites:Cisp_data.City.t array ->
+  mw_stretch:float ->
+  mw_cost_per_km:float ->
+  fiber_stretch:float ->
+  traffic:Cisp_traffic.Matrix.t ->
+  t
+(** Idealized instance for tests and solver benchmarking: every pair
+    has an MW option at [mw_stretch] x geodesic costing
+    [mw_cost_per_km * geodesic] towers, and fiber at [fiber_stretch] x
+    geodesic. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: square matrices, symmetry, nonnegativity,
+    m <= o sanity is NOT required (MW may be worse than fiber). *)
+
+val restrict : t -> indices:int array -> t
+(** Sub-instance over the given site indices (traffic renormalized).
+    Used by the Fig 2 scaling study, which runs the solvers on
+    subsets of the full city set. *)

@@ -1,0 +1,23 @@
+module Model = Cisp_lp.Model
+module Milp = Cisp_lp.Milp
+module Simplex = Cisp_lp.Simplex
+
+let design (inputs : Inputs.t) ~budget ~candidates =
+  let f = Ilp.formulate inputs ~budget ~candidates in
+  match Milp.solve_relaxation f.Ilp.model with
+  | Simplex.Infeasible | Simplex.Unbounded -> None
+  | Simplex.Optimal sol ->
+    let scored =
+      Array.to_list
+        (Array.mapi (fun l v -> (Model.value sol.Simplex.x v, f.Ilp.cands.(l))) f.Ilp.x)
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> Float.compare b a) scored in
+    let topo = ref (Topology.empty inputs) in
+    List.iter
+      (fun (value, (i, j)) ->
+        if value > 1e-6 then begin
+          let c = Topology.link_cost inputs i j in
+          if !topo.Topology.cost + c <= budget then topo := Topology.add !topo (i, j)
+        end)
+      sorted;
+    Some !topo

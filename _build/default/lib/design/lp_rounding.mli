@@ -1,0 +1,11 @@
+(** The naive LP-relaxation + rounding baseline the paper dismisses
+    ("even the naive LP relaxation followed by rounding did not scale
+    beyond 60 cities, and gave results worse than optimal").
+
+    Solves the continuous relaxation of {!Ilp.formulate}, sorts build
+    variables by fractional value, and greedily rounds up within the
+    budget. *)
+
+val design :
+  Inputs.t -> budget:int -> candidates:(int * int) list -> Topology.t option
+(** [None] if the relaxation is infeasible. *)

@@ -1,0 +1,71 @@
+(** End-to-end scenario driver.
+
+    Assembles the full cISP pipeline of the paper: synthetic terrain,
+    tower registry, culling, hop feasibility (step 1), fiber network,
+    traffic model, topology design (step 2), and capacity planning
+    (step 3).  Heavy artifacts (the hop graph takes ~20 s at the
+    112-center US scale) are memoized per configuration so benchmarks
+    can share them. *)
+
+type region =
+  | Us
+  | Europe
+  | Custom of string * Cisp_data.City.t list
+      (** arbitrary sites over the US terrain model; the string names
+          the scenario for caching (e.g. "interdc") *)
+
+type config = {
+  region : region;
+  n_sites : int option;        (** take only the top-k population centers *)
+  max_range_km : float;        (** MW hop range (Fig 10 sweeps 60-100) *)
+  height_fraction : float;     (** usable tower height (Fig 10) *)
+  dem_seed : int;
+  tower_seed : int;
+}
+
+val default_config : config
+(** US, all centers, 100 km range, full tower height. *)
+
+val europe_config : config
+
+type artifacts = {
+  config : config;
+  dem : Cisp_terrain.Dem.t;
+  cache : Cisp_terrain.Dem_cache.t;
+  sites : Cisp_data.City.t array;
+  towers : Cisp_towers.Tower.t list;    (** culled registry *)
+  hops : Cisp_towers.Hops.t;
+  fiber : Cisp_fiber.Conduit.t;
+}
+
+val artifacts : ?config:config -> unit -> artifacts
+(** Build (or fetch memoized) artifacts for a configuration. *)
+
+val clear_cache : unit -> unit
+
+val inputs : artifacts -> traffic:Cisp_traffic.Matrix.t -> Inputs.t
+
+val population_inputs : artifacts -> Inputs.t
+(** Inputs with the population-product traffic model. *)
+
+type method_ = Heuristic | Exact | Rounded
+
+val design :
+  ?method_:method_ -> ?limits:Cisp_lp.Milp.limits -> Inputs.t -> budget:int -> Topology.t
+(** [Heuristic] (default): the paper's pipeline at scale — greedy with
+    2x-inflated budget for candidates, then greedy at budget + swap
+    local search.  [Exact]: greedy candidates handed to the ILP (only
+    viable at small n).  [Rounded]: the LP-rounding baseline. *)
+
+type report = {
+  topology : Topology.t;
+  stretch : float;
+  plan : plan_or_nothing;
+  cost_per_gb : float;
+}
+and plan_or_nothing = Capacity.plan option
+
+val full_run :
+  ?config:config -> ?cost:Cost.t -> budget:int -> aggregate_gbps:float -> unit -> report
+(** The whole pipeline with the population traffic model: design at
+    [budget] towers, provision [aggregate_gbps], cost it. *)

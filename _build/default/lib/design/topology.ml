@@ -1,0 +1,112 @@
+type t = { inputs : Inputs.t; built : (int * int) list; cost : int }
+
+let norm (i, j) = if i < j then (i, j) else (j, i)
+
+let link_cost (inputs : Inputs.t) i j = inputs.mw_cost.(i).(j)
+
+let of_links inputs pairs =
+  let pairs = List.sort_uniq compare (List.map norm pairs) in
+  List.iter
+    (fun (i, j) ->
+      if inputs.Inputs.mw_km.(i).(j) = infinity then
+        invalid_arg (Printf.sprintf "Topology.of_links: no MW link %d-%d" i j))
+    pairs;
+  let cost = List.fold_left (fun acc (i, j) -> acc + link_cost inputs i j) 0 pairs in
+  { inputs; built = pairs; cost }
+
+let empty inputs = { inputs; built = []; cost = 0 }
+
+let is_built t i j = List.mem (norm (i, j)) t.built
+
+let add t pair =
+  let pair = norm pair in
+  if List.mem pair t.built then t
+  else begin
+    let i, j = pair in
+    { t with built = pair :: t.built; cost = t.cost + link_cost t.inputs i j }
+  end
+
+let remove t pair =
+  let pair = norm pair in
+  if not (List.mem pair t.built) then t
+  else begin
+    let i, j = pair in
+    { t with built = List.filter (( <> ) pair) t.built; cost = t.cost - link_cost t.inputs i j }
+  end
+
+(* Metric closure of the complete fiber mesh.  Fiber route matrices
+   are already shortest paths over the conduit graph, hence metric;
+   one Floyd-Warshall pass guards against non-metric synthetic
+   inputs. *)
+let fiber_baseline (inputs : Inputs.t) =
+  let n = Inputs.n_sites inputs in
+  let d = Array.map Array.copy inputs.fiber_km in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = d.(i).(k) in
+      if dik < infinity then begin
+        for j = 0 to n - 1 do
+          let alt = dik +. d.(k).(j) in
+          if alt < d.(i).(j) then d.(i).(j) <- alt
+        done
+      end
+    done
+  done;
+  d
+
+(* Exact closure after adding one extra edge (i,j,w) to a closed
+   metric: any path uses the new edge at most once (positive weights),
+   so new_d(s,t) = min(d(s,t), d(s,i)+w+d(j,t), d(s,j)+w+d(i,t)). *)
+let distances_incremental (inputs : Inputs.t) d (i, j) =
+  let n = Inputs.n_sites inputs in
+  let w = inputs.mw_km.(i).(j) in
+  assert (w < infinity);
+  let out = Array.map Array.copy d in
+  for s = 0 to n - 1 do
+    let dsi = d.(s).(i) and dsj = d.(s).(j) in
+    let row = out.(s) in
+    for t = 0 to n - 1 do
+      let via_ij = dsi +. w +. d.(j).(t) in
+      let via_ji = dsj +. w +. d.(i).(t) in
+      let alt = Float.min via_ij via_ji in
+      if alt < row.(t) then row.(t) <- alt
+    done
+  done;
+  out
+
+let distances t =
+  List.fold_left
+    (fun d pair -> distances_incremental t.inputs d pair)
+    (fiber_baseline t.inputs) t.built
+
+let mean_stretch (inputs : Inputs.t) d =
+  let n = Inputs.n_sites inputs in
+  let num = ref 0.0 and den = ref 0.0 in
+  for s = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      if s <> t then begin
+        let h = inputs.traffic.(s).(t) in
+        if h > 0.0 then begin
+          let g = inputs.geodesic_km.(s).(t) in
+          let stretch = if g > 0.0 then d.(s).(t) /. g else 1.0 in
+          num := !num +. (h *. stretch);
+          den := !den +. h
+        end
+      end
+    done
+  done;
+  if !den = 0.0 then 1.0 else !num /. !den
+
+let stretch_of t = mean_stretch t.inputs (distances t)
+
+let pair_stretch (inputs : Inputs.t) d s t =
+  let g = inputs.geodesic_km.(s).(t) in
+  if g > 0.0 then d.(s).(t) /. g else 1.0
+
+let used_hop_count t =
+  List.fold_left
+    (fun acc (i, j) ->
+      match t.inputs.Inputs.mw_links.(i).(j) with
+      | Some l -> acc + (List.length l.Cisp_towers.Hops.node_path - 1)
+      | None -> acc)
+    0 t.built

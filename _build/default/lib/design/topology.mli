@@ -1,0 +1,47 @@
+(** A designed topology: the set of built MW links plus evaluation.
+
+    Evaluation uses the hybrid routing model of the paper: between any
+    pair, traffic takes the shortest path over built MW links and the
+    (always available) fiber mesh.  Distances here are
+    latency-equivalent km (time = km / c). *)
+
+type t = {
+  inputs : Inputs.t;
+  built : (int * int) list;      (** site index pairs, i < j *)
+  cost : int;                    (** total towers used *)
+}
+
+val empty : Inputs.t -> t
+val of_links : Inputs.t -> (int * int) list -> t
+(** Normalizes pairs to i < j, dedups, sums cost.  Raises
+    [Invalid_argument] if a pair has no feasible MW link. *)
+
+val is_built : t -> int -> int -> bool
+val link_cost : Inputs.t -> int -> int -> int
+
+val add : t -> int * int -> t
+val remove : t -> int * int -> t
+
+val distances : t -> float array array
+(** All-pairs latency-equivalent distances over fiber + built links. *)
+
+val distances_incremental : Inputs.t -> float array array -> int * int -> float array array
+(** [distances_incremental inputs d (i, j)] is the exact metric after
+    additionally building link (i,j), computed in O(n^2) from the
+    current metric [d] (fresh matrix; [d] unchanged). *)
+
+val fiber_baseline : Inputs.t -> float array array
+(** Metric closure of the fiber mesh alone (the empty topology). *)
+
+val mean_stretch : Inputs.t -> float array array -> float
+(** Traffic-weighted mean stretch of a distance matrix: the paper's
+    objective sum h_st * D_st / d_st (with h normalized).  Pairs with
+    zero geodesic distance contribute stretch 1. *)
+
+val stretch_of : t -> float
+(** [mean_stretch] of [distances t]. *)
+
+val pair_stretch : Inputs.t -> float array array -> int -> int -> float
+
+val used_hop_count : t -> int
+(** Total tower-tower hops across built links (where hop data exists). *)

@@ -1,0 +1,1 @@
+lib/fiber/conduit.ml: Array Cisp_data Cisp_geo Cisp_graph Cisp_util Float List

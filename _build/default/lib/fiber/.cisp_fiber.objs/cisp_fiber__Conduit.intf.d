@@ -1,0 +1,1 @@
+lib/fiber/conduit.mli: Cisp_data

@@ -1,0 +1,113 @@
+module Rng = Cisp_util.Rng
+module Geodesy = Cisp_geo.Geodesy
+module Graph = Cisp_graph.Graph
+module Dijkstra = Cisp_graph.Dijkstra
+module City = Cisp_data.City
+
+type mode =
+  | Synthetic of { seed : int; circuitousness_lo : float; circuitousness_hi : float }
+  | Assumed of float
+
+let default_mode = Synthetic { seed = 13; circuitousness_lo = 1.08; circuitousness_hi = 1.35 }
+
+type t = {
+  n : int;
+  geodesic : float array array;
+  route : float array array;    (* shortest fiber route, km *)
+  edge_list : (int * int * float) list;
+}
+
+let geodesic_matrix sites =
+  let n = Array.length sites in
+  let d = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let g = Geodesy.distance_km sites.(i).City.coord sites.(j).City.coord in
+      d.(i).(j) <- g;
+      d.(j).(i) <- g
+    done
+  done;
+  d
+
+(* Gabriel graph: edge (i,j) iff no third site lies inside the circle
+   with diameter ij.  On geographic points we use the distance-based
+   characterization d_ik^2 + d_jk^2 >= d_ij^2 for all k. *)
+let gabriel_edges geodesic n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dij2 = geodesic.(i).(j) *. geodesic.(i).(j) in
+      let blocked = ref false in
+      for k = 0 to n - 1 do
+        if k <> i && k <> j then begin
+          let dik = geodesic.(i).(k) and djk = geodesic.(j).(k) in
+          if (dik *. dik) +. (djk *. djk) < dij2 then blocked := true
+        end
+      done;
+      if not !blocked then edges := (i, j) :: !edges
+    done
+  done;
+  !edges
+
+(* A few extra nearest-neighbour edges guard against degenerate
+   configurations and give the network realistic redundancy. *)
+let knn_edges geodesic n ~k =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let order = Array.init n (fun j -> j) in
+    Array.sort (fun a b -> Float.compare geodesic.(i).(a) geodesic.(i).(b)) order;
+    let count = min k (n - 1) in
+    for r = 1 to count do
+      let j = order.(r) in
+      edges := (min i j, max i j) :: !edges
+    done
+  done;
+  List.sort_uniq compare !edges
+
+let build ?(mode = default_mode) ~sites () =
+  let sites = Array.of_list sites in
+  let n = Array.length sites in
+  let geodesic = geodesic_matrix sites in
+  match mode with
+  | Assumed factor ->
+    (* Route such that route * 1.5 = factor * geodesic. *)
+    let route_factor = factor /. Cisp_util.Units.fiber_latency_factor in
+    let route = Array.map (Array.map (fun g -> g *. route_factor)) geodesic in
+    { n; geodesic; route; edge_list = [] }
+  | Synthetic { seed; circuitousness_lo; circuitousness_hi } ->
+    let rng = Rng.create seed in
+    let pairs =
+      List.sort_uniq compare (gabriel_edges geodesic n @ knn_edges geodesic n ~k:3)
+    in
+    let edge_list =
+      List.map
+        (fun (i, j) ->
+          let c = Rng.uniform rng circuitousness_lo circuitousness_hi in
+          (i, j, geodesic.(i).(j) *. c))
+        pairs
+    in
+    let g = Graph.create n in
+    List.iter (fun (i, j, w) -> Graph.add_undirected g i j w) edge_list;
+    let route = Dijkstra.all_pairs g in
+    { n; geodesic; route; edge_list }
+
+let route_km t i j = t.route.(i).(j)
+
+let latency_km t i j = t.route.(i).(j) *. Cisp_util.Units.fiber_latency_factor
+
+let latency_matrix t =
+  Array.map (Array.map (fun r -> r *. Cisp_util.Units.fiber_latency_factor)) t.route
+
+let mean_latency_inflation t =
+  let acc = ref 0.0 and count = ref 0 in
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      if t.geodesic.(i).(j) > 0.0 && t.route.(i).(j) < infinity then begin
+        acc := !acc +. (latency_km t i j /. t.geodesic.(i).(j));
+        incr count
+      end
+    done
+  done;
+  if !count = 0 then 0.0 else !acc /. float_of_int !count
+
+let edges t = t.edge_list

@@ -1,0 +1,1 @@
+lib/geo/geodesy.ml: Array Cisp_util Coord Float

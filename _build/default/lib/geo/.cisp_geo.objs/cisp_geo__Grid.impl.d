@@ -1,0 +1,1 @@
+lib/geo/grid.ml: Cisp_util Coord Float Geodesy Hashtbl List

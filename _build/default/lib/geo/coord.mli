@@ -1,0 +1,26 @@
+(** Geographic coordinates (WGS-84 style lat/lon, degrees). *)
+
+type t = { lat : float; lon : float }
+
+val make : lat:float -> lon:float -> t
+(** [make ~lat ~lon] validates lat in \[-90, 90\] and normalizes lon to
+    (-180, 180\].  Raises [Invalid_argument] on out-of-range latitude. *)
+
+val lat : t -> float
+val lon : t -> float
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+type bbox = { min_lat : float; max_lat : float; min_lon : float; max_lon : float }
+
+val bbox_of_points : t list -> bbox
+(** Smallest bounding box containing all points (no antimeridian
+    handling; fine for the contiguous US / Europe).  Raises
+    [Invalid_argument] on the empty list. *)
+
+val in_bbox : bbox -> t -> bool
+
+val expand_bbox : bbox -> margin_deg:float -> bbox

@@ -1,0 +1,79 @@
+let r = Cisp_util.Units.earth_radius_km
+let rad = Cisp_util.Units.deg_to_rad
+let deg = Cisp_util.Units.rad_to_deg
+
+let distance_km (a : Coord.t) (b : Coord.t) =
+  let phi1 = rad (Coord.lat a) and phi2 = rad (Coord.lat b) in
+  let dphi = rad (Coord.lat b -. Coord.lat a) in
+  let dlam = rad (Coord.lon b -. Coord.lon a) in
+  let s1 = sin (dphi /. 2.0) and s2 = sin (dlam /. 2.0) in
+  let h = (s1 *. s1) +. (cos phi1 *. cos phi2 *. s2 *. s2) in
+  2.0 *. r *. asin (Float.min 1.0 (sqrt h))
+
+let c_latency_ms a b = Cisp_util.Units.ms_of_km_at_c (distance_km a b)
+
+let initial_bearing_deg (a : Coord.t) (b : Coord.t) =
+  let phi1 = rad (Coord.lat a) and phi2 = rad (Coord.lat b) in
+  let dlam = rad (Coord.lon b -. Coord.lon a) in
+  let y = sin dlam *. cos phi2 in
+  let x = (cos phi1 *. sin phi2) -. (sin phi1 *. cos phi2 *. cos dlam) in
+  let theta = deg (atan2 y x) in
+  Float.rem (theta +. 360.0) 360.0
+
+let destination (a : Coord.t) ~bearing_deg ~distance_km =
+  let phi1 = rad (Coord.lat a) in
+  let lam1 = rad (Coord.lon a) in
+  let theta = rad bearing_deg in
+  let delta = distance_km /. r in
+  let phi2 =
+    asin ((sin phi1 *. cos delta) +. (cos phi1 *. sin delta *. cos theta))
+  in
+  let lam2 =
+    lam1
+    +. atan2
+         (sin theta *. sin delta *. cos phi1)
+         (cos delta -. (sin phi1 *. sin phi2))
+  in
+  Coord.make ~lat:(deg phi2) ~lon:(deg lam2)
+
+(* Spherical linear interpolation along the great circle. *)
+let interpolate (a : Coord.t) (b : Coord.t) t =
+  if t <= 0.0 then a
+  else if t >= 1.0 then b
+  else begin
+    let d = distance_km a b /. r in
+    if d < 1e-12 then a
+    else begin
+      let phi1 = rad (Coord.lat a) and lam1 = rad (Coord.lon a) in
+      let phi2 = rad (Coord.lat b) and lam2 = rad (Coord.lon b) in
+      let sa = sin ((1.0 -. t) *. d) /. sin d in
+      let sb = sin (t *. d) /. sin d in
+      let x = (sa *. cos phi1 *. cos lam1) +. (sb *. cos phi2 *. cos lam2) in
+      let y = (sa *. cos phi1 *. sin lam1) +. (sb *. cos phi2 *. sin lam2) in
+      let z = (sa *. sin phi1) +. (sb *. sin phi2) in
+      let phi = atan2 z (sqrt ((x *. x) +. (y *. y))) in
+      let lam = atan2 y x in
+      Coord.make ~lat:(deg phi) ~lon:(deg lam)
+    end
+  end
+
+let sample_path a b ~step_km =
+  assert (step_km > 0.0);
+  let d = distance_km a b in
+  let n = max 1 (int_of_float (Float.ceil (d /. step_km))) in
+  Array.init (n + 1) (fun i -> interpolate a b (float_of_int i /. float_of_int n))
+
+let midpoint a b = interpolate a b 0.5
+
+let path_length_km pts =
+  let total = ref 0.0 in
+  for i = 0 to Array.length pts - 2 do
+    total := !total +. distance_km pts.(i) pts.(i + 1)
+  done;
+  !total
+
+let cross_track_km p ~path_start ~path_end =
+  let d13 = distance_km path_start p /. r in
+  let theta13 = rad (initial_bearing_deg path_start p) in
+  let theta12 = rad (initial_bearing_deg path_start path_end) in
+  Float.abs (asin (sin d13 *. sin (theta13 -. theta12)) *. r)

@@ -1,0 +1,34 @@
+(** Great-circle geodesy on a spherical Earth.
+
+    The paper's "c-latency" between two points is their geodesic
+    distance divided by the speed of light in vacuum; every distance in
+    the system comes from this module. *)
+
+val distance_km : Coord.t -> Coord.t -> float
+(** Haversine great-circle distance in kilometres. *)
+
+val c_latency_ms : Coord.t -> Coord.t -> float
+(** One-way speed-of-light travel time along the geodesic, ms. *)
+
+val initial_bearing_deg : Coord.t -> Coord.t -> float
+(** Forward azimuth at the start point, degrees in \[0, 360). *)
+
+val destination : Coord.t -> bearing_deg:float -> distance_km:float -> Coord.t
+(** Point reached travelling [distance_km] along [bearing_deg]. *)
+
+val interpolate : Coord.t -> Coord.t -> float -> Coord.t
+(** [interpolate a b t] is the point a fraction [t] in \[0,1\] along
+    the great circle from [a] to [b] (slerp). *)
+
+val sample_path : Coord.t -> Coord.t -> step_km:float -> Coord.t array
+(** Points along the great circle every [step_km] (inclusive of both
+    endpoints, at least 2 points). *)
+
+val midpoint : Coord.t -> Coord.t -> Coord.t
+
+val path_length_km : Coord.t array -> float
+(** Sum of consecutive great-circle distances along a polyline. *)
+
+val cross_track_km : Coord.t -> path_start:Coord.t -> path_end:Coord.t -> float
+(** Unsigned cross-track distance from a point to the great circle
+    through [path_start]-[path_end]. *)

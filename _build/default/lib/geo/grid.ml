@@ -1,0 +1,65 @@
+type 'a t = {
+  cell_deg : float;
+  cells : (int * int, (Coord.t * 'a) list ref) Hashtbl.t;
+  mutable count : int;
+}
+
+let create ~cell_deg =
+  assert (cell_deg > 0.0);
+  { cell_deg; cells = Hashtbl.create 4096; count = 0 }
+
+let cell_of t p =
+  ( int_of_float (Float.floor (Coord.lat p /. t.cell_deg)),
+    int_of_float (Float.floor (Coord.lon p /. t.cell_deg)) )
+
+let add t p v =
+  let key = cell_of t p in
+  (match Hashtbl.find_opt t.cells key with
+  | Some bucket -> bucket := (p, v) :: !bucket
+  | None -> Hashtbl.add t.cells key (ref [ (p, v) ]));
+  t.count <- t.count + 1
+
+let of_list ~cell_deg pairs =
+  let t = create ~cell_deg in
+  List.iter (fun (p, v) -> add t p v) pairs;
+  t
+
+let length t = t.count
+
+(* Degrees of longitude spanned by [radius_km] at latitude [lat]. *)
+let lon_span_deg ~radius_km ~lat =
+  let km_per_deg = 111.19 *. Float.max 0.05 (cos (Cisp_util.Units.deg_to_rad lat)) in
+  radius_km /. km_per_deg
+
+let iter_nearby t p ~radius_km f =
+  let lat_span = radius_km /. 111.19 in
+  let lon_span = lon_span_deg ~radius_km ~lat:(Coord.lat p) in
+  let ci_lo = int_of_float (Float.floor ((Coord.lat p -. lat_span) /. t.cell_deg)) in
+  let ci_hi = int_of_float (Float.floor ((Coord.lat p +. lat_span) /. t.cell_deg)) in
+  let cj_lo = int_of_float (Float.floor ((Coord.lon p -. lon_span) /. t.cell_deg)) in
+  let cj_hi = int_of_float (Float.floor ((Coord.lon p +. lon_span) /. t.cell_deg)) in
+  for ci = ci_lo to ci_hi do
+    for cj = cj_lo to cj_hi do
+      match Hashtbl.find_opt t.cells (ci, cj) with
+      | None -> ()
+      | Some bucket ->
+        List.iter
+          (fun (q, v) -> if Geodesy.distance_km p q <= radius_km then f q v)
+          !bucket
+    done
+  done
+
+let nearby t p ~radius_km =
+  let acc = ref [] in
+  iter_nearby t p ~radius_km (fun q v -> acc := (q, v) :: !acc);
+  !acc
+
+let fold t ~init ~f =
+  Hashtbl.fold
+    (fun _ bucket acc -> List.fold_left (fun acc (p, v) -> f acc p v) acc !bucket)
+    t.cells init
+
+let cell_population t =
+  let pop = Hashtbl.create (Hashtbl.length t.cells) in
+  Hashtbl.iter (fun key bucket -> Hashtbl.replace pop key (List.length !bucket)) t.cells;
+  pop

@@ -1,0 +1,33 @@
+(** Spatial hash index over geographic points.
+
+    Buckets points into fixed-size degree cells so that
+    "all points within [radius] km of here" queries — the inner loop of
+    tower-pair feasibility testing — run in time proportional to the
+    local density instead of the registry size. *)
+
+type 'a t
+
+val create : cell_deg:float -> 'a t
+(** [create ~cell_deg] makes an empty index with square cells of
+    [cell_deg] degrees on a side. *)
+
+val add : 'a t -> Coord.t -> 'a -> unit
+
+val of_list : cell_deg:float -> (Coord.t * 'a) list -> 'a t
+
+val length : 'a t -> int
+
+val nearby : 'a t -> Coord.t -> radius_km:float -> (Coord.t * 'a) list
+(** All stored points within [radius_km] great-circle distance of the
+    query point. *)
+
+val iter_nearby : 'a t -> Coord.t -> radius_km:float -> (Coord.t -> 'a -> unit) -> unit
+(** Allocation-light variant of [nearby]. *)
+
+val fold : 'a t -> init:'b -> f:('b -> Coord.t -> 'a -> 'b) -> 'b
+
+val cell_population : 'a t -> (int * int, int) Hashtbl.t
+(** Count of points per cell, keyed by integer cell coordinates — used
+    by the paper's per-grid-cell tower culling (§4). *)
+
+val cell_of : 'a t -> Coord.t -> int * int

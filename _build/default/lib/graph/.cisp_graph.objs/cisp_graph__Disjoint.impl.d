@@ -1,0 +1,1 @@
+lib/graph/disjoint.ml: Array Dijkstra Graph List

@@ -1,0 +1,1 @@
+lib/graph/kshortest.ml: Dijkstra Float Graph Hashtbl Int List

@@ -1,0 +1,53 @@
+type result = { dist : float array; prev : int array }
+
+let run_internal g ~src ~stop_at =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if settled.(u) then loop ()
+      else begin
+        settled.(u) <- true;
+        if Some u <> stop_at then begin
+          Graph.iter_succ g u (fun e ->
+              let nd = d +. e.Graph.weight in
+              if nd < dist.(e.Graph.dst) then begin
+                dist.(e.Graph.dst) <- nd;
+                prev.(e.Graph.dst) <- u;
+                Heap.push heap nd e.Graph.dst
+              end);
+          loop ()
+        end
+      end
+  in
+  loop ();
+  { dist; prev }
+
+let run g ~src = run_internal g ~src ~stop_at:None
+let run_to g ~src ~dst = run_internal g ~src ~stop_at:(Some dst)
+
+let path r ~dst =
+  if r.dist.(dst) = infinity then []
+  else begin
+    let rec build acc v = if v = -1 then acc else build (v :: acc) r.prev.(v) in
+    build [] dst
+  end
+
+let distance g ~src ~dst =
+  let r = run_to g ~src ~dst in
+  if r.dist.(dst) = infinity then None else Some r.dist.(dst)
+
+let shortest_path g ~src ~dst =
+  let r = run_to g ~src ~dst in
+  if r.dist.(dst) = infinity then None else Some (r.dist.(dst), path r ~dst)
+
+let all_pairs g =
+  let n = Graph.node_count g in
+  Array.init n (fun src -> (run g ~src).dist)

@@ -1,0 +1,24 @@
+(** Shortest paths. *)
+
+type result = {
+  dist : float array;    (** infinity where unreachable *)
+  prev : int array;      (** -1 at sources / unreachable *)
+}
+
+val run : Graph.t -> src:int -> result
+(** Single-source Dijkstra. *)
+
+val run_to : Graph.t -> src:int -> dst:int -> result
+(** Early-exit variant: distances beyond [dst] may be missing. *)
+
+val path : result -> dst:int -> int list
+(** Node sequence from the source to [dst]; [] if unreachable. *)
+
+val distance : Graph.t -> src:int -> dst:int -> float option
+
+val shortest_path : Graph.t -> src:int -> dst:int -> (float * int list) option
+(** Distance and node list, or [None] if unreachable. *)
+
+val all_pairs : Graph.t -> float array array
+(** Dijkstra from every node; suited to sparse graphs.  Result is
+    [dist.(u).(v)]. *)

@@ -1,0 +1,32 @@
+let successive g ~src ~dst ~rounds ~protected =
+  let n = Graph.node_count g in
+  let alive = Array.make n true in
+  (* Work on a mutable copy so the caller's graph survives. *)
+  let work = ref (Graph.copy g) in
+  let kill_interior path =
+    List.iter
+      (fun v -> if v <> src && v <> dst && not (protected v) then alive.(v) <- false)
+      path;
+    let g' = Graph.copy g in
+    Graph.remove_edges g' (fun u e -> alive.(u) && alive.(e.Graph.dst));
+    work := g'
+  in
+  let removable path =
+    List.exists (fun v -> v <> src && v <> dst && not (protected v)) path
+  in
+  let rec loop k acc =
+    if k = 0 then List.rev acc
+    else begin
+      match Dijkstra.shortest_path !work ~src ~dst with
+      | None -> List.rev acc
+      | Some (d, path) ->
+        if removable path || List.exists protected path then begin
+          kill_interior path;
+          loop (k - 1) ((d, path) :: acc)
+        end
+        else
+          (* Nothing left to remove: report the surviving path once. *)
+          List.rev ((d, path) :: acc)
+    end
+  in
+  loop rounds []

@@ -1,0 +1,17 @@
+(** Successive node-disjoint shortest paths (paper Fig 4b).
+
+    The paper evaluates bandwidth headroom on a long link by repeatedly
+    finding the shortest tower path, deleting the interior towers it
+    uses, and repeating.  This module implements exactly that greedy
+    process on an arbitrary graph. *)
+
+val successive :
+  Graph.t -> src:int -> dst:int -> rounds:int ->
+  protected:(int -> bool) ->
+  (float * int list) list
+(** [successive g ~src ~dst ~rounds ~protected] returns up to [rounds]
+    (length, node path) results.  After each round every interior node
+    of the found path with [protected v = false] is removed (all its
+    edges dropped).  Stops early when [dst] becomes unreachable.
+    [src] and [dst] are always kept.  The input graph is not
+    modified. *)

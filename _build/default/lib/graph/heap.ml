@@ -1,0 +1,81 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  { keys = Array.make capacity 0.0; vals = Array.make capacity None; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h =
+  let cap = Array.length h.keys in
+  let keys = Array.make (cap * 2) 0.0 in
+  let vals = Array.make (cap * 2) None in
+  Array.blit h.keys 0 keys 0 cap;
+  Array.blit h.vals 0 vals 0 cap;
+  h.keys <- keys;
+  h.vals <- vals
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h key v =
+  if h.size = Array.length h.keys then grow h;
+  h.keys.(h.size) <- key;
+  h.vals.(h.size) <- Some v;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) in
+    let v = h.vals.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    h.vals.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    match v with
+    | Some x -> Some (key, x)
+    | None -> assert false
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else begin
+    match h.vals.(0) with
+    | Some x -> Some (h.keys.(0), x)
+    | None -> assert false
+  end
+
+let clear h =
+  Array.fill h.vals 0 h.size None;
+  h.size <- 0

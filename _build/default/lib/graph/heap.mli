@@ -1,0 +1,20 @@
+(** Binary min-heap keyed by float priority.
+
+    The workhorse behind Dijkstra and the discrete-event simulator's
+    event queue. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority v]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

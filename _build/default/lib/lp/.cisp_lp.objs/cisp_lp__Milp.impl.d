@@ -1,0 +1,1 @@
+lib/lp/milp.ml: Array Cisp_graph Float List Model Simplex Sys

@@ -1,0 +1,164 @@
+type limits = { max_nodes : int; max_seconds : float; gap_tolerance : float }
+
+let default_limits = { max_nodes = 200_000; max_seconds = 120.0; gap_tolerance = 1e-6 }
+
+type outcome = {
+  status : [ `Optimal | `Feasible_gap of float | `Infeasible | `Unbounded | `No_solution ];
+  x : float array option;
+  objective : float option;
+  nodes_explored : int;
+  lp_solves : int;
+}
+
+let int_tol = 1e-6
+
+let fractional_var ivars x =
+  (* Most fractional integer variable, or None if all integral. *)
+  let best = ref None in
+  let best_frac = ref int_tol in
+  List.iter
+    (fun v ->
+      let xv = x.(v) in
+      let frac = Float.abs (xv -. Float.round xv) in
+      if frac > !best_frac then begin
+        best := Some v;
+        best_frac := frac
+      end)
+    ivars;
+  !best
+
+let solve_relaxation model = Simplex.solve (Model.to_lp model ~extra:[])
+
+let solve ?(limits = default_limits) model =
+  let ivars = List.map Model.var_index (Model.integer_vars model) in
+  let start = Sys.time () in
+  let nodes_explored = ref 0 in
+  let lp_solves = ref 0 in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  (* Frontier: min-heap on LP bound (best-bound search). Each node is
+     the list of branching rows accumulated so far. *)
+  let frontier = Cisp_graph.Heap.create () in
+  let solve_node extra =
+    incr lp_solves;
+    Simplex.solve (Model.to_lp model ~extra)
+  in
+  let push_children extra x v =
+    let xv = x.(v) in
+    let lo = Float.floor xv and hi = Float.ceil xv in
+    let left = { Simplex.coeffs = [ (v, 1.0) ]; op = Simplex.Le; rhs = lo } :: extra in
+    let right = { Simplex.coeffs = [ (v, 1.0) ]; op = Simplex.Ge; rhs = hi } :: extra in
+    List.iter
+      (fun branch ->
+        match solve_node branch with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+          (* A bounded-below parent cannot have an unbounded child in a
+             minimization with added constraints; treat as numerical
+             trouble and drop. *)
+          ()
+        | Simplex.Optimal sol ->
+          if sol.objective < !incumbent_obj -. 1e-12 then
+            Cisp_graph.Heap.push frontier sol.objective (branch, sol))
+      [ left; right ]
+  in
+  let time_left () = Sys.time () -. start < limits.max_seconds in
+  match solve_node [] with
+  | Simplex.Infeasible ->
+    { status = `Infeasible; x = None; objective = None; nodes_explored = 0; lp_solves = !lp_solves }
+  | Simplex.Unbounded ->
+    { status = `Unbounded; x = None; objective = None; nodes_explored = 0; lp_solves = !lp_solves }
+  | Simplex.Optimal root ->
+    (* Rounding dive: fix fractional integers one at a time towards
+       their LP values to plant an early incumbent, so budget-limited
+       runs report a feasible solution and best-bound search prunes. *)
+    let rec dive2 extra sol depth =
+      if depth <= 200 then begin
+        match fractional_var ivars sol.Simplex.x with
+        | None ->
+          if sol.Simplex.objective < !incumbent_obj then begin
+            incumbent := Some sol.Simplex.x;
+            incumbent_obj := sol.Simplex.objective
+          end
+        | Some v ->
+          let xv = sol.Simplex.x.(v) in
+          let try_fix value k =
+            let rows =
+              { Simplex.coeffs = [ (v, 1.0) ]; op = Simplex.Eq; rhs = value } :: extra
+            in
+            match solve_node rows with
+            | Simplex.Optimal s when s.Simplex.objective < !incumbent_obj -. 1e-12 ->
+              dive2 rows s (depth + 1)
+            | Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded -> k ()
+          in
+          let near = Float.round xv in
+          let far = if near = 0.0 then 1.0 else near -. 1.0 in
+          try_fix near (fun () -> try_fix far (fun () -> ()))
+      end
+    in
+    dive2 [] root 0;
+    Cisp_graph.Heap.push frontier root.objective ([], root);
+    let best_bound = ref root.objective in
+    let rec loop () =
+      if
+        Cisp_graph.Heap.is_empty frontier
+        || !nodes_explored >= limits.max_nodes
+        || not (time_left ())
+      then ()
+      else begin
+        match Cisp_graph.Heap.pop frontier with
+        | None -> ()
+        | Some (bound, (extra, sol)) ->
+          best_bound := bound;
+          if bound >= !incumbent_obj -. 1e-12 then
+            (* Everything left is dominated: best-bound order means we
+               can stop. *)
+            ()
+          else begin
+            incr nodes_explored;
+            (match fractional_var ivars sol.Simplex.x with
+            | None ->
+              if sol.objective < !incumbent_obj then begin
+                incumbent := Some sol.Simplex.x;
+                incumbent_obj := sol.objective
+              end
+            | Some v -> push_children extra sol.Simplex.x v);
+            (* Gap check. *)
+            let gap =
+              if !incumbent_obj = infinity then infinity
+              else
+                Float.abs (!incumbent_obj -. !best_bound)
+                /. Float.max 1e-9 (Float.abs !incumbent_obj)
+            in
+            if gap > limits.gap_tolerance then loop ()
+          end
+      end
+    in
+    loop ();
+    (match !incumbent with
+    | Some x ->
+      let exhausted = Cisp_graph.Heap.is_empty frontier in
+      let gap =
+        Float.abs (!incumbent_obj -. !best_bound)
+        /. Float.max 1e-9 (Float.abs !incumbent_obj)
+      in
+      let status =
+        if exhausted || gap <= limits.gap_tolerance || !best_bound >= !incumbent_obj -. 1e-12
+        then `Optimal
+        else `Feasible_gap gap
+      in
+      {
+        status;
+        x = Some x;
+        objective = Some !incumbent_obj;
+        nodes_explored = !nodes_explored;
+        lp_solves = !lp_solves;
+      }
+    | None ->
+      {
+        status = `No_solution;
+        x = None;
+        objective = None;
+        nodes_explored = !nodes_explored;
+        lp_solves = !lp_solves;
+      })

@@ -1,0 +1,28 @@
+(** Branch-and-bound mixed-integer solver (the Gurobi substitute).
+
+    Solves the model's LP relaxation with {!Simplex}, branches on the
+    most fractional integer variable, explores nodes best-bound first,
+    and prunes by incumbent.  Exact up to the numeric tolerance when it
+    terminates with [Optimal]; budget-limited runs report the best
+    incumbent and the residual gap. *)
+
+type limits = {
+  max_nodes : int;
+  max_seconds : float;
+  gap_tolerance : float;   (** relative gap at which to stop *)
+}
+
+val default_limits : limits
+
+type outcome = {
+  status : [ `Optimal | `Feasible_gap of float | `Infeasible | `Unbounded | `No_solution ];
+  x : float array option;       (** best integral solution found *)
+  objective : float option;
+  nodes_explored : int;
+  lp_solves : int;
+}
+
+val solve : ?limits:limits -> Model.t -> outcome
+
+val solve_relaxation : Model.t -> Simplex.status
+(** Just the root LP relaxation (used by the LP-rounding baseline). *)

@@ -1,0 +1,61 @@
+type var = int
+
+type var_info = { name : string; ub : float; integer : bool }
+
+type op = Le | Ge | Eq
+
+type t = {
+  mutable vars : var_info list;       (* reversed *)
+  mutable n : int;
+  mutable constraints : Simplex.row list; (* reversed *)
+  mutable objective : (int * float) list;
+}
+
+let create () = { vars = []; n = 0; constraints = []; objective = [] }
+
+let add_var t ?(lb = 0.0) ?(ub = infinity) ?(integer = false) name =
+  if lb <> 0.0 then invalid_arg "Model.add_var: only lb = 0 supported";
+  if ub < 0.0 then invalid_arg "Model.add_var: negative ub";
+  let v = t.n in
+  t.vars <- { name; ub; integer } :: t.vars;
+  t.n <- t.n + 1;
+  v
+
+let binary t name = add_var t ~ub:1.0 ~integer:true name
+
+let info t v = List.nth t.vars (t.n - 1 - v)
+let var_name t v = (info t v).name
+let var_index v = v
+let n_vars t = t.n
+
+let op_to_simplex = function Le -> Simplex.Le | Ge -> Simplex.Ge | Eq -> Simplex.Eq
+
+let add_constraint t terms op rhs =
+  let coeffs = List.map (fun (c, v) -> (v, c)) terms in
+  t.constraints <- { Simplex.coeffs; op = op_to_simplex op; rhs } :: t.constraints
+
+let set_objective t terms = t.objective <- List.map (fun (c, v) -> (v, c)) terms
+
+let objective_value t x =
+  List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 t.objective
+
+let to_lp t ~extra =
+  let objective = Array.make t.n 0.0 in
+  List.iter (fun (v, c) -> objective.(v) <- objective.(v) +. c) t.objective;
+  let rows = ref (List.rev t.constraints) in
+  (* Upper bounds as explicit rows. *)
+  let vars = Array.of_list (List.rev t.vars) in
+  Array.iteri
+    (fun v vi ->
+      if vi.ub < infinity then
+        rows := { Simplex.coeffs = [ (v, 1.0) ]; op = Simplex.Le; rhs = vi.ub } :: !rows)
+    vars;
+  { Simplex.n_vars = t.n; objective; rows = List.rev_append extra !rows }
+
+let integer_vars t =
+  let vars = Array.of_list (List.rev t.vars) in
+  let acc = ref [] in
+  Array.iteri (fun v vi -> if vi.integer then acc := v :: !acc) vars;
+  List.rev !acc
+
+let value x v = x.(v)

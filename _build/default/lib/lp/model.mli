@@ -1,0 +1,39 @@
+(** Mixed-integer linear model builder.
+
+    A thin, safe layer over {!Simplex}: named variables with bounds and
+    integrality flags, linear constraints, and a minimization
+    objective.  {!Milp.solve} consumes it. *)
+
+type t
+type var
+
+val create : unit -> t
+
+val add_var : t -> ?lb:float -> ?ub:float -> ?integer:bool -> string -> var
+(** Defaults: lb = 0 (the only supported lower bound), ub = infinity,
+    continuous.  Raises [Invalid_argument] on lb <> 0 or ub < 0. *)
+
+val binary : t -> string -> var
+(** Integer variable in \[0, 1\]. *)
+
+val var_name : t -> var -> string
+val var_index : var -> int
+val n_vars : t -> int
+
+type op = Le | Ge | Eq
+
+val add_constraint : t -> (float * var) list -> op -> float -> unit
+
+val set_objective : t -> (float * var) list -> unit
+(** Minimized.  Terms on the same variable accumulate. *)
+
+val objective_value : t -> float array -> float
+
+val to_lp : t -> extra:Simplex.row list -> Simplex.problem
+(** LP relaxation: integrality dropped, bounds materialized as rows,
+    plus [extra] branching rows. *)
+
+val integer_vars : t -> var list
+
+val value : float array -> var -> float
+(** Read a variable out of a solution vector. *)

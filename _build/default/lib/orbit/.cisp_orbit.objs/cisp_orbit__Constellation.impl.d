@@ -1,0 +1,1 @@
+lib/orbit/constellation.ml: Array Cisp_geo Cisp_graph Cisp_util Float List Option

@@ -1,0 +1,1 @@
+lib/rf/capacity.ml: Float

@@ -1,0 +1,1 @@
+lib/rf/capacity.mli:

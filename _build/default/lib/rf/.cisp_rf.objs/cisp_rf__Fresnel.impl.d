@@ -1,0 +1,1 @@
+lib/rf/fresnel.ml: Cisp_util

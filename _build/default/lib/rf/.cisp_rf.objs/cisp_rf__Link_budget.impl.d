@@ -1,0 +1,1 @@
+lib/rf/link_budget.ml:

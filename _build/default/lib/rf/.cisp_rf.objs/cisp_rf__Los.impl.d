@@ -1,0 +1,1 @@
+lib/rf/los.ml: Cisp_geo Cisp_terrain Float Fresnel

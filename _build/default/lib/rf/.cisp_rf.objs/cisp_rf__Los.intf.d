@@ -1,0 +1,1 @@
+lib/rf/los.mli: Cisp_geo Cisp_terrain

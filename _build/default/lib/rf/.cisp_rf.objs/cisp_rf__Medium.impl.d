@@ -1,0 +1,1 @@
+lib/rf/medium.ml: Attenuation Capacity Float List

@@ -1,0 +1,72 @@
+type polarization = Horizontal | Vertical
+
+(* ITU-R P.838-3 regression coefficients at anchor frequencies (GHz).
+   (k_H, alpha_H, k_V, alpha_V). *)
+let table =
+  [|
+    (4.0, 0.0001071, 1.6009, 0.0002461, 1.2476);
+    (5.0, 0.0002162, 1.6969, 0.0002428, 1.5317);
+    (6.0, 0.0007056, 1.5900, 0.0004878, 1.5728);
+    (7.0, 0.001915, 1.4810, 0.001425, 1.4745);
+    (8.0, 0.004115, 1.3905, 0.003450, 1.3797);
+    (10.0, 0.01217, 1.2571, 0.01129, 1.2156);
+    (12.0, 0.02386, 1.1825, 0.02455, 1.1216);
+    (15.0, 0.04481, 1.1233, 0.05008, 1.0440);
+    (18.0, 0.07078, 1.0818, 0.07708, 1.0025);
+    (20.0, 0.09164, 1.0568, 0.09611, 0.9847);
+  |]
+
+let coefficients ~f_ghz pol =
+  let n = Array.length table in
+  let pick (_, kh, ah, kv, av) =
+    match pol with Horizontal -> (kh, ah) | Vertical -> (kv, av)
+  in
+  let f0, _, _, _, _ = table.(0) in
+  let fn, _, _, _, _ = table.(n - 1) in
+  if f_ghz <= f0 then pick table.(0)
+  else if f_ghz >= fn then pick table.(n - 1)
+  else begin
+    (* Locate bracketing anchors and interpolate k in log-log,
+       alpha linearly in log frequency (P.838 recommendation). *)
+    let rec find i = if
+      (let f_next, _, _, _, _ = table.(i + 1) in f_ghz <= f_next)
+      then i else find (i + 1)
+    in
+    let i = find 0 in
+    let f1, _, _, _, _ = table.(i) in
+    let f2, _, _, _, _ = table.(i + 1) in
+    let k1, a1 = pick table.(i) in
+    let k2, a2 = pick table.(i + 1) in
+    let w = (log f_ghz -. log f1) /. (log f2 -. log f1) in
+    let k = exp (log k1 +. (w *. (log k2 -. log k1))) in
+    let a = a1 +. (w *. (a2 -. a1)) in
+    (k, a)
+  end
+
+let specific_attenuation_db_per_km ~f_ghz pol ~rain_mm_h =
+  if rain_mm_h <= 0.0 then 0.0
+  else begin
+    let k, alpha = coefficients ~f_ghz pol in
+    k *. (rain_mm_h ** alpha)
+  end
+
+let effective_path_km ~d_km ~rain_mm_h =
+  let r = Float.min rain_mm_h 100.0 in
+  let d0 = 35.0 *. exp (-0.015 *. r) in
+  d_km /. (1.0 +. (d_km /. d0))
+
+let path_attenuation_db ~f_ghz pol ~rain_mm_h ~d_km =
+  specific_attenuation_db_per_km ~f_ghz pol ~rain_mm_h
+  *. effective_path_km ~d_km ~rain_mm_h
+
+let rain_rate_for_outage ~f_ghz pol ~d_km ~margin_db =
+  assert (margin_db > 0.0 && d_km > 0.0);
+  let att r = path_attenuation_db ~f_ghz pol ~rain_mm_h:r ~d_km in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if att mid >= margin_db then bisect lo mid (n - 1) else bisect mid hi (n - 1)
+    end
+  in
+  if att 1000.0 < margin_db then infinity else bisect 0.0 1000.0 60

@@ -1,0 +1,24 @@
+let default_k = 1.3
+let default_f_ghz = 11.0
+
+let earth_bulge_m ?(k = default_k) ~d1_km ~d2_km () =
+  let r = Cisp_util.Units.earth_radius_km in
+  (* d1*d2 / (2 k R) in km, converted to metres. *)
+  d1_km *. d2_km /. (2.0 *. k *. r) *. 1000.0
+
+let fresnel_radius_m ?(f_ghz = default_f_ghz) ~d1_km ~d2_km () =
+  let d = d1_km +. d2_km in
+  if d <= 0.0 then 0.0
+  else begin
+    let lambda_m = 299.792458 /. (f_ghz *. 1000.0) in
+    sqrt (lambda_m *. (d1_km *. 1000.0) *. (d2_km *. 1000.0) /. (d *. 1000.0))
+  end
+
+let midpoint_bulge_m ?(k = default_k) ~d_km () =
+  earth_bulge_m ~k ~d1_km:(d_km /. 2.0) ~d2_km:(d_km /. 2.0) ()
+
+let midpoint_fresnel_m ?(f_ghz = default_f_ghz) ~d_km () =
+  fresnel_radius_m ~f_ghz ~d1_km:(d_km /. 2.0) ~d2_km:(d_km /. 2.0) ()
+
+let required_clearance_m ?(k = default_k) ?(f_ghz = default_f_ghz) ~d1_km ~d2_km () =
+  earth_bulge_m ~k ~d1_km ~d2_km () +. fresnel_radius_m ~f_ghz ~d1_km ~d2_km ()

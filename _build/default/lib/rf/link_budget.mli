@@ -1,0 +1,27 @@
+(** Simple microwave link budget.
+
+    Used to derive per-hop fade margins (which the weather analysis
+    turns into binary failure thresholds) and to sanity-check that the
+    60-100 km range assumption is consistent with realistic equipment
+    parameters. *)
+
+type t = {
+  tx_power_dbm : float;       (** transmitter output power *)
+  antenna_gain_dbi : float;   (** per antenna (parabolic dish) *)
+  rx_threshold_dbm : float;   (** receiver sensitivity at target BER *)
+  misc_losses_db : float;     (** connectors, waveguide, alignment *)
+}
+
+val default : t
+(** Typical long-haul 11 GHz licensed-band radio with ~1.8 m dishes. *)
+
+val fspl_db : f_ghz:float -> d_km:float -> float
+(** Free-space path loss: 92.45 + 20 log10(f) + 20 log10(d). *)
+
+val fade_margin_db : ?budget:t -> f_ghz:float -> d_km:float -> unit -> float
+(** Received-signal margin over threshold in clear air — the rain
+    attenuation a hop can absorb before outage.  Longer hops have
+    smaller margins, so they fail at lower rain rates. *)
+
+val max_range_km : ?budget:t -> f_ghz:float -> min_margin_db:float -> unit -> float
+(** Longest hop that still retains [min_margin_db] of fade margin. *)

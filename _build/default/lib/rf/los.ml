@@ -1,0 +1,69 @@
+module Coord = Cisp_geo.Coord
+module Geodesy = Cisp_geo.Geodesy
+module Dem = Cisp_terrain.Dem
+
+type params = {
+  max_range_km : float;
+  f_ghz : float;
+  k_factor : float;
+  step_km : float;
+  min_range_km : float;
+}
+
+let default_params =
+  { max_range_km = 100.0; f_ghz = 11.0; k_factor = 1.3; step_km = 1.0; min_range_km = 1.0 }
+
+type endpoint = { position : Coord.t; ground_m : float; antenna_m : float }
+
+type verdict =
+  | Clear of float
+  | Out_of_range
+  | Blocked of { at_km : float; deficit_m : float }
+
+let endpoint_of_tower ~dem position ~antenna_m =
+  { position; ground_m = Dem.elevation_m dem position; antenna_m }
+
+let check ?(params = default_params) ~surface a b =
+  let total = Geodesy.distance_km a.position b.position in
+  if total > params.max_range_km || total < params.min_range_km then Out_of_range
+  else begin
+    let ha = a.ground_m +. a.antenna_m in
+    let hb = b.ground_m +. b.antenna_m in
+    let n = max 2 (int_of_float (Float.ceil (total /. params.step_km))) in
+    let margin_at i =
+      let t = float_of_int i /. float_of_int n in
+      let p = Geodesy.interpolate a.position b.position t in
+      let d1 = total *. t and d2 = total *. (1.0 -. t) in
+      let ray = ha +. (t *. (hb -. ha)) in
+      let need =
+        Fresnel.required_clearance_m ~k:params.k_factor ~f_ghz:params.f_ghz
+          ~d1_km:d1 ~d2_km:d2 ()
+      in
+      (d1, ray -. (surface p +. need))
+    in
+    (* Cheap rejection: the midpoint has the deepest curvature bulge
+       and is the likeliest blockage; test it before the full walk. *)
+    let _, mid_margin = margin_at (n / 2) in
+    if mid_margin < 0.0 then begin
+      let at_km, m = margin_at (n / 2) in
+      Blocked { at_km; deficit_m = -.m }
+    end
+    else begin
+      let rec walk i best =
+        if i >= n then Clear best
+        else begin
+          let at_km, m = margin_at i in
+          if m < 0.0 then Blocked { at_km; deficit_m = -.m }
+          else walk (i + 1) (Float.min best m)
+        end
+      in
+      walk 1 infinity
+    end
+  end
+
+let feasible ?params ~surface a b =
+  match check ?params ~surface a b with
+  | Clear _ -> true
+  | Out_of_range | Blocked _ -> false
+
+let check_dem ?params ~dem a b = check ?params ~surface:(Dem.surface_m dem) a b

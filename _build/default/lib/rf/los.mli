@@ -1,0 +1,52 @@
+(** Line-of-sight feasibility engine (paper §3.1).
+
+    Decides whether a MW hop between two antennae is viable: the direct
+    ray, sampled along the great circle, must clear the terrain surface
+    (elevation + clutter) plus the Earth bulge plus the full first
+    Fresnel zone at every sample point, and the hop must be within
+    range.
+
+    The terrain is abstracted as a surface function so callers can
+    plug in a raw {!Cisp_terrain.Dem}, a memoizing
+    {!Cisp_terrain.Dem_cache}, or a test fixture. *)
+
+type params = {
+  max_range_km : float;   (** paper: 100 km baseline, 60-100 swept in Fig 10 *)
+  f_ghz : float;          (** carrier frequency, 11 GHz *)
+  k_factor : float;       (** effective Earth radius factor, 1.3 *)
+  step_km : float;        (** profile sampling step *)
+  min_range_km : float;   (** hops shorter than this are pointless *)
+}
+
+val default_params : params
+
+type endpoint = {
+  position : Cisp_geo.Coord.t;
+  ground_m : float;       (** terrain elevation at the base *)
+  antenna_m : float;      (** antenna height above ground *)
+}
+
+type verdict =
+  | Clear of float        (** minimum clearance margin over requirement, m *)
+  | Out_of_range
+  | Blocked of { at_km : float; deficit_m : float }
+      (** first sample that violates clearance, and by how much *)
+
+val check :
+  ?params:params -> surface:(Cisp_geo.Coord.t -> float) ->
+  endpoint -> endpoint -> verdict
+(** Full profile check between two endpoints; [surface] returns the
+    obstruction height (ground + clutter) in metres. *)
+
+val feasible :
+  ?params:params -> surface:(Cisp_geo.Coord.t -> float) ->
+  endpoint -> endpoint -> bool
+(** [true] iff [check] returns [Clear _]. *)
+
+val check_dem :
+  ?params:params -> dem:Cisp_terrain.Dem.t -> endpoint -> endpoint -> verdict
+(** Convenience wrapper querying the DEM directly (uncached). *)
+
+val endpoint_of_tower :
+  dem:Cisp_terrain.Dem.t -> Cisp_geo.Coord.t -> antenna_m:float -> endpoint
+(** Convenience constructor reading ground elevation from the DEM. *)

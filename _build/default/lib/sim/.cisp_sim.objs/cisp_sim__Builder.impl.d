@@ -1,0 +1,1 @@
+lib/sim/builder.ml: Array Cisp_design Cisp_rf Cisp_util Hashtbl List Net Option

@@ -1,0 +1,1 @@
+lib/sim/builder.mli: Cisp_design Engine Net

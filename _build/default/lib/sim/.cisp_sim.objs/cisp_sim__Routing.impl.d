@@ -1,0 +1,1 @@
+lib/sim/routing.ml: Array Cisp_design Cisp_graph Cisp_util Float Hashtbl Lazy List

@@ -1,0 +1,1 @@
+lib/sim/routing.mli: Cisp_design Cisp_traffic Hashtbl

@@ -1,0 +1,1 @@
+lib/sim/tcp.ml: Array Engine Float List Net

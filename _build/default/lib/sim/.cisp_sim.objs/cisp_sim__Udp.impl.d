@@ -1,0 +1,1 @@
+lib/sim/udp.ml: Array Cisp_util Engine Hashtbl Net

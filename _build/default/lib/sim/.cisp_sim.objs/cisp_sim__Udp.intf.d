@@ -1,0 +1,1 @@
+lib/sim/udp.mli: Cisp_traffic Hashtbl Net

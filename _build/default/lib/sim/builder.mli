@@ -1,0 +1,31 @@
+(** Build a packet-level network from a designed topology.
+
+    Follows the paper's simulation setup: "we aggregate the bandwidth
+    of parallel links and remove the individual tower hops to focus on
+    network links between the routing sites" — each built MW link is
+    one simulated link at its provisioned aggregate capacity; fiber
+    edges get plentiful capacity. *)
+
+type config = {
+  fiber_gbps : float;          (** capacity of each fiber edge *)
+  buffer_bytes : int;          (** drop-tail buffer per link *)
+}
+
+val default_config : config
+(** 400 Gbps fiber edges; 50 kB buffers (ns-3's default 100-packet
+    drop-tail queue at 500 B packets). *)
+
+val build :
+  ?config:config ->
+  Engine.t ->
+  Cisp_design.Inputs.t ->
+  Cisp_design.Topology.t ->
+  mw_gbps:((int * int) -> float) ->
+  Net.t
+(** One node per site; a duplex link per built MW link (capacity
+    [mw_gbps]) and per fiber pair; propagation delay from the
+    latency-equivalent distances. *)
+
+val provisioned_mw_gbps :
+  Cisp_design.Capacity.plan -> (int * int) -> float
+(** Capacity function from a step-3 plan: k^2 Gbps per link. *)

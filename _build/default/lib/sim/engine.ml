@@ -1,0 +1,34 @@
+type t = {
+  queue : (unit -> unit) Cisp_graph.Heap.t;
+  mutable clock : float;
+  mutable count : int;
+}
+
+let create () = { queue = Cisp_graph.Heap.create ~capacity:4096 (); clock = 0.0; count = 0 }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  assert (at >= t.clock);
+  Cisp_graph.Heap.push t.queue at f
+
+let schedule_in t ~after f = schedule t ~at:(t.clock +. after) f
+
+let run t ~until =
+  let rec loop () =
+    match Cisp_graph.Heap.peek t.queue with
+    | None -> ()
+    | Some (at, _) when at > until -> ()
+    | Some _ ->
+      (match Cisp_graph.Heap.pop t.queue with
+      | Some (at, f) ->
+        t.clock <- at;
+        t.count <- t.count + 1;
+        f ();
+        loop ()
+      | None -> ())
+  in
+  loop ();
+  if t.clock < until then t.clock <- until
+
+let events_processed t = t.count

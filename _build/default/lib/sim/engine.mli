@@ -1,0 +1,20 @@
+(** Discrete-event simulation core: a clock and a time-ordered event
+    queue.  Substitute for the ns-3 scheduler (paper §5). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time, seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Enqueue an event at absolute time [at] (>= now). *)
+
+val schedule_in : t -> after:float -> (unit -> unit) -> unit
+
+val run : t -> until:float -> unit
+(** Execute events in time order until the queue is empty or the
+    clock passes [until]. *)
+
+val events_processed : t -> int

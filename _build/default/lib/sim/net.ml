@@ -1,0 +1,181 @@
+type packet = {
+  flow_id : int;
+  size_bytes : int;
+  route : int array;
+  mutable hop : int;
+  mutable injected_at : float;
+  payload : int;
+}
+
+type link = {
+  rate_bps : float;
+  delay_s : float;
+  buffer_bytes : int;
+  mutable queue_bytes : int;
+  mutable busy_until : float;
+  mutable bytes_sent : int;
+  mutable drops : int;
+  mutable queue_peak : int;
+  mutable busy_s : float;
+}
+
+type mutable_flow_stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable delay_sum : float;
+  mutable delay_max : float;
+}
+
+type t = {
+  eng : Engine.t;
+  n : int;
+  links : (int, link) Hashtbl.t;  (* key = src * n + dst *)
+  flows : (int, mutable_flow_stats) Hashtbl.t;
+  mutable delivery_cbs : (packet -> float -> unit) list;
+}
+
+let create eng ~n_nodes =
+  { eng; n = n_nodes; links = Hashtbl.create 256; flows = Hashtbl.create 64; delivery_cbs = [] }
+
+let engine t = t.eng
+
+let key t src dst = (src * t.n) + dst
+
+let add_link t ~src ~dst ~gbps ~delay_ms ~buffer_bytes =
+  assert (src >= 0 && src < t.n && dst >= 0 && dst < t.n && src <> dst);
+  assert (not (Hashtbl.mem t.links (key t src dst)));
+  Hashtbl.replace t.links (key t src dst)
+    {
+      rate_bps = gbps *. 1e9;
+      delay_s = delay_ms /. 1000.0;
+      buffer_bytes;
+      queue_bytes = 0;
+      busy_until = 0.0;
+      bytes_sent = 0;
+      drops = 0;
+      queue_peak = 0;
+      busy_s = 0.0;
+    }
+
+let add_duplex t a b ~gbps ~delay_ms ~buffer_bytes =
+  add_link t ~src:a ~dst:b ~gbps ~delay_ms ~buffer_bytes;
+  add_link t ~src:b ~dst:a ~gbps ~delay_ms ~buffer_bytes
+
+let on_delivery t f = t.delivery_cbs <- f :: t.delivery_cbs
+
+let flow t id =
+  match Hashtbl.find_opt t.flows id with
+  | Some f -> f
+  | None ->
+    let f = { sent = 0; delivered = 0; dropped = 0; delay_sum = 0.0; delay_max = 0.0 } in
+    Hashtbl.add t.flows id f;
+    f
+
+let deliver t pkt =
+  let now = Engine.now t.eng in
+  let f = flow t pkt.flow_id in
+  f.delivered <- f.delivered + 1;
+  let d = now -. pkt.injected_at in
+  f.delay_sum <- f.delay_sum +. d;
+  if d > f.delay_max then f.delay_max <- d;
+  List.iter (fun cb -> cb pkt now) t.delivery_cbs
+
+(* Forward [pkt] from the node at route.(hop) towards route.(hop+1). *)
+let rec forward t pkt =
+  if pkt.hop >= Array.length pkt.route - 1 then deliver t pkt
+  else begin
+    let src = pkt.route.(pkt.hop) and dst = pkt.route.(pkt.hop + 1) in
+    match Hashtbl.find_opt t.links (key t src dst) with
+    | None ->
+      (* Broken route: count as a drop. *)
+      let f = flow t pkt.flow_id in
+      f.dropped <- f.dropped + 1
+    | Some link ->
+      if link.queue_bytes + pkt.size_bytes > link.buffer_bytes then begin
+        link.drops <- link.drops + 1;
+        let f = flow t pkt.flow_id in
+        f.dropped <- f.dropped + 1
+      end
+      else begin
+        let now = Engine.now t.eng in
+        link.queue_bytes <- link.queue_bytes + pkt.size_bytes;
+        if link.queue_bytes > link.queue_peak then link.queue_peak <- link.queue_bytes;
+        let tx_time = float_of_int pkt.size_bytes *. 8.0 /. link.rate_bps in
+        let start = Float.max now link.busy_until in
+        let tx_done = start +. tx_time in
+        link.busy_until <- tx_done;
+        link.busy_s <- link.busy_s +. tx_time;
+        Engine.schedule t.eng ~at:tx_done (fun () ->
+            link.queue_bytes <- link.queue_bytes - pkt.size_bytes;
+            link.bytes_sent <- link.bytes_sent + pkt.size_bytes);
+        Engine.schedule t.eng ~at:(tx_done +. link.delay_s) (fun () ->
+            pkt.hop <- pkt.hop + 1;
+            forward t pkt)
+      end
+  end
+
+let inject t pkt =
+  assert (Array.length pkt.route >= 1);
+  pkt.injected_at <- Engine.now t.eng;
+  let f = flow t pkt.flow_id in
+  f.sent <- f.sent + 1;
+  forward t pkt
+
+type flow_stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  delay_sum_s : float;
+  delay_max_s : float;
+}
+
+let freeze (f : mutable_flow_stats) =
+  {
+    sent = f.sent;
+    delivered = f.delivered;
+    dropped = f.dropped;
+    delay_sum_s = f.delay_sum;
+    delay_max_s = f.delay_max;
+  }
+
+let flow_stats t id = freeze (flow t id)
+
+let all_flow_stats t = Hashtbl.fold (fun id f acc -> (id, freeze f) :: acc) t.flows []
+
+let mean_delay_ms t =
+  let sum = ref 0.0 and count = ref 0 in
+  Hashtbl.iter
+    (fun _ (f : mutable_flow_stats) ->
+      sum := !sum +. f.delay_sum;
+      count := !count + f.delivered)
+    t.flows;
+  if !count = 0 then 0.0 else !sum /. float_of_int !count *. 1000.0
+
+let loss_rate t =
+  let sent = ref 0 and dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ (f : mutable_flow_stats) ->
+      sent := !sent + f.sent;
+      dropped := !dropped + f.dropped)
+    t.flows;
+  if !sent = 0 then 0.0 else float_of_int !dropped /. float_of_int !sent
+
+type link_stats = { bytes_sent : int; drops : int; queue_peak_bytes : int; busy_s : float }
+
+let link_stats t ~src ~dst =
+  Option.map
+    (fun (l : link) ->
+      { bytes_sent = l.bytes_sent; drops = l.drops; queue_peak_bytes = l.queue_peak; busy_s = l.busy_s })
+    (Hashtbl.find_opt t.links (key t src dst))
+
+let utilization t ~src ~dst ~duration_s =
+  match Hashtbl.find_opt t.links (key t src dst) with
+  | None -> 0.0
+  | Some l -> l.busy_s /. duration_s
+
+let max_utilization t ~duration_s =
+  Hashtbl.fold (fun _ (l : link) acc -> Float.max acc (l.busy_s /. duration_s)) t.links 0.0
+
+let queue_bytes t ~src ~dst =
+  match Hashtbl.find_opt t.links (key t src dst) with None -> 0 | Some l -> l.queue_bytes

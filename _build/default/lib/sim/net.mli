@@ -1,0 +1,66 @@
+(** Packet-level network: nodes, links with FIFO drop-tail queues,
+    source-routed packets, and built-in measurement (the paper's
+    FlowMonitor plus the custom link-utilization module of §5). *)
+
+type packet = {
+  flow_id : int;
+  size_bytes : int;
+  route : int array;        (** node sequence, route.(0) = source *)
+  mutable hop : int;        (** index of the node currently holding it *)
+  mutable injected_at : float;
+  payload : int;            (** opaque, used by TCP for sequence numbers *)
+}
+
+type t
+
+val create : Engine.t -> n_nodes:int -> t
+
+val engine : t -> Engine.t
+
+val add_link :
+  t -> src:int -> dst:int -> gbps:float -> delay_ms:float -> buffer_bytes:int -> unit
+(** Directed link.  At most one link per (src, dst). *)
+
+val add_duplex :
+  t -> int -> int -> gbps:float -> delay_ms:float -> buffer_bytes:int -> unit
+
+val inject : t -> packet -> unit
+(** Start forwarding at [route.(hop)]; [injected_at] is stamped. *)
+
+val on_delivery : t -> (packet -> float -> unit) -> unit
+(** Callback invoked when a packet reaches the end of its route, with
+    the delivery time (use with [injected_at] for one-way delay).
+    TCP registers here. *)
+
+(** {2 Measurements} *)
+
+type flow_stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  delay_sum_s : float;
+  delay_max_s : float;
+}
+
+val flow_stats : t -> int -> flow_stats
+val all_flow_stats : t -> (int * flow_stats) list
+
+val mean_delay_ms : t -> float
+(** Delivery-weighted mean one-way delay across all flows. *)
+
+val loss_rate : t -> float
+(** Dropped / sent across all flows. *)
+
+type link_stats = {
+  bytes_sent : int;
+  drops : int;
+  queue_peak_bytes : int;
+  busy_s : float;           (** cumulative transmission time *)
+}
+
+val link_stats : t -> src:int -> dst:int -> link_stats option
+val utilization : t -> src:int -> dst:int -> duration_s:float -> float
+val max_utilization : t -> duration_s:float -> float
+
+val queue_bytes : t -> src:int -> dst:int -> int
+(** Instantaneous queue occupancy (for the Fig 6 pacing experiment). *)

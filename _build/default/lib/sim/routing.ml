@@ -1,0 +1,165 @@
+module Inputs = Cisp_design.Inputs
+module Topology = Cisp_design.Topology
+module Graph = Cisp_graph.Graph
+module Dijkstra = Cisp_graph.Dijkstra
+
+type scheme = Shortest_path | Min_max_utilization | Throughput_optimal | Bounded_stretch of float
+
+type network_model = {
+  inputs : Inputs.t;
+  topology : Topology.t;
+  mw_gbps : (int * int) -> float;
+  fiber_gbps : float;
+}
+
+type edge_info = {
+  u : int;
+  v : int;
+  latency_km : float;
+  capacity_gbps : float;
+  mutable load_gbps : float;
+}
+
+let norm (i, j) = if i < j then (i, j) else (j, i)
+
+(* One edge per site pair: the built MW link when it is the faster
+   medium, else the fiber edge — consistent with {!Builder.build}. *)
+let edges_of_model m =
+  let n = Inputs.n_sites m.inputs in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let mw = m.inputs.mw_km.(i).(j) and fib = m.inputs.fiber_km.(i).(j) in
+      if Topology.is_built m.topology i j && mw < fib then
+        edges :=
+          { u = i; v = j; latency_km = mw; capacity_gbps = m.mw_gbps (i, j); load_gbps = 0.0 }
+          :: !edges
+      else if fib < infinity then
+        edges :=
+          { u = i; v = j; latency_km = fib; capacity_gbps = m.fiber_gbps; load_gbps = 0.0 }
+          :: !edges
+    done
+  done;
+  Array.of_list !edges
+
+let build_graph n edges cost =
+  let g = Graph.create n in
+  Array.iteri
+    (fun idx e ->
+      let w = cost e in
+      Graph.add_edge ~tag:idx g e.u e.v w;
+      Graph.add_edge ~tag:idx g e.v e.u w)
+    edges;
+  g
+
+let edge_cost scheme e =
+  let rho = Float.min 0.999 (e.load_gbps /. Float.max 1e-9 e.capacity_gbps) in
+  match scheme with
+  | Shortest_path -> e.latency_km
+  | Bounded_stretch _ | Min_max_utilization ->
+    (* Latency-aware but sharply congestion-averse. *)
+    e.latency_km *. (1.0 +. (8.0 *. (rho ** 4.0))) +. (1e4 *. Float.max 0.0 (rho -. 0.95))
+  | Throughput_optimal ->
+    (* Congestion-proportional inflation of the latency metric: keeps
+       paths short when idle, spills to parallel routes as links load
+       up (maximizing admissible throughput). *)
+    e.latency_km *. (1.0 +. (1.2 *. rho /. (1.0 -. rho)))
+
+let paths m scheme ~demands_gbps =
+  let n = Inputs.n_sites m.inputs in
+  let edges = edges_of_model m in
+  let table : (int * int, int array) Hashtbl.t = Hashtbl.create 1024 in
+  (match scheme with
+  | Shortest_path ->
+    (* One Dijkstra per source over static latency costs. *)
+    let g = build_graph n edges (fun e -> e.latency_km) in
+    for s = 0 to n - 1 do
+      let r = Dijkstra.run g ~src:s in
+      for t = 0 to n - 1 do
+        if t <> s && demands_gbps.(s).(t) > 0.0 then begin
+          match Dijkstra.path r ~dst:t with
+          | [] -> ()
+          | p -> Hashtbl.replace table (s, t) (Array.of_list p)
+        end
+      done
+    done
+  | Min_max_utilization | Throughput_optimal | Bounded_stretch _ ->
+    (* Sequential congestion-aware assignment, big demands first. *)
+    let commodities = ref [] in
+    for s = 0 to n - 1 do
+      for t = 0 to n - 1 do
+        if t <> s && demands_gbps.(s).(t) > 0.0 then
+          commodities := (demands_gbps.(s).(t), s, t) :: !commodities
+      done
+    done;
+    let sorted = List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) !commodities in
+    (* Cheapest-capacity edge per node pair, for charging loads. *)
+    let by_pair : (int * int, edge_info) Hashtbl.t = Hashtbl.create 1024 in
+    Array.iter
+      (fun e ->
+        let k = norm (e.u, e.v) in
+        match Hashtbl.find_opt by_pair k with
+        | Some prev when prev.latency_km <= e.latency_km -> ()
+        | _ -> Hashtbl.replace by_pair k e)
+      edges;
+    (* Rebuilding the cost graph per commodity is wasteful; costs only
+       drift as load accumulates, so refresh periodically. *)
+    let g = ref (build_graph n edges (edge_cost scheme)) in
+    let static_g = lazy (build_graph n edges (fun e -> e.latency_km)) in
+    let since_refresh = ref 0 in
+    List.iter
+      (fun (demand, s, t) ->
+        incr since_refresh;
+        if !since_refresh >= 32 then begin
+          g := build_graph n edges (edge_cost scheme);
+          since_refresh := 0
+        end;
+        let latency_of arr =
+          let acc = ref 0.0 in
+          for k = 0 to Array.length arr - 2 do
+            match Hashtbl.find_opt by_pair (norm (arr.(k), arr.(k + 1))) with
+            | Some e -> acc := !acc +. e.latency_km
+            | None -> ()
+          done;
+          !acc
+        in
+        match Dijkstra.shortest_path !g ~src:s ~dst:t with
+        | None -> ()
+        | Some (_, p) ->
+          let arr = Array.of_list p in
+          let arr =
+            match scheme with
+            | Bounded_stretch bound -> begin
+              (* Fall back to the pure shortest path when the spread
+                 route violates the commodity's latency budget. *)
+              match Dijkstra.shortest_path (Lazy.force static_g) ~src:s ~dst:t with
+              | Some (l0, p0) when latency_of arr > bound *. l0 -> Array.of_list p0
+              | Some _ | None -> arr
+            end
+            | Shortest_path | Min_max_utilization | Throughput_optimal -> arr
+          in
+          Hashtbl.replace table (s, t) arr;
+          for k = 0 to Array.length arr - 2 do
+            match Hashtbl.find_opt by_pair (norm (arr.(k), arr.(k + 1))) with
+            | Some e -> e.load_gbps <- e.load_gbps +. demand
+            | None -> ()
+          done)
+      sorted);
+  table
+
+let mean_route_latency_ms m table ~demands_gbps =
+  let num = ref 0.0 and den = ref 0.0 in
+  Hashtbl.iter
+    (fun (s, t) route ->
+      let d = demands_gbps.(s).(t) in
+      let lat = ref 0.0 in
+      for k = 0 to Array.length route - 2 do
+        let a = route.(k) and b = route.(k + 1) in
+        let mw = m.inputs.mw_km.(a).(b) in
+        let via_mw = Topology.is_built m.topology a b && mw < m.inputs.fiber_km.(a).(b) in
+        lat := !lat +. (if via_mw then mw else m.inputs.fiber_km.(a).(b))
+      done;
+      num := !num +. (d *. Cisp_util.Units.ms_of_km_at_c !lat);
+      den := !den +. d)
+    table;
+  if !den = 0.0 then 0.0 else !num /. !den

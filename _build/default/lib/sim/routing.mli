@@ -1,0 +1,42 @@
+(** Routing schemes over a designed topology (paper §5).
+
+    Besides default shortest-path routing, the paper implements
+    "throughput optimal routing, and routing that minimizes the
+    maximum link utilization, a scheme commonly employed by ISPs".
+    Both alternatives spread load at the cost of ~10% extra latency.
+
+    Paths are source routes (node arrays) per commodity, computed
+    sequentially in descending demand with congestion-aware edge
+    costs — the standard greedy realization of these schemes for
+    unsplittable flows. *)
+
+type scheme =
+  | Shortest_path
+  | Min_max_utilization    (** sharp penalty on hot links *)
+  | Throughput_optimal     (** congestion-proportional latency inflation *)
+  | Bounded_stretch of float
+      (** spread load like [Min_max_utilization] but never accept a
+          route longer than the bound x the commodity's shortest
+          latency — the direction the paper points to (Gvozdiev et
+          al. [33]) for cutting over-provisioning at a modest,
+          bounded latency cost *)
+
+type network_model = {
+  inputs : Cisp_design.Inputs.t;
+  topology : Cisp_design.Topology.t;
+  mw_gbps : (int * int) -> float;   (** capacity of a built link *)
+  fiber_gbps : float;               (** capacity of each fiber edge *)
+}
+
+val paths :
+  network_model -> scheme -> demands_gbps:Cisp_traffic.Matrix.t ->
+  ((int * int), int array) Hashtbl.t
+(** Source route for every commodity with positive demand (key (s,t)
+    with s <> t, both directions present). *)
+
+val mean_route_latency_ms :
+  network_model -> ((int * int), int array) Hashtbl.t ->
+  demands_gbps:Cisp_traffic.Matrix.t -> float
+(** Demand-weighted mean propagation latency of the chosen routes —
+    used to show the alternatives' latency penalty without running
+    packets. *)

@@ -1,0 +1,35 @@
+(** A small TCP model for the speed-mismatch experiment (paper §5,
+    Fig 6).
+
+    Models a window-based sender: slow start from an initial window,
+    additive increase past the threshold, acknowledgements returning
+    over an uncongested reverse path.  With [pacing] the window's
+    packets are spread over one RTT estimate instead of bursting at
+    line rate.  Loss recovery is timeout-based go-back-N with
+    multiplicative decrease: enough for the Fig 6 scenario (unbounded
+    buffers, no loss) and for finite-buffer experiments where drops
+    must not wedge a flow. *)
+
+type config = {
+  mss_bytes : int;
+  init_cwnd : int;          (** packets *)
+  ssthresh : int;           (** packets *)
+  pacing : bool;
+  ack_delay_s : float;      (** reverse-path one-way delay *)
+  rto_s : float;            (** retransmission timeout *)
+}
+
+val default_config : ack_delay_s:float -> config
+(** MSS 1500, IW 10, ssthresh 64, no pacing, RTO 250 ms. *)
+
+val start_flow :
+  Net.t ->
+  config ->
+  flow_id:int ->
+  route:int array ->
+  size_bytes:int ->
+  at:float ->
+  on_complete:(float -> unit) ->
+  unit
+(** Transfers [size_bytes]; [on_complete] fires with the completion
+    time (flow completion time = that minus [at]). *)

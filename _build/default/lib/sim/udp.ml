@@ -1,0 +1,33 @@
+let flow_id ~src ~dst ~n = (src * n) + dst
+
+let poisson_commodities net ~paths ~demands_gbps ~packet_bytes ~start ~stop =
+  let n = Array.length demands_gbps in
+  let eng = Net.engine net in
+  Hashtbl.iter
+    (fun (s, t) route ->
+      let gbps = demands_gbps.(s).(t) in
+      if gbps > 0.0 then begin
+        let pps = gbps *. 1e9 /. (float_of_int packet_bytes *. 8.0) in
+        if pps > 1e-9 then begin
+          let id = flow_id ~src:s ~dst:t ~n in
+          (* Give each commodity its own stream for reproducibility
+             independent of scheduling order. *)
+          let stream = Cisp_util.Rng.create (Hashtbl.hash (s, t, 9176)) in
+          let rec arrival at =
+            if at < stop then
+              Engine.schedule eng ~at (fun () ->
+                  Net.inject net
+                    {
+                      Net.flow_id = id;
+                      size_bytes = packet_bytes;
+                      route;
+                      hop = 0;
+                      injected_at = 0.0;
+                      payload = 0;
+                    };
+                  arrival (Engine.now eng +. Cisp_util.Rng.exponential stream pps))
+          in
+          arrival (start +. Cisp_util.Rng.exponential stream pps)
+        end
+      end)
+    paths

@@ -1,0 +1,17 @@
+(** UDP workload generation (paper §5: uniform 500-byte packets,
+    Poisson arrivals per commodity). *)
+
+val flow_id : src:int -> dst:int -> n:int -> int
+(** Stable flow identifier for a commodity. *)
+
+val poisson_commodities :
+  Net.t ->
+  paths:((int * int), int array) Hashtbl.t ->
+  demands_gbps:Cisp_traffic.Matrix.t ->
+  packet_bytes:int ->
+  start:float ->
+  stop:float ->
+  unit
+(** For every commodity with a route and positive demand, schedule
+    independent Poisson packet arrivals at the demanded rate between
+    [start] and [stop]. *)

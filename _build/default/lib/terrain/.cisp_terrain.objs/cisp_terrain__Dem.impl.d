@@ -1,0 +1,1 @@
+lib/terrain/dem.ml: Array Cisp_geo Cisp_util Float List Noise

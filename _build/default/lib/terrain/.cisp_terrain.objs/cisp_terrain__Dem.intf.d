@@ -1,0 +1,1 @@
+lib/terrain/dem.mli: Cisp_geo

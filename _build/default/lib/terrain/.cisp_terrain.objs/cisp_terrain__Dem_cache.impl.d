@@ -1,0 +1,1 @@
+lib/terrain/dem_cache.ml: Cisp_geo Dem Float Hashtbl

@@ -1,0 +1,1 @@
+lib/terrain/dem_cache.mli: Cisp_geo Dem

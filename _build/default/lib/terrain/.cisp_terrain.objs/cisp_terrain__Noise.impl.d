@@ -1,0 +1,1 @@
+lib/terrain/noise.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/terrain/noise.mli:

@@ -1,0 +1,118 @@
+module Coord = Cisp_geo.Coord
+module Geodesy = Cisp_geo.Geodesy
+
+type relief = {
+  center : Coord.t;
+  axis_bearing_deg : float;
+  half_length_km : float;
+  half_width_km : float;
+  peak_m : float;
+}
+
+type region = Us_continental | Europe | Flat | Custom of relief list
+
+type t = {
+  seed : int;
+  reliefs : relief list;
+  base_amp_m : float;     (* rolling-hill noise amplitude outside ranges *)
+  base_floor_m : float;   (* continental base elevation *)
+  west_ramp : bool;       (* Great-Plains-style westward elevation ramp *)
+}
+
+let mk_relief lat lon axis_bearing_deg half_length_km half_width_km peak_m =
+  { center = Coord.make ~lat ~lon; axis_bearing_deg; half_length_km; half_width_km; peak_m }
+
+(* Idealized major ranges; positions are approximate but geographically
+   sensible, which is all the synthetic substitution needs. *)
+let us_reliefs =
+  [
+    (* Rocky Mountains: Montana down to New Mexico. *)
+    mk_relief 43.0 (-107.5) 170.0 1100.0 260.0 1900.0;
+    (* Sierra Nevada / Cascades along the west coast interior. *)
+    mk_relief 41.5 (-120.8) 175.0 900.0 150.0 1700.0;
+    (* Appalachians: Georgia up to Maine. *)
+    mk_relief 38.5 (-79.5) 35.0 900.0 180.0 800.0;
+    (* Ozarks. *)
+    mk_relief 36.5 (-92.5) 90.0 250.0 150.0 350.0;
+  ]
+
+let eu_reliefs =
+  [
+    (* Alps. *)
+    mk_relief 46.5 9.5 80.0 500.0 150.0 2500.0;
+    (* Pyrenees. *)
+    mk_relief 42.7 0.5 95.0 220.0 70.0 1800.0;
+    (* Carpathians. *)
+    mk_relief 47.5 24.0 120.0 500.0 130.0 1300.0;
+    (* Scandinavian mountains. *)
+    mk_relief 62.0 9.0 30.0 700.0 150.0 1200.0;
+    (* Dinaric Alps / Balkans. *)
+    mk_relief 43.8 18.5 135.0 350.0 120.0 1200.0;
+  ]
+
+let create ?(seed = 42) region =
+  match region with
+  | Us_continental ->
+    { seed; reliefs = us_reliefs; base_amp_m = 90.0; base_floor_m = 150.0; west_ramp = true }
+  | Europe ->
+    { seed; reliefs = eu_reliefs; base_amp_m = 80.0; base_floor_m = 100.0; west_ramp = false }
+  | Flat -> { seed; reliefs = []; base_amp_m = 15.0; base_floor_m = 100.0; west_ramp = false }
+  | Custom reliefs ->
+    { seed; reliefs; base_amp_m = 60.0; base_floor_m = 100.0; west_ramp = false }
+
+(* Gaussian membership of [p] in the elongated relief footprint:
+   1 at the core, falling off along and across the axis. *)
+let relief_weight rl p =
+  let d = Geodesy.distance_km rl.center p in
+  if d > (2.5 *. rl.half_length_km) +. (2.5 *. rl.half_width_km) then 0.0
+  else begin
+    let theta = Cisp_util.Units.deg_to_rad (Geodesy.initial_bearing_deg rl.center p -. rl.axis_bearing_deg) in
+    let along = d *. cos theta /. rl.half_length_km in
+    let across = d *. sin theta /. rl.half_width_km in
+    let q = (along *. along) +. (across *. across) in
+    exp (-.q)
+  end
+
+let mountain_amp t p =
+  List.fold_left (fun acc rl -> acc +. (rl.peak_m *. relief_weight rl p)) 0.0 t.reliefs
+
+let ruggedness t p = t.base_amp_m +. mountain_amp t p
+
+let elevation_m t p =
+  let lat = Coord.lat p and lon = Coord.lon p in
+  (* Feature scale: frequency 2/deg ~ 50 km rolling features. *)
+  let base = Noise.fbm ~seed:t.seed ~octaves:5 ~lacunarity:2.1 ~gain:0.5 (lon *. 2.0) (lat *. 2.0) in
+  let mountains =
+    let amp = mountain_amp t p in
+    if amp <= 1.0 then 0.0
+    else amp *. Noise.ridged ~seed:(t.seed + 1000) ~octaves:4 (lon *. 3.0) (lat *. 3.0)
+  in
+  let ramp =
+    if t.west_ramp then begin
+      (* Great-Plains ramp: ~200 m near lon -95 rising to ~1600 m near -105. *)
+      let x = (-95.0 -. lon) /. 10.0 in
+      let x = Float.max 0.0 (Float.min 1.6 x) in
+      x *. 900.0
+    end
+    else 0.0
+  in
+  Float.max 0.0 (t.base_floor_m +. ramp +. (t.base_amp_m *. base) +. mountains)
+
+let clutter_m t p =
+  let lat = Coord.lat p and lon = Coord.lon p in
+  (* Canopy/building height: noisy 0-30 m field at ~20 km scale. *)
+  let v = Noise.fbm ~seed:(t.seed + 2000) ~octaves:3 ~lacunarity:2.0 ~gain:0.5 (lon *. 5.0) (lat *. 5.0) in
+  let h = 14.0 +. (14.0 *. v) in
+  Float.max 0.0 h
+
+let surface_m t p = elevation_m t p +. clutter_m t p
+
+let profile t a b ~step_km =
+  let pts = Geodesy.sample_path a b ~step_km in
+  let total = Geodesy.distance_km a b in
+  let n = Array.length pts in
+  Array.mapi
+    (fun i p ->
+      let d = total *. float_of_int i /. float_of_int (n - 1) in
+      (d, surface_m t p))
+    pts

@@ -1,0 +1,36 @@
+type t = {
+  dem : Dem.t;
+  surface : (int, float) Hashtbl.t;
+  ground : (int, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create dem =
+  { dem; surface = Hashtbl.create 65536; ground = Hashtbl.create 65536; hits = 0; misses = 0 }
+
+let dem t = t.dem
+
+(* ~0.0036 degrees: about 400 m in latitude. *)
+let quantum = 276.0
+
+let key p =
+  let qi = int_of_float (Float.round (Cisp_geo.Coord.lat p *. quantum)) in
+  let qj = int_of_float (Float.round (Cisp_geo.Coord.lon p *. quantum)) in
+  (qi * 1_000_003) lxor qj
+
+let lookup t table compute p =
+  let k = key p in
+  match Hashtbl.find_opt table k with
+  | Some v ->
+    t.hits <- t.hits + 1;
+    v
+  | None ->
+    t.misses <- t.misses + 1;
+    let v = compute t.dem p in
+    Hashtbl.add table k v;
+    v
+
+let surface_m t p = lookup t t.surface Dem.surface_m p
+let elevation_m t p = lookup t t.ground Dem.elevation_m p
+let stats t = (t.hits, t.misses)

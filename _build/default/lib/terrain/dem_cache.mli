@@ -1,0 +1,23 @@
+(** Quantized memoization layer over a {!Dem}.
+
+    Line-of-sight screening samples millions of surface heights, most
+    of them in dense tower clusters where paths overlap heavily.  This
+    cache snaps queries to a ~400 m grid and memoizes the surface
+    height per grid cell, trading negligible accuracy (the synthetic
+    DEM's features are tens of km wide) for an order of magnitude in
+    throughput. *)
+
+type t
+
+val create : Dem.t -> t
+
+val dem : t -> Dem.t
+
+val surface_m : t -> Cisp_geo.Coord.t -> float
+(** Memoized [Dem.surface_m] at the cell containing the point. *)
+
+val elevation_m : t -> Cisp_geo.Coord.t -> float
+(** Memoized ground elevation (no clutter). *)
+
+val stats : t -> int * int
+(** (hits, misses) — for tests and tuning. *)

@@ -1,0 +1,40 @@
+(* Hash integer lattice coordinates and a seed to a float in [-1, 1].
+   Uses the splitmix64 finalizer for good avalanche behaviour. *)
+let lattice ~seed ix iy =
+  let h = Int64.of_int ((ix * 0x1F1F1F1F) lxor (iy * 0x5F356495) lxor (seed * 0x2545F491)) in
+  let z = Int64.add h 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let bits = Int64.to_float (Int64.shift_right_logical z 11) in
+  (bits /. 9007199254740992.0 *. 2.0) -. 1.0
+
+let smoothstep t = t *. t *. (3.0 -. (2.0 *. t))
+
+let value ~seed x y =
+  let x0 = int_of_float (Float.floor x) and y0 = int_of_float (Float.floor y) in
+  let fx = x -. Float.floor x and fy = y -. Float.floor y in
+  let sx = smoothstep fx and sy = smoothstep fy in
+  let v00 = lattice ~seed x0 y0 in
+  let v10 = lattice ~seed (x0 + 1) y0 in
+  let v01 = lattice ~seed x0 (y0 + 1) in
+  let v11 = lattice ~seed (x0 + 1) (y0 + 1) in
+  let a = v00 +. (sx *. (v10 -. v00)) in
+  let b = v01 +. (sx *. (v11 -. v01)) in
+  a +. (sy *. (b -. a))
+
+let fbm ~seed ~octaves ~lacunarity ~gain x y =
+  assert (octaves > 0);
+  let rec loop i freq amp sum norm =
+    if i >= octaves then sum /. norm
+    else begin
+      let v = value ~seed:(seed + i) (x *. freq) (y *. freq) in
+      loop (i + 1) (freq *. lacunarity) (amp *. gain) (sum +. (amp *. v)) (norm +. amp)
+    end
+  in
+  loop 0 1.0 1.0 0.0 0.0
+
+let ridged ~seed ~octaves x y =
+  let v = fbm ~seed ~octaves ~lacunarity:2.0 ~gain:0.5 x y in
+  let ridge = 1.0 -. Float.abs v in
+  ridge *. ridge

@@ -1,0 +1,19 @@
+(** Deterministic 2-D value noise.
+
+    Used to synthesize elevation fields.  The noise is a lattice of
+    pseudo-random values hashed from integer coordinates and a seed,
+    interpolated with a smoothstep kernel, and summed over octaves
+    (fractional Brownian motion). *)
+
+val value : seed:int -> float -> float -> float
+(** [value ~seed x y] is single-octave noise in \[-1, 1\], continuous
+    in (x, y), deterministic in [seed]. *)
+
+val fbm : seed:int -> octaves:int -> lacunarity:float -> gain:float -> float -> float -> float
+(** Fractional Brownian motion: [octaves] layers of [value], each layer
+    with frequency multiplied by [lacunarity] and amplitude by [gain].
+    Normalized to roughly \[-1, 1\]. *)
+
+val ridged : seed:int -> octaves:int -> float -> float -> float
+(** Ridged multifractal variant (1 - |noise|, squared), in \[0, 1\] —
+    produces mountain-crest-like features. *)

@@ -1,0 +1,1 @@
+lib/towers/culling.ml: Array Cisp_geo Cisp_util Float Hashtbl Int List Tower

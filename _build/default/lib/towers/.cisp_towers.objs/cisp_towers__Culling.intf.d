@@ -1,0 +1,1 @@
+lib/towers/culling.mli: Tower

@@ -1,0 +1,1 @@
+lib/towers/hops.ml: Array Cisp_data Cisp_geo Cisp_graph Cisp_rf Cisp_terrain List Tower

@@ -1,0 +1,1 @@
+lib/towers/hops.mli: Cisp_data Cisp_graph Cisp_rf Cisp_terrain Tower

@@ -1,0 +1,1 @@
+lib/towers/refine.ml: Array Cisp_data Cisp_geo Cisp_graph Cisp_rf Cisp_util Float Hashtbl Hops List Tower

@@ -1,0 +1,1 @@
+lib/towers/refine.mli: Hops Tower

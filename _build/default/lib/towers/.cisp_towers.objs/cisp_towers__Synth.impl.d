@@ -1,0 +1,1 @@
+lib/towers/synth.ml: Array Cisp_data Cisp_geo Cisp_terrain Cisp_util Float Hashtbl List Tower

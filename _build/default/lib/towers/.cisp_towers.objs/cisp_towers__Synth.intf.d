@@ -1,0 +1,1 @@
+lib/towers/synth.mli: Cisp_data Cisp_terrain Tower

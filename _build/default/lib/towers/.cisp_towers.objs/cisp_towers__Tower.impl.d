@@ -1,0 +1,1 @@
+lib/towers/tower.ml: Cisp_geo Format

@@ -1,0 +1,1 @@
+lib/towers/tower.mli: Cisp_geo Format

@@ -1,0 +1,18 @@
+(** Registry culling, paper §4.
+
+    "Towers from rental companies are typically suitable for use.  From
+    the FCC database, we only use towers over 100 m height.  When
+    tower-density exceeds 50 towers per 0.5 degree square grid cell, we
+    randomly sample towers." *)
+
+type config = {
+  fcc_min_height_m : float;   (** 100 m *)
+  cell_deg : float;           (** 0.5 degrees *)
+  max_per_cell : int;         (** 50 *)
+  sample_seed : int;
+}
+
+val default_config : config
+
+val apply : ?config:config -> Tower.t list -> Tower.t list
+(** Deterministic culled registry. *)

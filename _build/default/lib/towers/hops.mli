@@ -1,0 +1,61 @@
+(** Step 1 of the cISP design (paper §3.1, §4): feasible tower-tower
+    hops and shortest city-city microwave links.
+
+    Builds a graph whose nodes are the sites (population centers)
+    followed by the culled towers, with an edge for every pair that
+    passes the line-of-sight + range test, then extracts for each pair
+    of sites the shortest "link": its length [m_ij] (latency input to
+    step 2) and its tower count (cost input [c_ij]). *)
+
+type config = {
+  los_params : Cisp_rf.Los.params;
+  height_fraction : float;      (** usable fraction of tower height (§6.5) *)
+  site_antenna_m : float;       (** antenna height at the site itself *)
+  site_attach_radius_km : float;(** how far a site reaches for its first tower *)
+}
+
+val default_config : config
+
+type t = {
+  config : config;
+  sites : Cisp_data.City.t array;
+  towers : Tower.t array;
+  graph : Cisp_graph.Graph.t;
+      (** node ids: [0 .. n_sites-1] are sites, [n_sites + k] is tower [k] *)
+  n_sites : int;
+  feasible_hops : int;          (** tower-tower edges that passed the check *)
+}
+
+val build :
+  ?config:config ->
+  cache:Cisp_terrain.Dem_cache.t ->
+  sites:Cisp_data.City.t list ->
+  towers:Tower.t list ->
+  unit -> t
+
+val tower_node : t -> int -> int
+(** Graph node id of tower index [k]. *)
+
+val is_tower_node : t -> int -> bool
+
+type link = {
+  src : int;                    (** site index *)
+  dst : int;                    (** site index *)
+  distance_km : float;          (** MW path length, the paper's m_ij *)
+  geodesic_km : float;          (** site-to-site great-circle distance *)
+  node_path : int list;         (** graph nodes from src site to dst site *)
+  tower_count : int;            (** interior tower nodes = cost c_ij in towers *)
+}
+
+val link_stretch : link -> float
+(** distance_km / geodesic_km. *)
+
+val hops_of_link : link -> (int * int) list
+(** Consecutive node pairs along the path (physical hops). *)
+
+val shortest_link : t -> src:int -> dst:int -> link option
+(** Single-pair shortest MW link, if the tower graph connects them. *)
+
+val all_links : t -> link option array array
+(** [all_links t].(i).(j) for all site pairs (symmetric up to path
+    direction, diagonal [None]).  One Dijkstra per site. *)

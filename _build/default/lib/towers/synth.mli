@@ -1,0 +1,34 @@
+(** Synthetic tower registry (substitute for FCC ASR + commercial
+    tower databases, paper §4).
+
+    Real tower infrastructure clusters around population and along
+    transport corridors; ruggedness depresses density.  The generator
+    reproduces those statistics deterministically:
+
+    - per-city clusters whose size grows with population (every site
+      "hosts enough towers to use as the starting point" — §3.1);
+    - corridor towers scattered along the geodesics between nearby
+      city pairs (real long-haul towers follow highways/railroads);
+    - a uniform rural background over the bounding box.
+
+    Heights follow the mix seen in the FCC data: most structures are
+    50-150 m, with a tall tail up to ~300 m. *)
+
+type config = {
+  seed : int;
+  city_towers_per_100k : float;  (** cluster size scaling *)
+  city_radius_km : float;        (** cluster spread around the center *)
+  corridor_spacing_km : float;   (** mean spacing of corridor towers *)
+  corridor_max_km : float;       (** only corridors shorter than this *)
+  corridor_jitter_km : float;    (** lateral scatter off the geodesic *)
+  background_count : int;        (** uniform rural towers *)
+  min_height_m : float;
+  max_height_m : float;
+}
+
+val default_config : config
+
+val generate :
+  ?config:config -> dem:Cisp_terrain.Dem.t -> sites:Cisp_data.City.t list ->
+  unit -> Tower.t list
+(** Deterministic registry for the given sites. *)

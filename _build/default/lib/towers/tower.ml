@@ -1,0 +1,20 @@
+type source = Fcc | Rental | City
+
+type t = {
+  id : int;
+  position : Cisp_geo.Coord.t;
+  height_m : float;
+  source : source;
+}
+
+let make ~id ~position ~height_m ~source =
+  assert (height_m > 0.0);
+  { id; position; height_m; source }
+
+let pp ppf t =
+  let src = match t.source with Fcc -> "fcc" | Rental -> "rental" | City -> "city" in
+  Format.fprintf ppf "tower#%d %a h=%.0fm %s" t.id Cisp_geo.Coord.pp t.position t.height_m src
+
+let usable_height_m t ~fraction =
+  assert (fraction > 0.0 && fraction <= 1.0);
+  t.height_m *. fraction

@@ -1,0 +1,1 @@
+lib/traffic/perturb.ml: Array Cisp_util Matrix

@@ -1,0 +1,1 @@
+lib/traffic/perturb.mli: Cisp_data Matrix

@@ -1,0 +1,66 @@
+type t = float array array
+
+let size (m : t) = Array.length m
+
+let total (m : t) =
+  Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0.0 m
+
+let normalize (m : t) =
+  let s = total m in
+  if s <= 0.0 then Array.map Array.copy m
+  else Array.map (Array.map (fun v -> v /. s)) m
+
+let scale_to_gbps m ~aggregate_gbps =
+  let n = normalize m in
+  Array.map (Array.map (fun v -> v *. aggregate_gbps)) n
+
+let map_populations cities ~f =
+  let n = Array.length cities in
+  let w = Array.init n (fun i -> float_of_int cities.(i).Cisp_data.City.population *. f i) in
+  let m = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then m.(i).(j) <- w.(i) *. w.(j)
+    done
+  done;
+  normalize m
+
+let population_product cities = map_populations cities ~f:(fun _ -> 1.0)
+
+let uniform_pairs n =
+  let m = Array.make_matrix n n 1.0 in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 0.0
+  done;
+  normalize m
+
+let dc_edge ~cities ~n_total ~dc_of =
+  let m = Array.make_matrix n_total n_total 0.0 in
+  Array.iteri
+    (fun i (c : Cisp_data.City.t) ->
+      match dc_of i with
+      | Some d when d <> i ->
+        let v = float_of_int c.population in
+        m.(i).(d) <- m.(i).(d) +. v;
+        m.(d).(i) <- m.(d).(i) +. v
+      | Some _ | None -> ())
+    cities;
+  normalize m
+
+let mix components =
+  match components with
+  | [] -> invalid_arg "Matrix.mix: empty"
+  | (_, first) :: _ ->
+    let n = size first in
+    let out = Array.make_matrix n n 0.0 in
+    List.iter
+      (fun (w, m) ->
+        assert (size m = n);
+        let nm = normalize m in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            out.(i).(j) <- out.(i).(j) +. (w *. nm.(i).(j))
+          done
+        done)
+      components;
+    normalize out

@@ -1,0 +1,40 @@
+(** Traffic matrices (paper §3.2, §4, §6.3, §6.4).
+
+    A matrix assigns a relative volume h_ij >= 0 to each ordered site
+    pair; matrices here are symmetric with zero diagonals and are
+    usually normalized so entries sum to 1. *)
+
+type t = float array array
+
+val size : t -> int
+
+val normalize : t -> t
+(** Scale so all entries sum to 1 (identity on the all-zero matrix). *)
+
+val total : t -> float
+
+val scale_to_gbps : t -> aggregate_gbps:float -> t
+(** Demands in Gbps summing (over ordered pairs) to [aggregate_gbps]. *)
+
+val population_product : Cisp_data.City.t array -> t
+(** h_ij proportional to pop_i * pop_j (the paper's city-city model),
+    normalized. *)
+
+val uniform_pairs : int -> t
+(** Equal volume between every pair (the paper's inter-DC model),
+    normalized. *)
+
+val dc_edge : cities:Cisp_data.City.t array -> n_total:int -> dc_of:(int -> int option) -> t
+(** DC-to-edge model: each city index [i < Array.length cities] sends
+    traffic proportional to its population to [dc_of i] (an index in
+    [0, n_total)); normalized.  Entries for cities whose [dc_of] is
+    [None] are zero. *)
+
+val mix : (float * t) list -> t
+(** Weighted combination, e.g. the paper's 4:3:3 city-city / DC-edge /
+    inter-DC mix; each component is normalized first, result
+    normalized. *)
+
+val map_populations : Cisp_data.City.t array -> f:(int -> float) -> t
+(** Population-product with per-city multiplier [f i] applied —
+    the perturbation hook. *)

@@ -1,0 +1,8 @@
+let factors ~n ~gamma ~seed =
+  assert (gamma >= 0.0 && gamma <= 1.0);
+  let rng = Cisp_util.Rng.create seed in
+  Array.init n (fun _ -> Cisp_util.Rng.uniform rng (1.0 -. gamma) (1.0 +. gamma))
+
+let population cities ~gamma ~seed =
+  let f = factors ~n:(Array.length cities) ~gamma ~seed in
+  Matrix.map_populations cities ~f:(fun i -> f.(i))

@@ -1,0 +1,10 @@
+(** Traffic-model perturbations (paper §5, Fig 5).
+
+    "each city's population is re-weighted by a factor drawn from the
+    uniform distribution U[1 - gamma, 1 + gamma]". *)
+
+val population : Cisp_data.City.t array -> gamma:float -> seed:int -> Matrix.t
+(** Perturbed population-product matrix; [gamma] in [0, 1]. *)
+
+val factors : n:int -> gamma:float -> seed:int -> float array
+(** The underlying per-city multipliers (exposed for tests). *)

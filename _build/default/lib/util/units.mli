@@ -1,0 +1,28 @@
+(** Physical constants and unit conversions shared across the system. *)
+
+val c_vacuum_km_s : float
+(** Speed of light in vacuum, km/s (299,792.458). *)
+
+val c_fiber_km_s : float
+(** Effective speed of light in optical fiber, ~2/3 c. *)
+
+val fiber_latency_factor : float
+(** Paper §3.2: fiber distances are multiplied by 1.5 so that distance
+    at [c_vacuum] models latency over fiber at 2/3 c. *)
+
+val earth_radius_km : float
+(** Mean Earth radius, km. *)
+
+val ms_of_km_at_c : float -> float
+(** One-way propagation delay in milliseconds over [d] km at c. *)
+
+val km_of_ms_at_c : float -> float
+
+val gb_of_gbps_over : float -> seconds:float -> float
+(** [gb_of_gbps_over rate ~seconds] is the gigabytes transferred at
+    [rate] Gbps for [seconds] seconds. *)
+
+val seconds_per_year : float
+
+val deg_to_rad : float -> float
+val rad_to_deg : float -> float

@@ -1,0 +1,1 @@
+lib/weather/failure.ml: Cisp_geo Cisp_rf Cisp_towers Float List Rainfield

@@ -1,0 +1,1 @@
+lib/weather/failure.mli: Cisp_geo Cisp_rf Cisp_towers Rainfield

@@ -1,0 +1,1 @@
+lib/weather/hft.ml: Array Cisp_geo Cisp_util Failure Float Rainfield

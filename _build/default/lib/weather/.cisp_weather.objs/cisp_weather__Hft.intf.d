@@ -1,0 +1,1 @@
+lib/weather/hft.mli:

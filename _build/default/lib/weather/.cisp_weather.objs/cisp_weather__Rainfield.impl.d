@@ -1,0 +1,1 @@
+lib/weather/rainfield.ml: Cisp_geo Cisp_util Float List

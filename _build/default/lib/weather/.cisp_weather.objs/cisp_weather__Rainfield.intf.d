@@ -1,0 +1,1 @@
+lib/weather/rainfield.mli: Cisp_geo

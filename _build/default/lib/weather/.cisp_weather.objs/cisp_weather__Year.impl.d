@@ -1,0 +1,1 @@
+lib/weather/year.ml: Array Cisp_data Cisp_design Cisp_geo Cisp_towers Cisp_util Failure Float List Rainfield

@@ -1,0 +1,1 @@
+lib/weather/year.mli: Cisp_design Cisp_towers Rainfield

@@ -1,0 +1,34 @@
+(** Rain-induced link failures (paper §6.1).
+
+    "If attenuation exceeds a threshold that would degrade bandwidth,
+    we conservatively consider a link to have failed."  A hop's
+    threshold is its clear-air fade margin (longer hops have less
+    margin); a link fails when any of its hops does. *)
+
+type params = {
+  f_ghz : float;
+  polarization : Cisp_rf.Attenuation.polarization;
+  margin_floor_db : float;     (** minimum credible margin *)
+  margin_cap_db : float;       (** cap (regulators limit TX power) *)
+}
+
+val default_params : params
+
+val hop_margin_db : ?params:params -> d_km:float -> unit -> float
+
+val hop_failed : ?params:params -> rain_mm_h:float -> d_km:float -> unit -> bool
+(** Binary failure of a single hop under uniform rain. *)
+
+val link_failed :
+  ?params:params ->
+  node_position:(int -> Cisp_geo.Coord.t) ->
+  Rainfield.t ->
+  Cisp_towers.Hops.link ->
+  bool
+(** Walks the link's physical hops, sampling rain at each hop
+    midpoint. *)
+
+val hop_loss_probability : ?params:params -> rain_mm_h:float -> d_km:float -> unit -> float
+(** Smooth packet-loss model for the §2 HFT-relay study: negligible
+    below margin, saturating above (a logistic in the attenuation
+    margin deficit), plus a small multipath-fading floor. *)

@@ -1,0 +1,98 @@
+module Hops = Cisp_towers.Hops
+module Inputs = Cisp_design.Inputs
+module Topology = Cisp_design.Topology
+
+type pair_summary = { best : float; median : float; p99 : float; worst : float; fiber : float }
+
+type result = {
+  intervals : int;
+  mean_failed_links : float;
+  per_pair : pair_summary array;
+}
+
+let node_position (hops : Hops.t) node =
+  if node < hops.Hops.n_sites then hops.Hops.sites.(node).Cisp_data.City.coord
+  else hops.Hops.towers.(node - hops.Hops.n_sites).Cisp_towers.Tower.position
+
+let run ?(seed = 99) ?(intervals = 365) ~climate ~hops (inputs : Inputs.t) (topo : Topology.t) =
+  let n = Inputs.n_sites inputs in
+  let base = Topology.fiber_baseline inputs in
+  let built = Array.of_list topo.Topology.built in
+  let links =
+    Array.map
+      (fun (i, j) ->
+        match inputs.Inputs.mw_links.(i).(j) with
+        | Some l -> ((i, j), Some l)
+        | None -> ((i, j), None))
+      built
+  in
+  let pairs = ref [] in
+  for s = 0 to n - 1 do
+    for t = s + 1 to n - 1 do
+      if inputs.traffic.(s).(t) +. inputs.traffic.(t).(s) > 0.0 && inputs.geodesic_km.(s).(t) > 0.0
+      then pairs := (s, t) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list (List.rev !pairs) in
+  let np = Array.length pairs in
+  let samples = Array.make_matrix np intervals 0.0 in
+  let failed_total = ref 0 in
+  let pos = node_position hops in
+  for interval = 0 to intervals - 1 do
+    let day = interval * 365 / intervals in
+    let field = Rainfield.sample ~seed climate ~day in
+    (* Distances over surviving links. *)
+    let d = ref base in
+    Array.iter
+      (fun ((i, j), link) ->
+        let failed =
+          match link with
+          | Some l -> Failure.link_failed ~node_position:pos field l
+          | None ->
+            (* Synthetic instance: approximate with a single hop at the
+               link midpoint. *)
+            let rain =
+              Rainfield.rain_at field
+                (Cisp_geo.Geodesy.midpoint inputs.sites.(i).Cisp_data.City.coord
+                   inputs.sites.(j).Cisp_data.City.coord)
+            in
+            Failure.hop_failed ~rain_mm_h:rain ~d_km:60.0 ()
+        in
+        if failed then incr failed_total
+        else d := Topology.distances_incremental inputs !d (i, j))
+      links;
+    let dm = !d in
+    Array.iteri
+      (fun k (s, t) -> samples.(k).(interval) <- dm.(s).(t) /. inputs.geodesic_km.(s).(t))
+      pairs
+  done;
+  let per_pair =
+    Array.mapi
+      (fun k (s, t) ->
+        let xs = samples.(k) in
+        let sorted = Array.copy xs in
+        Array.sort Float.compare sorted;
+        {
+          best = sorted.(0);
+          median = Cisp_util.Stats.percentile xs 50.0;
+          p99 = Cisp_util.Stats.percentile xs 99.0;
+          worst = sorted.(intervals - 1);
+          fiber = base.(s).(t) /. inputs.geodesic_km.(s).(t);
+        })
+      pairs
+  in
+  {
+    intervals;
+    mean_failed_links = float_of_int !failed_total /. float_of_int intervals;
+    per_pair;
+  }
+
+let stretch_cdfs r =
+  let cdf f = Cisp_util.Stats.cdf (Array.map f r.per_pair) in
+  [
+    ("best", cdf (fun p -> p.best));
+    ("median", cdf (fun p -> p.median));
+    ("p99", cdf (fun p -> p.p99));
+    ("worst", cdf (fun p -> p.worst));
+    ("fiber", cdf (fun p -> p.fiber));
+  ]

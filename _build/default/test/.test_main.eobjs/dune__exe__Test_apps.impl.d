@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Cisp_apps Cisp_util Econ Gaming List Printf Web

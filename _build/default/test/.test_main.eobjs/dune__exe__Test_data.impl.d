@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Cisp_data Cisp_geo City Datacenters Eu_cities Int List Printf Sites String Us_cities

@@ -1,0 +1,1 @@
+test/test_fiber.ml: Alcotest Array Cisp_data Cisp_fiber Cisp_geo Conduit List Printf

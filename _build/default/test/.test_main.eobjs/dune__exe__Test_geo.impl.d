@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Array Cisp_geo Coord Float Geodesy Grid List QCheck QCheck_alcotest

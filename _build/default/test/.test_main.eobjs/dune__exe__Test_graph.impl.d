@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cisp_graph Cisp_util Dijkstra Disjoint Float Graph Heap Kshortest List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Capacity Cisp_data Cisp_design Cisp_sim Cisp_towers Cisp_traffic Cisp_weather Cost Inputs List Printf Scenario Topology

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Cisp_lp Cisp_util Float Gen List Milp Model Option Printf QCheck QCheck_alcotest Simplex

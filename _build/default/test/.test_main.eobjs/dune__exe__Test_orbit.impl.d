@@ -1,0 +1,1 @@
+test/test_orbit.ml: Alcotest Array Cisp_geo Cisp_orbit Constellation Printf

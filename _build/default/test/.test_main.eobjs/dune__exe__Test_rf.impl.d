@@ -1,0 +1,1 @@
+test/test_rf.ml: Alcotest Attenuation Capacity Cisp_geo Cisp_rf Cisp_terrain Float Fresnel Link_budget List Los Medium Printf QCheck QCheck_alcotest

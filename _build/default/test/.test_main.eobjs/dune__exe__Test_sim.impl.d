@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Cisp_data Cisp_design Cisp_geo Cisp_rf Cisp_sim Cisp_traffic Engine Hashtbl List Net Printf Routing Tcp Udp

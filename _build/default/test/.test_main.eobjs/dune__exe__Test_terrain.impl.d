@@ -1,0 +1,1 @@
+test/test_terrain.ml: Alcotest Array Cisp_geo Cisp_terrain Cisp_util Dem Dem_cache Float Noise Printf

@@ -1,0 +1,1 @@
+test/test_towers.ml: Alcotest Array Cisp_data Cisp_geo Cisp_graph Cisp_rf Cisp_terrain Cisp_towers Culling Float Hashtbl Hops List Option Printf Refine Synth Tower

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Cisp_data Cisp_traffic Cisp_util Float Matrix Perturb QCheck QCheck_alcotest

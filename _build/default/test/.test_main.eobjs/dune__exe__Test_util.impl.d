@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cisp_util Float Gen List QCheck QCheck_alcotest Rng Stats Units

@@ -1,0 +1,1 @@
+test/test_weather.ml: Alcotest Array Cisp_data Cisp_design Cisp_geo Cisp_terrain Cisp_towers Cisp_traffic Cisp_util Cisp_weather Failure Hft List Printf Rainfield Year

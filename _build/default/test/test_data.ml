@@ -1,0 +1,114 @@
+open Cisp_data
+
+let test_us_cities_count () =
+  Alcotest.(check int) "200 cities" 200 (List.length Us_cities.all)
+
+let test_us_cities_sorted () =
+  let pops = List.map (fun c -> c.City.population) Us_cities.all in
+  Alcotest.(check bool) "descending" true
+    (List.sort (fun a b -> Int.compare b a) pops = pops)
+
+let test_us_cities_contiguous () =
+  List.iter
+    (fun (c : City.t) ->
+      let lat = Cisp_geo.Coord.lat c.coord and lon = Cisp_geo.Coord.lon c.coord in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in contiguous US" c.name)
+        true
+        (lat > 24.0 && lat < 50.0 && lon > -125.0 && lon < -66.0))
+    Us_cities.all
+
+let test_us_top () =
+  let t3 = Us_cities.top 3 in
+  Alcotest.(check int) "three" 3 (List.length t3);
+  match t3 with
+  | a :: b :: c :: [] ->
+    Alcotest.(check string) "nyc first" "New York, NY" a.City.name;
+    Alcotest.(check string) "la second" "Los Angeles, CA" b.City.name;
+    Alcotest.(check string) "chicago third" "Chicago, IL" c.City.name
+  | _ -> Alcotest.fail "expected 3"
+
+let test_coalesce_count () =
+  let centers = Sites.us_population_centers () in
+  let n = List.length centers in
+  (* Paper gets 120 from its exact data; ours should land nearby. *)
+  Alcotest.(check bool) (Printf.sprintf "got %d centers" n) true (n >= 100 && n <= 130)
+
+let test_coalesce_preserves_population () =
+  let total_before = List.fold_left (fun a c -> a + c.City.population) 0 Us_cities.all in
+  let centers = Sites.us_population_centers () in
+  let total_after = List.fold_left (fun a c -> a + c.City.population) 0 centers in
+  Alcotest.(check int) "population conserved" total_before total_after
+
+let test_coalesce_merges_dfw () =
+  (* Dallas, Fort Worth, Arlington, Plano, Garland, Irving are all
+     within 50 km chains: exactly one center should carry "Dallas". *)
+  let centers = Sites.us_population_centers () in
+  let dallas =
+    List.filter (fun c -> String.length c.City.name >= 6 && String.sub c.City.name 0 6 = "Dallas") centers
+  in
+  Alcotest.(check int) "one dallas center" 1 (List.length dallas);
+  let d = List.hd dallas in
+  Alcotest.(check bool) "metroplex population" true (d.City.population > 2_500_000);
+  let fw = List.filter (fun c -> c.City.name = "Fort Worth, TX") centers in
+  Alcotest.(check int) "fort worth absorbed" 0 (List.length fw)
+
+let test_coalesce_idempotent_when_far () =
+  let cities =
+    [
+      City.make "A" ~lat:30.0 ~lon:(-100.0) ~population:100;
+      City.make "B" ~lat:40.0 ~lon:(-90.0) ~population:200;
+    ]
+  in
+  let out = Sites.coalesce cities in
+  Alcotest.(check int) "nothing merged" 2 (List.length out)
+
+let test_coalesce_transitive () =
+  (* A-B 40km, B-C 40km, A-C 80km: all three merge transitively. *)
+  let a = City.make "A" ~lat:40.0 ~lon:(-100.0) ~population:300 in
+  let b_coord = Cisp_geo.Geodesy.destination a.City.coord ~bearing_deg:90.0 ~distance_km:40.0 in
+  let c_coord = Cisp_geo.Geodesy.destination a.City.coord ~bearing_deg:90.0 ~distance_km:80.0 in
+  let b = City.make "B" ~lat:(Cisp_geo.Coord.lat b_coord) ~lon:(Cisp_geo.Coord.lon b_coord) ~population:200 in
+  let c = City.make "C" ~lat:(Cisp_geo.Coord.lat c_coord) ~lon:(Cisp_geo.Coord.lon c_coord) ~population:100 in
+  let out = Sites.coalesce [ a; b; c ] in
+  Alcotest.(check int) "single center" 1 (List.length out);
+  let m = List.hd out in
+  Alcotest.(check string) "named after largest" "A" m.City.name;
+  Alcotest.(check int) "summed population" 600 m.City.population
+
+let test_eu_cities () =
+  let n = List.length Eu_cities.all in
+  Alcotest.(check bool) (Printf.sprintf "%d EU cities" n) true (n >= 100);
+  List.iter
+    (fun (c : City.t) ->
+      let lat = Cisp_geo.Coord.lat c.coord and lon = Cisp_geo.Coord.lon c.coord in
+      Alcotest.(check bool) (c.name ^ " in Europe") true
+        (lat > 35.0 && lat < 65.0 && lon > -10.0 && lon < 30.0))
+    Eu_cities.all
+
+let test_datacenters () =
+  Alcotest.(check int) "six DCs" 6 (List.length Datacenters.all);
+  List.iter
+    (fun (c : City.t) -> Alcotest.(check int) ("no population: " ^ c.name) 0 c.population)
+    Datacenters.all
+
+let suites =
+  [
+    ( "data.us_cities",
+      [
+        Alcotest.test_case "count" `Quick test_us_cities_count;
+        Alcotest.test_case "sorted" `Quick test_us_cities_sorted;
+        Alcotest.test_case "contiguous" `Quick test_us_cities_contiguous;
+        Alcotest.test_case "top" `Quick test_us_top;
+      ] );
+    ( "data.sites",
+      [
+        Alcotest.test_case "center count" `Quick test_coalesce_count;
+        Alcotest.test_case "population conserved" `Quick test_coalesce_preserves_population;
+        Alcotest.test_case "dfw merged" `Quick test_coalesce_merges_dfw;
+        Alcotest.test_case "far cities untouched" `Quick test_coalesce_idempotent_when_far;
+        Alcotest.test_case "transitive merge" `Quick test_coalesce_transitive;
+      ] );
+    ("data.eu", [ Alcotest.test_case "eu cities" `Quick test_eu_cities ]);
+    ("data.dc", [ Alcotest.test_case "datacenters" `Quick test_datacenters ]);
+  ]

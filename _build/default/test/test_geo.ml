@@ -1,0 +1,176 @@
+open Cisp_geo
+
+let coord = Coord.make
+let check_float eps = Alcotest.(check (float eps))
+
+let nyc = coord ~lat:40.7128 ~lon:(-74.006)
+let la = coord ~lat:34.0522 ~lon:(-118.2437)
+let chicago = coord ~lat:41.8781 ~lon:(-87.6298)
+let london = coord ~lat:51.5074 ~lon:(-0.1278)
+
+(* ---------- Coord ---------- *)
+
+let test_coord_validation () =
+  Alcotest.check_raises "lat 91 rejected"
+    (Invalid_argument "Coord.make: latitude 91.000000 out of range") (fun () ->
+      ignore (coord ~lat:91.0 ~lon:0.0));
+  let c = coord ~lat:0.0 ~lon:190.0 in
+  check_float 1e-9 "lon normalized" (-170.0) (Coord.lon c);
+  let c2 = coord ~lat:0.0 ~lon:(-190.0) in
+  check_float 1e-9 "lon normalized up" 170.0 (Coord.lon c2)
+
+let test_coord_bbox () =
+  let b = Coord.bbox_of_points [ nyc; la; chicago ] in
+  check_float 1e-9 "min lat" 34.0522 b.min_lat;
+  check_float 1e-9 "max lat" 41.8781 b.max_lat;
+  Alcotest.(check bool) "nyc inside" true (Coord.in_bbox b nyc);
+  Alcotest.(check bool) "london outside" false (Coord.in_bbox b london);
+  let b' = Coord.expand_bbox b ~margin_deg:2.0 in
+  check_float 1e-9 "expanded" 32.0522 b'.min_lat
+
+let test_coord_compare () =
+  Alcotest.(check bool) "equal self" true (Coord.equal nyc nyc);
+  Alcotest.(check bool) "not equal" false (Coord.equal nyc la);
+  Alcotest.(check int) "compare self" 0 (Coord.compare nyc nyc)
+
+(* ---------- Geodesy ---------- *)
+
+let test_distance_known () =
+  (* Reference great-circle distances (spherical, R=6371): NYC-LA ~3936 km,
+     NYC-London ~5570 km. *)
+  check_float 30.0 "NYC-LA" 3936.0 (Geodesy.distance_km nyc la);
+  check_float 30.0 "NYC-London" 5570.0 (Geodesy.distance_km nyc london);
+  check_float 1e-9 "self" 0.0 (Geodesy.distance_km nyc nyc)
+
+let test_distance_symmetric () =
+  check_float 1e-6 "symmetric" (Geodesy.distance_km nyc la) (Geodesy.distance_km la nyc)
+
+let test_c_latency () =
+  (* 3000 km at c is almost exactly 10 ms. *)
+  let d = Geodesy.distance_km nyc la in
+  check_float 1e-9 "c-latency" (d /. 299792.458 *. 1000.0) (Geodesy.c_latency_ms nyc la)
+
+let test_destination_roundtrip () =
+  let b = Geodesy.initial_bearing_deg nyc chicago in
+  let d = Geodesy.distance_km nyc chicago in
+  let p = Geodesy.destination nyc ~bearing_deg:b ~distance_km:d in
+  check_float 1.0 "arrives" 0.0 (Geodesy.distance_km p chicago)
+
+let test_interpolate_endpoints () =
+  let p0 = Geodesy.interpolate nyc la 0.0 in
+  let p1 = Geodesy.interpolate nyc la 1.0 in
+  Alcotest.(check bool) "t=0 is start" true (Coord.equal p0 nyc);
+  Alcotest.(check bool) "t=1 is end" true (Coord.equal p1 la)
+
+let test_interpolate_midpoint () =
+  let mid = Geodesy.midpoint nyc la in
+  let d1 = Geodesy.distance_km nyc mid and d2 = Geodesy.distance_km mid la in
+  check_float 0.5 "equidistant" d1 d2;
+  check_float 1.0 "on path" (Geodesy.distance_km nyc la) (d1 +. d2)
+
+let test_sample_path () =
+  let pts = Geodesy.sample_path nyc chicago ~step_km:100.0 in
+  Alcotest.(check bool) "enough points" true (Array.length pts >= 12);
+  Alcotest.(check bool) "starts at nyc" true (Coord.equal pts.(0) nyc);
+  Alcotest.(check bool) "ends at chicago" true
+    (Coord.equal pts.(Array.length pts - 1) chicago);
+  (* path length along samples equals great-circle distance *)
+  check_float 0.5 "length" (Geodesy.distance_km nyc chicago) (Geodesy.path_length_km pts)
+
+let test_cross_track () =
+  let mid = Geodesy.midpoint nyc la in
+  check_float 0.5 "on-path point" 0.0
+    (Geodesy.cross_track_km mid ~path_start:nyc ~path_end:la);
+  let off = Geodesy.destination mid ~bearing_deg:(Geodesy.initial_bearing_deg mid la +. 90.0) ~distance_km:50.0 in
+  check_float 2.0 "50km off" 50.0 (Geodesy.cross_track_km off ~path_start:nyc ~path_end:la)
+
+(* ---------- Grid ---------- *)
+
+let test_grid_nearby () =
+  let g = Grid.create ~cell_deg:0.5 in
+  Grid.add g nyc "nyc";
+  Grid.add g la "la";
+  Grid.add g chicago "chi";
+  let near_nyc = Grid.nearby g nyc ~radius_km:100.0 in
+  Alcotest.(check int) "one near nyc" 1 (List.length near_nyc);
+  let all = Grid.nearby g nyc ~radius_km:5000.0 in
+  Alcotest.(check int) "all within 5000km" 3 (List.length all);
+  Alcotest.(check int) "length" 3 (Grid.length g)
+
+let test_grid_fold () =
+  let g = Grid.of_list ~cell_deg:1.0 [ (nyc, 1); (la, 2); (chicago, 3) ] in
+  let sum = Grid.fold g ~init:0 ~f:(fun acc _ v -> acc + v) in
+  Alcotest.(check int) "fold sum" 6 sum
+
+let test_grid_radius_exact () =
+  (* Points right at the radius boundary must not be missed by the
+     cell-range computation. *)
+  let center = coord ~lat:45.0 ~lon:0.0 in
+  let g = Grid.create ~cell_deg:0.5 in
+  for i = 0 to 35 do
+    let b = float_of_int i *. 10.0 in
+    Grid.add g (Geodesy.destination center ~bearing_deg:b ~distance_km:99.0) i
+  done;
+  let found = Grid.nearby g center ~radius_km:100.0 in
+  Alcotest.(check int) "all 36 found" 36 (List.length found)
+
+let prop_destination_distance =
+  QCheck.Test.make ~name:"destination lands at requested distance" ~count:300
+    QCheck.(triple (float_range 25.0 49.0) (float_range (-120.0) (-70.0)) (pair (float_range 0.0 360.0) (float_range 1.0 500.0)))
+    (fun (lat, lon, (bearing, dist)) ->
+      let p = coord ~lat ~lon in
+      let q = Geodesy.destination p ~bearing_deg:bearing ~distance_km:dist in
+      Float.abs (Geodesy.distance_km p q -. dist) < 0.5)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"geodesic triangle inequality" ~count:300
+    QCheck.(triple (pair (float_range 25.0 49.0) (float_range (-120.0) (-70.0)))
+              (pair (float_range 25.0 49.0) (float_range (-120.0) (-70.0)))
+              (pair (float_range 25.0 49.0) (float_range (-120.0) (-70.0))))
+    (fun ((la1, lo1), (la2, lo2), (la3, lo3)) ->
+      let a = coord ~lat:la1 ~lon:lo1
+      and b = coord ~lat:la2 ~lon:lo2
+      and c = coord ~lat:la3 ~lon:lo3 in
+      Geodesy.distance_km a c
+      <= Geodesy.distance_km a b +. Geodesy.distance_km b c +. 1e-6)
+
+let prop_interpolate_on_segment =
+  QCheck.Test.make ~name:"interpolate splits distance proportionally" ~count:200
+    QCheck.(pair (float_range 0.0 1.0)
+              (pair (pair (float_range 25.0 49.0) (float_range (-120.0) (-70.0)))
+                 (pair (float_range 25.0 49.0) (float_range (-120.0) (-70.0)))))
+    (fun (t, ((la1, lo1), (la2, lo2))) ->
+      let a = coord ~lat:la1 ~lon:lo1 and b = coord ~lat:la2 ~lon:lo2 in
+      let p = Geodesy.interpolate a b t in
+      let d = Geodesy.distance_km a b in
+      Float.abs (Geodesy.distance_km a p -. (t *. d)) < 1.0)
+
+let suites =
+  [
+    ( "geo.coord",
+      [
+        Alcotest.test_case "validation" `Quick test_coord_validation;
+        Alcotest.test_case "bbox" `Quick test_coord_bbox;
+        Alcotest.test_case "compare" `Quick test_coord_compare;
+      ] );
+    ( "geo.geodesy",
+      [
+        Alcotest.test_case "known distances" `Quick test_distance_known;
+        Alcotest.test_case "symmetric" `Quick test_distance_symmetric;
+        Alcotest.test_case "c-latency" `Quick test_c_latency;
+        Alcotest.test_case "destination roundtrip" `Quick test_destination_roundtrip;
+        Alcotest.test_case "interpolate endpoints" `Quick test_interpolate_endpoints;
+        Alcotest.test_case "interpolate midpoint" `Quick test_interpolate_midpoint;
+        Alcotest.test_case "sample path" `Quick test_sample_path;
+        Alcotest.test_case "cross track" `Quick test_cross_track;
+        QCheck_alcotest.to_alcotest prop_destination_distance;
+        QCheck_alcotest.to_alcotest prop_triangle_inequality;
+        QCheck_alcotest.to_alcotest prop_interpolate_on_segment;
+      ] );
+    ( "geo.grid",
+      [
+        Alcotest.test_case "nearby" `Quick test_grid_nearby;
+        Alcotest.test_case "fold" `Quick test_grid_fold;
+        Alcotest.test_case "radius boundary" `Quick test_grid_radius_exact;
+      ] );
+  ]

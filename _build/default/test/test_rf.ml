@@ -1,0 +1,282 @@
+open Cisp_rf
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ---------- Fresnel / bulge geometry ---------- *)
+
+let test_fresnel_midpoint_matches_paper () =
+  (* Paper: h_Fres ~ 8.7 m sqrt(D/1km) / sqrt(f/1GHz). *)
+  let approx d f = 8.7 *. sqrt (d /. f) in
+  List.iter
+    (fun (d, f) ->
+      let exact = Fresnel.midpoint_fresnel_m ~f_ghz:f ~d_km:d () in
+      check_float 0.5 (Printf.sprintf "D=%.0f f=%.0f" d f) (approx d f) exact)
+    [ (10.0, 11.0); (50.0, 11.0); (100.0, 11.0); (100.0, 6.0); (60.0, 18.0) ]
+
+let test_bulge_midpoint_matches_paper () =
+  (* Paper: h_Earth ~ (1/50K)(D/1km)^2 metres.  The 1/50 is itself an
+     approximation of 1000/(8 R_km) = 1/50.97, so allow ~2.5%. *)
+  List.iter
+    (fun d ->
+      let exact = Fresnel.midpoint_bulge_m ~k:1.3 ~d_km:d () in
+      let approx = d *. d /. (50.0 *. 1.3) in
+      check_float ((0.025 *. approx) +. 0.1) (Printf.sprintf "D=%.0f" d) approx exact)
+    [ 10.0; 50.0; 100.0 ]
+
+let test_bulge_100km_value () =
+  (* D=100 km, K=1.3, R=6371 km: D^2/(2KR) = 150.9 m. *)
+  check_float 1.0 "100km bulge" 150.9 (Fresnel.midpoint_bulge_m ~d_km:100.0 ())
+
+let test_fresnel_symmetric_and_zero_at_ends () =
+  let r1 = Fresnel.fresnel_radius_m ~d1_km:20.0 ~d2_km:80.0 () in
+  let r2 = Fresnel.fresnel_radius_m ~d1_km:80.0 ~d2_km:20.0 () in
+  check_float 1e-9 "symmetric" r1 r2;
+  check_float 1e-9 "zero at endpoint" 0.0 (Fresnel.fresnel_radius_m ~d1_km:0.0 ~d2_km:100.0 ())
+
+let test_clearance_monotone_in_distance () =
+  let c d = Fresnel.required_clearance_m ~d1_km:(d /. 2.) ~d2_km:(d /. 2.) () in
+  Alcotest.(check bool) "monotone" true (c 20.0 < c 50.0 && c 50.0 < c 100.0)
+
+(* ---------- Line of sight ---------- *)
+
+let flat_dem = Cisp_terrain.Dem.create ~seed:1 Cisp_terrain.Dem.Flat
+
+let ep lat lon h =
+  Los.endpoint_of_tower ~dem:flat_dem (Cisp_geo.Coord.make ~lat ~lon) ~antenna_m:h
+
+let test_los_clear_short_hop () =
+  (* 30 km hop with 100 m towers over flat terrain: bulge ~13.8m +
+     fresnel ~14.3m << 100m - clutter(~30m). *)
+  let a = ep 40.0 (-100.0) 100.0 and b = ep 40.0 (-99.65) 100.0 in
+  match Los.check_dem ~dem:flat_dem a b with
+  | Los.Clear margin -> Alcotest.(check bool) "positive margin" true (margin > 0.0)
+  | _ -> Alcotest.fail "expected clear"
+
+let test_los_blocked_long_low () =
+  (* 100 km hop with 40 m towers: midpoint bulge alone is ~154 m. *)
+  let a = ep 40.0 (-100.0) 40.0 and b = ep 40.0 (-98.83) 40.0 in
+  match Los.check_dem ~dem:flat_dem a b with
+  | Los.Blocked _ -> ()
+  | Los.Clear _ -> Alcotest.fail "expected blocked"
+  | Los.Out_of_range -> Alcotest.fail "unexpected out of range"
+
+let test_los_out_of_range () =
+  let a = ep 40.0 (-100.0) 300.0 and b = ep 40.0 (-98.0) 300.0 in
+  (* ~170 km apart *)
+  match Los.check_dem ~dem:flat_dem a b with
+  | Los.Out_of_range -> ()
+  | _ -> Alcotest.fail "expected out of range"
+
+let test_los_min_range () =
+  let a = ep 40.0 (-100.0) 100.0 and b = ep 40.0 (-100.001) 100.0 in
+  match Los.check_dem ~dem:flat_dem a b with
+  | Los.Out_of_range -> ()
+  | _ -> Alcotest.fail "expected below min range"
+
+let test_los_taller_towers_help () =
+  (* Find a marginal distance where 60 m fails but 180 m clears. *)
+  let a h = ep 40.0 (-100.0) h and b h = ep 40.0 (-99.2) h in
+  let short = Los.feasible ~surface:(Cisp_terrain.Dem.surface_m flat_dem) (a 60.0) (b 60.0) in
+  let tall = Los.feasible ~surface:(Cisp_terrain.Dem.surface_m flat_dem) (a 180.0) (b 180.0) in
+  Alcotest.(check bool) "tall clears" true tall;
+  Alcotest.(check bool) "short blocked" false short
+
+let test_los_mountain_blocks () =
+  (* Custom single peak between the endpoints. *)
+  let peak =
+    {
+      Cisp_terrain.Dem.center = Cisp_geo.Coord.make ~lat:40.0 ~lon:(-99.5);
+      axis_bearing_deg = 0.0;
+      half_length_km = 40.0;
+      half_width_km = 40.0;
+      peak_m = 2500.0;
+    }
+  in
+  let dem = Cisp_terrain.Dem.create ~seed:2 (Cisp_terrain.Dem.Custom [ peak ]) in
+  let a = Los.endpoint_of_tower ~dem (Cisp_geo.Coord.make ~lat:40.0 ~lon:(-100.0)) ~antenna_m:150.0 in
+  let b = Los.endpoint_of_tower ~dem (Cisp_geo.Coord.make ~lat:40.0 ~lon:(-99.0)) ~antenna_m:150.0 in
+  match Los.check_dem ~dem a b with
+  | Los.Blocked { at_km; deficit_m } ->
+    Alcotest.(check bool) "blocked mid-path" true (at_km > 10.0 && at_km < 80.0);
+    Alcotest.(check bool) "large deficit" true (deficit_m > 100.0)
+  | _ -> Alcotest.fail "expected blocked by mountain"
+
+(* ---------- Attenuation (ITU-R P.838) ---------- *)
+
+let test_p838_coefficients_11ghz () =
+  let k, alpha = Attenuation.coefficients ~f_ghz:11.0 Attenuation.Horizontal in
+  (* Published P.838-3 values at 11 GHz H-pol: k~0.0177, alpha~1.21. *)
+  check_float 0.004 "k" 0.0177 k;
+  check_float 0.05 "alpha" 1.21 alpha
+
+let test_p838_interpolation_continuity () =
+  let g f = Attenuation.specific_attenuation_db_per_km ~f_ghz:f Attenuation.Horizontal ~rain_mm_h:30.0 in
+  (* Continuity across an anchor frequency. *)
+  check_float 0.05 "continuous at 10GHz" (g 9.999) (g 10.001)
+
+let test_attenuation_monotone_in_rain () =
+  let a r = Attenuation.path_attenuation_db ~f_ghz:11.0 Attenuation.Horizontal ~rain_mm_h:r ~d_km:50.0 in
+  Alcotest.(check bool) "monotone" true (a 5.0 < a 20.0 && a 20.0 < a 80.0);
+  check_float 1e-9 "zero rain" 0.0 (a 0.0)
+
+let test_effective_path_shorter () =
+  let d_eff = Attenuation.effective_path_km ~d_km:100.0 ~rain_mm_h:50.0 in
+  Alcotest.(check bool) "shorter than physical" true (d_eff < 100.0 && d_eff > 0.0)
+
+let test_outage_rain_rate_inverse () =
+  let margin = 35.0 in
+  let r = Attenuation.rain_rate_for_outage ~f_ghz:11.0 Attenuation.Horizontal ~d_km:60.0 ~margin_db:margin in
+  Alcotest.(check bool) "finite" true (Float.is_finite r);
+  let att = Attenuation.path_attenuation_db ~f_ghz:11.0 Attenuation.Horizontal ~rain_mm_h:r ~d_km:60.0 in
+  check_float 0.1 "attenuation at threshold = margin" margin att;
+  (* Longer hops fail at lower rain rates. *)
+  let r_long = Attenuation.rain_rate_for_outage ~f_ghz:11.0 Attenuation.Horizontal ~d_km:100.0 ~margin_db:margin in
+  Alcotest.(check bool) "longer fails sooner" true (r_long < r)
+
+(* ---------- Link budget ---------- *)
+
+let test_fspl_known () =
+  (* FSPL at 11 GHz, 50 km: 92.45 + 20log10(11) + 20log10(50) ~ 147.3 dB *)
+  check_float 0.1 "fspl" 147.27 (Link_budget.fspl_db ~f_ghz:11.0 ~d_km:50.0)
+
+let test_fade_margin_decreasing () =
+  let m d = Link_budget.fade_margin_db ~f_ghz:11.0 ~d_km:d () in
+  Alcotest.(check bool) "decreasing" true (m 20.0 > m 50.0 && m 50.0 > m 100.0)
+
+let test_max_range_consistent () =
+  let margin = 30.0 in
+  let d = Link_budget.max_range_km ~f_ghz:11.0 ~min_margin_db:margin () in
+  check_float 0.5 "margin at max range" margin (Link_budget.fade_margin_db ~f_ghz:11.0 ~d_km:d ())
+
+(* ---------- Capacity ---------- *)
+
+let test_qam_bits () =
+  Alcotest.(check int) "256qam" 8 (Capacity.qam_bits_per_symbol 256);
+  Alcotest.(check int) "4qam" 2 (Capacity.qam_bits_per_symbol 4);
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "qam_bits_per_symbol: not a power of two") (fun () ->
+      ignore (Capacity.qam_bits_per_symbol 12))
+
+let test_qam_rate_about_1gbps () =
+  (* 56 MHz channel, 256-QAM, 0.9 coding, 2 channels ~ 0.8 Gbps:
+     the paper's "about 1 Gbps" with wide channels and multiplexing. *)
+  let r = Capacity.qam_gbps ~bandwidth_mhz:56.0 ~qam:256 ~coding_rate:0.9 ~channels:2 in
+  Alcotest.(check bool) "order of 1 Gbps" true (r > 0.5 && r < 2.0)
+
+let test_series_for_gbps () =
+  Alcotest.(check int) "0.5 -> 1" 1 (Capacity.series_for_gbps 0.5);
+  Alcotest.(check int) "1.0 -> 1" 1 (Capacity.series_for_gbps 1.0);
+  Alcotest.(check int) "1.1 -> 2" 2 (Capacity.series_for_gbps 1.1);
+  Alcotest.(check int) "4.0 -> 2" 2 (Capacity.series_for_gbps 4.0);
+  Alcotest.(check int) "4.1 -> 3" 3 (Capacity.series_for_gbps 4.1);
+  Alcotest.(check int) "9 -> 3" 3 (Capacity.series_for_gbps 9.0);
+  Alcotest.(check int) "zero" 0 (Capacity.series_for_gbps 0.0)
+
+let prop_series_capacity_sufficient =
+  QCheck.Test.make ~name:"k series provide the demanded bandwidth" ~count:300
+    QCheck.(float_range 0.01 100.0)
+    (fun gbps ->
+      let k = Capacity.series_for_gbps gbps in
+      Capacity.gbps_of_series k >= gbps -. 1e-9
+      && (k = 1 || Capacity.gbps_of_series (k - 1) < gbps))
+
+let test_shannon_sanity () =
+  let r = Capacity.shannon_gbps ~bandwidth_mhz:56.0 ~snr_db:30.0 in
+  Alcotest.(check bool) "plausible bound" true (r > 0.4 && r < 1.0)
+
+let suites =
+  [
+    ( "rf.fresnel",
+      [
+        Alcotest.test_case "paper midpoint fresnel" `Quick test_fresnel_midpoint_matches_paper;
+        Alcotest.test_case "paper midpoint bulge" `Quick test_bulge_midpoint_matches_paper;
+        Alcotest.test_case "100km bulge" `Quick test_bulge_100km_value;
+        Alcotest.test_case "symmetry and endpoints" `Quick test_fresnel_symmetric_and_zero_at_ends;
+        Alcotest.test_case "clearance monotone" `Quick test_clearance_monotone_in_distance;
+      ] );
+    ( "rf.los",
+      [
+        Alcotest.test_case "clear short hop" `Quick test_los_clear_short_hop;
+        Alcotest.test_case "blocked long low" `Quick test_los_blocked_long_low;
+        Alcotest.test_case "out of range" `Quick test_los_out_of_range;
+        Alcotest.test_case "min range" `Quick test_los_min_range;
+        Alcotest.test_case "taller towers help" `Quick test_los_taller_towers_help;
+        Alcotest.test_case "mountain blocks" `Quick test_los_mountain_blocks;
+      ] );
+    ( "rf.attenuation",
+      [
+        Alcotest.test_case "p838 coefficients 11GHz" `Quick test_p838_coefficients_11ghz;
+        Alcotest.test_case "interpolation continuity" `Quick test_p838_interpolation_continuity;
+        Alcotest.test_case "monotone in rain" `Quick test_attenuation_monotone_in_rain;
+        Alcotest.test_case "effective path" `Quick test_effective_path_shorter;
+        Alcotest.test_case "outage threshold inverse" `Quick test_outage_rain_rate_inverse;
+      ] );
+    ( "rf.link_budget",
+      [
+        Alcotest.test_case "fspl" `Quick test_fspl_known;
+        Alcotest.test_case "fade margin decreasing" `Quick test_fade_margin_decreasing;
+        Alcotest.test_case "max range consistent" `Quick test_max_range_consistent;
+      ] );
+    ( "rf.capacity",
+      [
+        Alcotest.test_case "qam bits" `Quick test_qam_bits;
+        Alcotest.test_case "1 gbps per hop" `Quick test_qam_rate_about_1gbps;
+        Alcotest.test_case "series for gbps" `Quick test_series_for_gbps;
+        Alcotest.test_case "shannon sanity" `Quick test_shannon_sanity;
+        QCheck_alcotest.to_alcotest prop_series_capacity_sufficient;
+      ] );
+  ]
+
+(* ---------- Medium (paper section 3.4) ---------- *)
+
+let test_media_envelopes () =
+  Alcotest.(check bool) "mw longest range" true
+    (Medium.microwave.Medium.max_range_km > Medium.millimeter_wave.Medium.max_range_km);
+  Alcotest.(check bool) "mmw outranges fso" true
+    (Medium.millimeter_wave.Medium.max_range_km > Medium.free_space_optics.Medium.max_range_km);
+  Alcotest.(check bool) "bandwidth inverts range" true
+    (Medium.free_space_optics.Medium.hop_gbps > Medium.millimeter_wave.Medium.hop_gbps
+    && Medium.millimeter_wave.Medium.hop_gbps > Medium.microwave.Medium.hop_gbps)
+
+let test_media_weather_response () =
+  let rain = { Medium.rain_mm_h = 40.0; fog_visibility_km = 20.0 } in
+  let fog = { Medium.rain_mm_h = 0.0; fog_visibility_km = 0.2 } in
+  (* Rain hits radio links, not optics. *)
+  let mw_rain = Medium.hop_attenuation_db Medium.microwave rain ~d_km:30.0 in
+  let fso_rain = Medium.hop_attenuation_db Medium.free_space_optics rain ~d_km:2.0 in
+  Alcotest.(check bool) "rain hurts mw" true (mw_rain > 5.0);
+  Alcotest.(check bool) "rain spares fso" true (fso_rain < 3.0);
+  (* Fog hits optics, not radio. *)
+  let mw_fog = Medium.hop_attenuation_db Medium.microwave fog ~d_km:30.0 in
+  let fso_fog = Medium.hop_attenuation_db Medium.free_space_optics fog ~d_km:2.0 in
+  Alcotest.(check bool) "fog spares mw" true (mw_fog < 1.0);
+  Alcotest.(check bool) "fog kills fso" true (fso_fog > 30.0);
+  Alcotest.(check bool) "clear weather fine for both" true
+    (Medium.hop_available Medium.microwave Medium.clear_weather ~d_km:50.0 ~margin_db:30.0
+    && Medium.hop_available Medium.free_space_optics Medium.clear_weather ~d_km:2.0 ~margin_db:10.0)
+
+let test_media_crossover () =
+  (* The section-4 observation: at low bandwidth long-range MW wins;
+     at very high bandwidth on the same link, denser high-rate chains
+     take over. *)
+  let tower_usd = 100_000.0 in
+  let low = Medium.cheapest_for ~link_km:500.0 ~target_gbps:1.0 ~tower_usd in
+  Alcotest.(check bool) "mw wins at 1 Gbps" true
+    (low.Medium.medium.Medium.technology = Medium.Microwave);
+  let high = Medium.cheapest_for ~link_km:500.0 ~target_gbps:400.0 ~tower_usd in
+  Alcotest.(check bool) "a denser technology wins at 400 Gbps" true
+    (high.Medium.medium.Medium.technology <> Medium.Microwave);
+  (* Sanity of the chain arithmetic. *)
+  let c = Medium.chain_for Medium.microwave ~link_km:250.0 ~target_gbps:5.0 ~tower_usd in
+  Alcotest.(check int) "k = ceil sqrt 5" 3 c.Medium.chains;
+  Alcotest.(check int) "hops at max range" 3 c.Medium.hops
+
+let media_suite =
+  ( "rf.medium",
+    [
+      Alcotest.test_case "envelopes" `Quick test_media_envelopes;
+      Alcotest.test_case "weather response" `Quick test_media_weather_response;
+      Alcotest.test_case "bandwidth crossover" `Quick test_media_crossover;
+    ] )
+
+let suites = suites @ [ media_suite ]

@@ -1,0 +1,327 @@
+open Cisp_sim
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ---------- Engine ---------- *)
+
+let test_engine_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~at:3.0 (fun () -> log := 3 :: !log);
+  Engine.schedule eng ~at:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule eng ~at:2.0 (fun () -> log := 2 :: !log);
+  Engine.run eng ~until:10.0;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float 1e-12 "clock advances to until" 10.0 (Engine.now eng);
+  Alcotest.(check int) "events" 3 (Engine.events_processed eng)
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  Engine.schedule eng ~at:5.0 (fun () -> fired := true);
+  Engine.run eng ~until:4.0;
+  Alcotest.(check bool) "not yet" false !fired;
+  Engine.run eng ~until:6.0;
+  Alcotest.(check bool) "now fired" true !fired
+
+let test_engine_cascade () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Engine.schedule_in eng ~after:1.0 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 5;
+  Engine.run eng ~until:100.0;
+  Alcotest.(check int) "cascaded events" 5 !count
+
+(* ---------- Net ---------- *)
+
+let mk_pkt ?(flow = 1) ?(size = 1000) route =
+  { Net.flow_id = flow; size_bytes = size; route; hop = 0; injected_at = 0.0; payload = 0 }
+
+let test_net_delivery_delay () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  (* 1 Gbps, 10 ms: 1000 B takes 8 us tx + 10 ms prop. *)
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:10.0 ~buffer_bytes:1_000_000;
+  Net.inject net (mk_pkt [| 0; 1 |]);
+  Engine.run eng ~until:1.0;
+  let s = Net.flow_stats net 1 in
+  Alcotest.(check int) "delivered" 1 s.Net.delivered;
+  check_float 1e-6 "delay = tx + prop" (0.010008 *. 1000.0) (Net.mean_delay_ms net)
+
+let test_net_multihop () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:3 in
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:5.0 ~buffer_bytes:1_000_000;
+  Net.add_duplex net 1 2 ~gbps:1.0 ~delay_ms:5.0 ~buffer_bytes:1_000_000;
+  Net.inject net (mk_pkt [| 0; 1; 2 |]);
+  Engine.run eng ~until:1.0;
+  check_float 1e-4 "two hops" (10.016) (Net.mean_delay_ms net)
+
+let test_net_queueing_delay () =
+  (* Two packets back to back: the second waits one serialization time. *)
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  Net.add_duplex net 0 1 ~gbps:0.001 ~delay_ms:0.0 ~buffer_bytes:1_000_000;
+  (* 1 Mbps: 1000 B = 8 ms serialization *)
+  Net.inject net (mk_pkt ~flow:1 [| 0; 1 |]);
+  Net.inject net (mk_pkt ~flow:2 [| 0; 1 |]);
+  Engine.run eng ~until:1.0;
+  let s1 = Net.flow_stats net 1 and s2 = Net.flow_stats net 2 in
+  check_float 1e-6 "first 8ms" 0.008 s1.Net.delay_sum_s;
+  check_float 1e-6 "second 16ms" 0.016 s2.Net.delay_sum_s
+
+let test_net_drop_when_full () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  (* Buffer fits exactly one packet. *)
+  Net.add_duplex net 0 1 ~gbps:0.001 ~delay_ms:0.0 ~buffer_bytes:1000;
+  Net.inject net (mk_pkt ~flow:1 [| 0; 1 |]);
+  Net.inject net (mk_pkt ~flow:2 [| 0; 1 |]);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check int) "second dropped" 1 (Net.flow_stats net 2).Net.dropped;
+  Alcotest.(check bool) "loss rate" true (Net.loss_rate net = 0.5);
+  match Net.link_stats net ~src:0 ~dst:1 with
+  | Some ls -> Alcotest.(check int) "link drop counter" 1 ls.Net.drops
+  | None -> Alcotest.fail "link exists"
+
+let test_net_broken_route () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:3 in
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:1.0 ~buffer_bytes:1_000_000;
+  Net.inject net (mk_pkt [| 0; 2 |]);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check int) "dropped" 1 (Net.flow_stats net 1).Net.dropped
+
+let test_net_utilization () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  Net.add_duplex net 0 1 ~gbps:0.001 ~delay_ms:0.0 ~buffer_bytes:1_000_000;
+  (* 5 packets x 8 ms = 40 ms busy *)
+  for i = 1 to 5 do
+    Net.inject net (mk_pkt ~flow:i [| 0; 1 |])
+  done;
+  Engine.run eng ~until:1.0;
+  check_float 1e-6 "utilization" 0.04 (Net.utilization net ~src:0 ~dst:1 ~duration_s:1.0);
+  check_float 1e-6 "max utilization" 0.04 (Net.max_utilization net ~duration_s:1.0)
+
+(* ---------- Udp ---------- *)
+
+let test_udp_rate () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  Net.add_duplex net 0 1 ~gbps:10.0 ~delay_ms:1.0 ~buffer_bytes:10_000_000;
+  let demands = [| [| 0.0; 0.1 |]; [| 0.0; 0.0 |] |] in
+  let paths = Hashtbl.create 1 in
+  Hashtbl.replace paths (0, 1) [| 0; 1 |];
+  Udp.poisson_commodities net ~paths ~demands_gbps:demands ~packet_bytes:500 ~start:0.0 ~stop:0.1;
+  Engine.run eng ~until:0.5;
+  (* 0.1 Gbps for 0.1 s at 500 B = 2500 packets expected *)
+  let s = Net.flow_stats net (Udp.flow_id ~src:0 ~dst:1 ~n:2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "poisson count %d ~ 2500" s.Net.sent)
+    true
+    (s.Net.sent > 2200 && s.Net.sent < 2800);
+  Alcotest.(check int) "all delivered" s.Net.sent s.Net.delivered
+
+(* ---------- Tcp ---------- *)
+
+let test_tcp_completes () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:3 in
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:2.0 ~buffer_bytes:max_int;
+  Net.add_duplex net 1 2 ~gbps:0.1 ~delay_ms:2.0 ~buffer_bytes:max_int;
+  let fct = ref None in
+  Tcp.start_flow net (Tcp.default_config ~ack_delay_s:0.004) ~flow_id:7 ~route:[| 0; 1; 2 |]
+    ~size_bytes:100_000 ~at:0.0 ~on_complete:(fun t -> fct := Some t);
+  Engine.run eng ~until:30.0;
+  match !fct with
+  | None -> Alcotest.fail "flow never completed"
+  | Some t ->
+    (* 100 KB over a 100 Mbps bottleneck is at least 8 ms of pure
+       serialization plus slow-start round trips. *)
+    Alcotest.(check bool) (Printf.sprintf "fct %.3f sensible" t) true (t > 0.008 && t < 5.0)
+
+let test_tcp_pacing_smaller_bursts () =
+  let queue_peak ~pacing =
+    let eng = Engine.create () in
+    let net = Net.create eng ~n_nodes:3 in
+    Net.add_duplex net 0 1 ~gbps:10.0 ~delay_ms:2.0 ~buffer_bytes:max_int;
+    Net.add_duplex net 1 2 ~gbps:0.1 ~delay_ms:2.0 ~buffer_bytes:max_int;
+    let cfg = { (Tcp.default_config ~ack_delay_s:0.004) with Tcp.pacing } in
+    Tcp.start_flow net cfg ~flow_id:7 ~route:[| 0; 1; 2 |] ~size_bytes:200_000 ~at:0.0
+      ~on_complete:(fun _ -> ());
+    Engine.run eng ~until:30.0;
+    match Net.link_stats net ~src:1 ~dst:2 with
+    | Some ls -> ls.Net.queue_peak_bytes
+    | None -> 0
+  in
+  let unpaced = queue_peak ~pacing:false in
+  let paced = queue_peak ~pacing:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "paced peak %d < unpaced %d" paced unpaced)
+    true (paced < unpaced)
+
+let test_tcp_faster_on_faster_path () =
+  let fct ~gbps =
+    let eng = Engine.create () in
+    let net = Net.create eng ~n_nodes:2 in
+    Net.add_duplex net 0 1 ~gbps ~delay_ms:5.0 ~buffer_bytes:max_int;
+    let out = ref 0.0 in
+    Tcp.start_flow net (Tcp.default_config ~ack_delay_s:0.005) ~flow_id:1 ~route:[| 0; 1 |]
+      ~size_bytes:500_000 ~at:0.0 ~on_complete:(fun t -> out := t);
+    Engine.run eng ~until:60.0;
+    !out
+  in
+  Alcotest.(check bool) "1G faster than 10M" true (fct ~gbps:1.0 < fct ~gbps:0.01)
+
+(* ---------- Routing ---------- *)
+
+let routing_fixture () =
+  let sites =
+    Array.init 4 (fun i ->
+        let c =
+          Cisp_geo.Geodesy.destination
+            (Cisp_geo.Coord.make ~lat:39.0 ~lon:(-95.0))
+            ~bearing_deg:(float_of_int i *. 90.0) ~distance_km:400.0
+        in
+        Cisp_data.City.make (Printf.sprintf "R%d" i) ~lat:(Cisp_geo.Coord.lat c)
+          ~lon:(Cisp_geo.Coord.lon c) ~population:((i + 1) * 100_000))
+  in
+  let inputs =
+    Cisp_design.Inputs.synthetic ~sites ~mw_stretch:1.02 ~mw_cost_per_km:0.02
+      ~fiber_stretch:1.9
+      ~traffic:(Cisp_traffic.Matrix.population_product sites)
+  in
+  let topo = Cisp_design.Topology.of_links inputs [ (0, 1); (1, 2); (0, 2) ] in
+  { Routing.inputs; topology = topo; mw_gbps = (fun _ -> 1.0); fiber_gbps = 100.0 }
+
+let test_routing_shortest_uses_mw () =
+  let model = routing_fixture () in
+  let demands = Cisp_traffic.Matrix.scale_to_gbps model.Routing.inputs.Cisp_design.Inputs.traffic ~aggregate_gbps:1.0 in
+  let paths = Routing.paths model Routing.Shortest_path ~demands_gbps:demands in
+  Alcotest.(check bool) "has paths" true (Hashtbl.length paths > 0);
+  (* Every path starts at its source and ends at its destination. *)
+  Hashtbl.iter
+    (fun (s, t) route ->
+      Alcotest.(check int) "starts at s" s route.(0);
+      Alcotest.(check int) "ends at t" t route.(Array.length route - 1))
+    paths
+
+let test_routing_alternatives_not_faster () =
+  let model = routing_fixture () in
+  let demands = Cisp_traffic.Matrix.scale_to_gbps model.Routing.inputs.Cisp_design.Inputs.traffic ~aggregate_gbps:3.0 in
+  let lat scheme =
+    let paths = Routing.paths model scheme ~demands_gbps:demands in
+    Routing.mean_route_latency_ms model paths ~demands_gbps:demands
+  in
+  let sp = lat Routing.Shortest_path in
+  Alcotest.(check bool) "min-max >= shortest" true (lat Routing.Min_max_utilization >= sp -. 1e-9);
+  Alcotest.(check bool) "throughput-opt >= shortest" true (lat Routing.Throughput_optimal >= sp -. 1e-9)
+
+(* ---------- Builder ---------- *)
+
+let test_builder_end_to_end () =
+  let model = routing_fixture () in
+  let inputs = model.Routing.inputs and topo = model.Routing.topology in
+  let eng = Engine.create () in
+  let net = Builder.build eng inputs topo ~mw_gbps:(fun _ -> 1.0) in
+  let demands = Cisp_traffic.Matrix.scale_to_gbps inputs.Cisp_design.Inputs.traffic ~aggregate_gbps:0.5 in
+  let paths = Routing.paths model Routing.Shortest_path ~demands_gbps:demands in
+  Udp.poisson_commodities net ~paths ~demands_gbps:demands ~packet_bytes:500 ~start:0.0 ~stop:0.01;
+  Engine.run eng ~until:0.5;
+  Alcotest.(check bool) "packets flowed" true (Net.mean_delay_ms net > 0.0);
+  Alcotest.(check (float 1e-9)) "no loss at low load" 0.0 (Net.loss_rate net)
+
+let test_builder_capacity_function () =
+  let model = routing_fixture () in
+  let plan = Cisp_design.Capacity.plan model.Routing.inputs model.Routing.topology ~aggregate_gbps:10.0 in
+  let f = Builder.provisioned_mw_gbps plan in
+  List.iter
+    (fun lp ->
+      Alcotest.(check (float 1e-9)) "k^2 capacity"
+        (Cisp_rf.Capacity.gbps_of_series lp.Cisp_design.Capacity.series)
+        (f lp.Cisp_design.Capacity.link))
+    plan.Cisp_design.Capacity.links
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "event order" `Quick test_engine_order;
+        Alcotest.test_case "until" `Quick test_engine_until;
+        Alcotest.test_case "cascade" `Quick test_engine_cascade;
+      ] );
+    ( "sim.net",
+      [
+        Alcotest.test_case "delivery delay" `Quick test_net_delivery_delay;
+        Alcotest.test_case "multihop" `Quick test_net_multihop;
+        Alcotest.test_case "queueing delay" `Quick test_net_queueing_delay;
+        Alcotest.test_case "drop when full" `Quick test_net_drop_when_full;
+        Alcotest.test_case "broken route" `Quick test_net_broken_route;
+        Alcotest.test_case "utilization" `Quick test_net_utilization;
+      ] );
+    ("sim.udp", [ Alcotest.test_case "poisson rate" `Quick test_udp_rate ]);
+    ( "sim.tcp",
+      [
+        Alcotest.test_case "completes" `Quick test_tcp_completes;
+        Alcotest.test_case "pacing smaller bursts" `Quick test_tcp_pacing_smaller_bursts;
+        Alcotest.test_case "bandwidth sensitivity" `Quick test_tcp_faster_on_faster_path;
+      ] );
+    ( "sim.routing",
+      [
+        Alcotest.test_case "shortest path endpoints" `Quick test_routing_shortest_uses_mw;
+        Alcotest.test_case "alternatives not faster" `Quick test_routing_alternatives_not_faster;
+      ] );
+    ( "sim.builder",
+      [
+        Alcotest.test_case "end to end" `Quick test_builder_end_to_end;
+        Alcotest.test_case "capacity function" `Quick test_builder_capacity_function;
+      ] );
+  ]
+
+(* ---------- TCP loss recovery & media ---------- *)
+
+let test_tcp_recovers_from_drops () =
+  (* A buffer that can hold only 3 packets forces drops during slow
+     start; the flow must still complete via timeout recovery. *)
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:3 in
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:2.0 ~buffer_bytes:max_int;
+  Net.add_duplex net 1 2 ~gbps:0.01 ~delay_ms:2.0 ~buffer_bytes:4500;
+  let fct = ref None in
+  Tcp.start_flow net (Tcp.default_config ~ack_delay_s:0.004) ~flow_id:9 ~route:[| 0; 1; 2 |]
+    ~size_bytes:60_000 ~at:0.0 ~on_complete:(fun t -> fct := Some t);
+  Engine.run eng ~until:120.0;
+  (match Net.link_stats net ~src:1 ~dst:2 with
+  | Some ls -> Alcotest.(check bool) "drops happened" true (ls.Net.drops > 0)
+  | None -> Alcotest.fail "link missing");
+  match !fct with
+  | Some t -> Alcotest.(check bool) "completed despite drops" true (t > 0.0)
+  | None -> Alcotest.fail "flow wedged after drops"
+
+let test_tcp_no_spurious_retransmit () =
+  (* Lossless path: the watchdog must not interfere; bytes on the wire
+     equal the transfer size. *)
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:2.0 ~buffer_bytes:max_int;
+  Tcp.start_flow net (Tcp.default_config ~ack_delay_s:0.004) ~flow_id:3 ~route:[| 0; 1 |]
+    ~size_bytes:150_000 ~at:0.0 ~on_complete:(fun _ -> ());
+  Engine.run eng ~until:30.0;
+  let s = Net.flow_stats net 3 in
+  Alcotest.(check int) "exactly the packets needed" 100 s.Net.sent
+
+let suites =
+  suites
+  @ [
+      ( "sim.tcp_recovery",
+        [
+          Alcotest.test_case "recovers from drops" `Quick test_tcp_recovers_from_drops;
+          Alcotest.test_case "no spurious retransmits" `Quick test_tcp_no_spurious_retransmit;
+        ] );
+    ]

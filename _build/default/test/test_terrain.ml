@@ -1,0 +1,166 @@
+open Cisp_terrain
+
+let coord = Cisp_geo.Coord.make
+let check_float eps = Alcotest.(check (float eps))
+
+(* ---------- Noise ---------- *)
+
+let test_noise_deterministic () =
+  let a = Noise.value ~seed:1 3.7 (-2.2) in
+  let b = Noise.value ~seed:1 3.7 (-2.2) in
+  check_float 0.0 "same inputs same output" a b
+
+let test_noise_seed_sensitivity () =
+  let a = Noise.value ~seed:1 3.7 2.2 in
+  let b = Noise.value ~seed:2 3.7 2.2 in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_noise_range () =
+  let rng = Cisp_util.Rng.create 5 in
+  for _ = 1 to 2000 do
+    let x = Cisp_util.Rng.uniform rng (-50.0) 50.0 in
+    let y = Cisp_util.Rng.uniform rng (-50.0) 50.0 in
+    let v = Noise.value ~seed:3 x y in
+    Alcotest.(check bool) "in [-1,1]" true (v >= -1.0 && v <= 1.0);
+    let f = Noise.fbm ~seed:3 ~octaves:5 ~lacunarity:2.0 ~gain:0.5 x y in
+    Alcotest.(check bool) "fbm bounded" true (f >= -1.2 && f <= 1.2);
+    let r = Noise.ridged ~seed:3 ~octaves:4 x y in
+    Alcotest.(check bool) "ridged in [0,1]" true (r >= 0.0 && r <= 1.0)
+  done
+
+let test_noise_continuity () =
+  (* Small input change -> small output change. *)
+  let a = Noise.value ~seed:7 10.0 10.0 in
+  let b = Noise.value ~seed:7 10.0001 10.0 in
+  Alcotest.(check bool) "continuous" true (Float.abs (a -. b) < 0.01)
+
+(* ---------- Dem ---------- *)
+
+let us = Dem.create Dem.Us_continental
+
+let test_dem_deterministic () =
+  let p = coord ~lat:39.0 ~lon:(-98.0) in
+  let dem2 = Dem.create Dem.Us_continental in
+  check_float 0.0 "same seed same elevation" (Dem.elevation_m us p) (Dem.elevation_m dem2 p)
+
+let test_dem_nonnegative () =
+  let rng = Cisp_util.Rng.create 6 in
+  for _ = 1 to 500 do
+    let p =
+      coord
+        ~lat:(Cisp_util.Rng.uniform rng 25.0 49.0)
+        ~lon:(Cisp_util.Rng.uniform rng (-124.0) (-67.0))
+    in
+    Alcotest.(check bool) "elevation >= 0" true (Dem.elevation_m us p >= 0.0);
+    Alcotest.(check bool) "clutter >= 0" true (Dem.clutter_m us p >= 0.0);
+    Alcotest.(check bool) "surface >= elevation" true
+      (Dem.surface_m us p >= Dem.elevation_m us p)
+  done
+
+let test_dem_mountains_higher_than_plains () =
+  let rockies = coord ~lat:39.5 ~lon:(-106.5) in
+  let kansas = coord ~lat:38.5 ~lon:(-98.0) in
+  let e_r = Dem.elevation_m us rockies and e_k = Dem.elevation_m us kansas in
+  Alcotest.(check bool)
+    (Printf.sprintf "rockies (%.0f) > kansas (%.0f)" e_r e_k)
+    true (e_r > e_k +. 500.0)
+
+let test_dem_west_ramp () =
+  let denver = coord ~lat:39.74 ~lon:(-104.98) in
+  let stlouis = coord ~lat:38.63 ~lon:(-90.20) in
+  Alcotest.(check bool) "denver above st louis" true
+    (Dem.elevation_m us denver > Dem.elevation_m us stlouis +. 400.0)
+
+let test_dem_profile () =
+  let a = coord ~lat:39.0 ~lon:(-100.0) and b = coord ~lat:39.0 ~lon:(-99.0) in
+  let prof = Dem.profile us a b ~step_km:1.0 in
+  Alcotest.(check bool) "enough samples" true (Array.length prof >= 80);
+  let d0, _ = prof.(0) in
+  let dn, _ = prof.(Array.length prof - 1) in
+  check_float 1e-6 "starts at 0" 0.0 d0;
+  check_float 0.5 "ends at distance" (Cisp_geo.Geodesy.distance_km a b) dn;
+  (* distances strictly increasing *)
+  let mono = ref true in
+  for i = 0 to Array.length prof - 2 do
+    if fst prof.(i) >= fst prof.(i + 1) then mono := false
+  done;
+  Alcotest.(check bool) "monotone distances" true !mono
+
+let test_dem_ruggedness () =
+  let rockies = coord ~lat:39.5 ~lon:(-106.5) in
+  let kansas = coord ~lat:38.5 ~lon:(-98.0) in
+  Alcotest.(check bool) "rockies more rugged" true
+    (Dem.ruggedness us rockies > 3.0 *. Dem.ruggedness us kansas)
+
+let test_dem_flat_region () =
+  let flat = Dem.create ~seed:9 Dem.Flat in
+  let rng = Cisp_util.Rng.create 10 in
+  for _ = 1 to 200 do
+    let p =
+      coord
+        ~lat:(Cisp_util.Rng.uniform rng 30.0 45.0)
+        ~lon:(Cisp_util.Rng.uniform rng (-110.0) (-80.0))
+    in
+    let e = Dem.elevation_m flat p in
+    Alcotest.(check bool) "flat stays low" true (e >= 0.0 && e < 300.0)
+  done
+
+(* ---------- Dem_cache ---------- *)
+
+let test_cache_consistency () =
+  let cache = Dem_cache.create us in
+  let p = coord ~lat:40.0 ~lon:(-95.0) in
+  let v1 = Dem_cache.surface_m cache p in
+  let v2 = Dem_cache.surface_m cache p in
+  check_float 0.0 "stable across queries" v1 v2;
+  let hits, misses = Dem_cache.stats cache in
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "one miss" 1 misses
+
+let test_cache_accuracy () =
+  (* Cached value equals the DEM within the quantization cell's relief. *)
+  let cache = Dem_cache.create us in
+  let rng = Cisp_util.Rng.create 11 in
+  for _ = 1 to 200 do
+    let p =
+      coord
+        ~lat:(Cisp_util.Rng.uniform rng 30.0 45.0)
+        ~lon:(Cisp_util.Rng.uniform rng (-110.0) (-80.0))
+    in
+    let cached = Dem_cache.surface_m cache p in
+    let exact = Dem.surface_m us p in
+    Alcotest.(check bool) "within 60m" true (Float.abs (cached -. exact) < 60.0)
+  done
+
+let test_cache_ground_vs_surface () =
+  let cache = Dem_cache.create us in
+  let p = coord ~lat:41.0 ~lon:(-93.0) in
+  Alcotest.(check bool) "surface >= ground" true
+    (Dem_cache.surface_m cache p >= Dem_cache.elevation_m cache p)
+
+let suites =
+  [
+    ( "terrain.noise",
+      [
+        Alcotest.test_case "deterministic" `Quick test_noise_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_noise_seed_sensitivity;
+        Alcotest.test_case "range" `Quick test_noise_range;
+        Alcotest.test_case "continuity" `Quick test_noise_continuity;
+      ] );
+    ( "terrain.dem",
+      [
+        Alcotest.test_case "deterministic" `Quick test_dem_deterministic;
+        Alcotest.test_case "nonnegative" `Quick test_dem_nonnegative;
+        Alcotest.test_case "mountains higher" `Quick test_dem_mountains_higher_than_plains;
+        Alcotest.test_case "west ramp" `Quick test_dem_west_ramp;
+        Alcotest.test_case "profile" `Quick test_dem_profile;
+        Alcotest.test_case "ruggedness" `Quick test_dem_ruggedness;
+        Alcotest.test_case "flat region" `Quick test_dem_flat_region;
+      ] );
+    ( "terrain.cache",
+      [
+        Alcotest.test_case "consistency" `Quick test_cache_consistency;
+        Alcotest.test_case "accuracy" `Quick test_cache_accuracy;
+        Alcotest.test_case "ground vs surface" `Quick test_cache_ground_vs_surface;
+      ] );
+  ]

@@ -1,0 +1,224 @@
+open Cisp_towers
+
+let coord = Cisp_geo.Coord.make
+
+(* Small deterministic fixture: a flat region with a handful of sites. *)
+let dem = Cisp_terrain.Dem.create ~seed:3 Cisp_terrain.Dem.Flat
+let cache = Cisp_terrain.Dem_cache.create dem
+
+let sites =
+  [
+    Cisp_data.City.make "Alpha" ~lat:40.0 ~lon:(-100.0) ~population:1_000_000;
+    Cisp_data.City.make "Beta" ~lat:40.0 ~lon:(-97.0) ~population:600_000;
+    Cisp_data.City.make "Gamma" ~lat:41.5 ~lon:(-98.5) ~population:400_000;
+  ]
+
+let towers = Synth.generate ~dem ~sites ()
+let culled = Culling.apply towers
+
+let test_synth_nonempty_deterministic () =
+  Alcotest.(check bool) "generated towers" true (List.length towers > 50);
+  let again = Synth.generate ~dem ~sites () in
+  Alcotest.(check int) "deterministic count" (List.length towers) (List.length again);
+  let ids = List.map (fun (t : Tower.t) -> t.id) towers in
+  Alcotest.(check int) "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_synth_heights_in_range () =
+  List.iter
+    (fun (t : Tower.t) ->
+      Alcotest.(check bool) "height in [50, 350]" true (t.height_m >= 50.0 && t.height_m <= 350.0))
+    towers
+
+let test_culling_fcc_height () =
+  List.iter
+    (fun (t : Tower.t) ->
+      match t.source with
+      | Tower.Fcc -> Alcotest.(check bool) "fcc over 100m" true (t.height_m >= 100.0)
+      | Tower.Rental | Tower.City -> ())
+    culled
+
+let test_culling_cell_cap () =
+  let cells = Hashtbl.create 64 in
+  List.iter
+    (fun (t : Tower.t) ->
+      let key =
+        ( int_of_float (Float.floor (Cisp_geo.Coord.lat t.position /. 0.5)),
+          int_of_float (Float.floor (Cisp_geo.Coord.lon t.position /. 0.5)) )
+      in
+      Hashtbl.replace cells key (1 + Option.value (Hashtbl.find_opt cells key) ~default:0))
+    culled;
+  Hashtbl.iter
+    (fun _ count -> Alcotest.(check bool) "cell under cap" true (count <= 50))
+    cells
+
+let test_culling_subset () =
+  let ids = List.map (fun (t : Tower.t) -> t.id) towers in
+  List.iter
+    (fun (t : Tower.t) ->
+      Alcotest.(check bool) "culled is subset" true (List.mem t.id ids))
+    culled
+
+let hops = Hops.build ~cache ~sites ~towers:culled ()
+
+let test_hops_graph_shape () =
+  Alcotest.(check int) "site nodes first" 3 hops.n_sites;
+  Alcotest.(check bool) "has feasible hops" true (hops.feasible_hops > 0);
+  Alcotest.(check int) "graph size" (3 + List.length culled)
+    (Cisp_graph.Graph.node_count hops.graph)
+
+let test_hops_link_properties () =
+  match Hops.shortest_link hops ~src:0 ~dst:1 with
+  | None -> Alcotest.fail "Alpha-Beta should connect (flat terrain, 255km)"
+  | Some l ->
+    Alcotest.(check bool) "positive distance" true (l.distance_km > 0.0);
+    Alcotest.(check bool) "stretch >= 1" true (Hops.link_stretch l >= 1.0);
+    Alcotest.(check bool) "reasonable stretch" true (Hops.link_stretch l < 1.6);
+    Alcotest.(check bool) "has towers" true (l.tower_count > 0);
+    (* path endpoints are the sites *)
+    (match l.node_path with
+    | first :: _ -> Alcotest.(check int) "starts at src" 0 first
+    | [] -> Alcotest.fail "empty path");
+    Alcotest.(check int) "ends at dst" 1 (List.nth l.node_path (List.length l.node_path - 1));
+    (* every hop within LoS range *)
+    List.iter
+      (fun (_, _) -> ())
+      (Hops.hops_of_link l);
+    Alcotest.(check int) "hops = path - 1" (List.length l.node_path - 1)
+      (List.length (Hops.hops_of_link l))
+
+let test_hops_symmetry () =
+  let l01 = Hops.shortest_link hops ~src:0 ~dst:1 in
+  let l10 = Hops.shortest_link hops ~src:1 ~dst:0 in
+  match (l01, l10) with
+  | Some a, Some b ->
+    Alcotest.(check (float 1e-6)) "symmetric distance" a.distance_km b.distance_km
+  | _ -> Alcotest.fail "both directions should exist"
+
+let test_all_links_matrix () =
+  let m = Hops.all_links hops in
+  Alcotest.(check bool) "diagonal none" true (m.(0).(0) = None);
+  (match m.(0).(1) with
+  | Some l -> Alcotest.(check int) "src recorded" 0 l.src
+  | None -> Alcotest.fail "missing 0-1");
+  match (m.(0).(2), m.(2).(0)) with
+  | Some a, Some b -> Alcotest.(check (float 1e-6)) "matrix symmetric" a.distance_km b.distance_km
+  | _ -> Alcotest.fail "missing 0-2"
+
+let test_height_fraction_reduces_feasibility () =
+  let restricted =
+    Hops.build
+      ~config:{ Hops.default_config with height_fraction = 0.45 }
+      ~cache ~sites ~towers:culled ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer hops with 0.45 height (%d vs %d)" restricted.feasible_hops
+       hops.feasible_hops)
+    true
+    (restricted.feasible_hops < hops.feasible_hops)
+
+let test_shorter_range_reduces_feasibility () =
+  let restricted =
+    Hops.build
+      ~config:
+        {
+          Hops.default_config with
+          los_params = { Cisp_rf.Los.default_params with max_range_km = 60.0 };
+        }
+      ~cache ~sites ~towers:culled ()
+  in
+  Alcotest.(check bool) "fewer hops with 60km range" true
+    (restricted.feasible_hops < hops.feasible_hops)
+
+let test_usable_height () =
+  let t = Tower.make ~id:0 ~position:(coord ~lat:40.0 ~lon:(-100.0)) ~height_m:200.0 ~source:Tower.Fcc in
+  Alcotest.(check (float 1e-9)) "fraction" 130.0 (Tower.usable_height_m t ~fraction:0.65)
+
+let suites =
+  [
+    ( "towers.synth",
+      [
+        Alcotest.test_case "nonempty deterministic" `Quick test_synth_nonempty_deterministic;
+        Alcotest.test_case "heights in range" `Quick test_synth_heights_in_range;
+      ] );
+    ( "towers.culling",
+      [
+        Alcotest.test_case "fcc height filter" `Quick test_culling_fcc_height;
+        Alcotest.test_case "cell cap" `Quick test_culling_cell_cap;
+        Alcotest.test_case "subset" `Quick test_culling_subset;
+      ] );
+    ( "towers.hops",
+      [
+        Alcotest.test_case "graph shape" `Quick test_hops_graph_shape;
+        Alcotest.test_case "link properties" `Quick test_hops_link_properties;
+        Alcotest.test_case "symmetry" `Quick test_hops_symmetry;
+        Alcotest.test_case "all links matrix" `Quick test_all_links_matrix;
+        Alcotest.test_case "height fraction restricts" `Quick test_height_fraction_reduces_feasibility;
+        Alcotest.test_case "range restricts" `Quick test_shorter_range_reduces_feasibility;
+        Alcotest.test_case "usable height" `Quick test_usable_height;
+      ] );
+  ]
+
+(* ---------- Refine (paper section 6.5) ---------- *)
+
+let refine_session () =
+  Refine.create ~hops ~src:0 ~dst:1 ~model:Refine.default_model
+
+let test_refine_prior_viable () =
+  let s = Refine.stats ~samples:60 (refine_session ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "viability %.2f > 0.5" s.Refine.viability)
+    true (s.Refine.viability > 0.5);
+  Alcotest.(check bool) "several distinct paths" true (s.Refine.distinct_paths >= 2);
+  Alcotest.(check bool) "p95 >= p50" true (s.Refine.length_p95_km >= s.Refine.length_p50_km)
+
+let test_refine_sample_paths_sorted () =
+  let paths = Refine.sample_paths ~samples:60 (refine_session ()) in
+  Alcotest.(check bool) "found paths" true (paths <> []);
+  let ds = List.map fst paths in
+  Alcotest.(check bool) "sorted" true (List.sort Float.compare ds = ds);
+  (* Paths run site-to-site: first and last markers are the sites. *)
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check int) "starts at src marker" (-1) (List.hd p);
+      Alcotest.(check int) "ends at dst marker" (-2) (List.nth p (List.length p - 1)))
+    paths
+
+let test_refine_rejection_shrinks_viability () =
+  let base = Refine.stats ~samples:60 (refine_session ()) in
+  let s = refine_session () in
+  (* Reject every tower used by the best prior path. *)
+  (match Refine.sample_paths ~samples:60 s with
+  | (_, best) :: _ ->
+    List.iter (fun t -> if t >= 0 then Refine.confirm s ~tower:t Refine.Rejected) best
+  | [] -> ());
+  let after = Refine.stats ~samples:60 s in
+  Alcotest.(check bool) "viability does not grow" true
+    (after.Refine.viability <= base.Refine.viability +. 0.15)
+
+let test_refine_committed_path () =
+  let s = refine_session () in
+  Alcotest.(check bool) "nothing committed initially" true (Refine.committed_path s = None);
+  (match Refine.sample_paths ~samples:60 s with
+  | (_, best) :: _ ->
+    List.iter (fun t -> if t >= 0 then Refine.confirm s ~tower:t (Refine.Acquired 1.0)) best;
+    (match Refine.committed_path s with
+    | Some (d, _) -> Alcotest.(check bool) "committed has length" true (d > 0.0)
+    | None -> Alcotest.fail "expected committed path after confirming")
+  | [] -> Alcotest.fail "expected prior paths")
+
+let test_refine_deterministic () =
+  let a = Refine.sample_paths ~samples:40 (refine_session ()) in
+  let b = Refine.sample_paths ~samples:40 (refine_session ()) in
+  Alcotest.(check int) "same path count" (List.length a) (List.length b)
+
+let refine_suite =
+  ( "towers.refine",
+    [
+      Alcotest.test_case "prior viable" `Quick test_refine_prior_viable;
+      Alcotest.test_case "sample paths sorted" `Quick test_refine_sample_paths_sorted;
+      Alcotest.test_case "rejection shrinks viability" `Quick test_refine_rejection_shrinks_viability;
+      Alcotest.test_case "committed path" `Quick test_refine_committed_path;
+      Alcotest.test_case "deterministic" `Quick test_refine_deterministic;
+    ] )
+
+let suites = suites @ [ refine_suite ]

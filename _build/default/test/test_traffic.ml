@@ -1,0 +1,102 @@
+open Cisp_traffic
+
+let cities =
+  [|
+    Cisp_data.City.make "A" ~lat:40.0 ~lon:(-100.0) ~population:1_000_000;
+    Cisp_data.City.make "B" ~lat:41.0 ~lon:(-90.0) ~population:500_000;
+    Cisp_data.City.make "C" ~lat:39.0 ~lon:(-80.0) ~population:250_000;
+  |]
+
+let check_float eps = Alcotest.(check (float eps))
+
+let test_population_product () =
+  let m = Matrix.population_product cities in
+  check_float 1e-9 "normalized" 1.0 (Matrix.total m);
+  check_float 1e-12 "zero diagonal" 0.0 m.(1).(1);
+  (* h_AB / h_AC = popB / popC = 2 *)
+  check_float 1e-9 "proportionality" 2.0 (m.(0).(1) /. m.(0).(2));
+  check_float 1e-12 "symmetric" m.(0).(1) m.(1).(0)
+
+let test_uniform_pairs () =
+  let m = Matrix.uniform_pairs 4 in
+  check_float 1e-9 "normalized" 1.0 (Matrix.total m);
+  check_float 1e-12 "equal entries" m.(0).(1) m.(2).(3)
+
+let test_scale_to_gbps () =
+  let m = Matrix.scale_to_gbps (Matrix.population_product cities) ~aggregate_gbps:100.0 in
+  check_float 1e-6 "sums to aggregate" 100.0 (Matrix.total m)
+
+let test_normalize_zero () =
+  let z = Array.make_matrix 2 2 0.0 in
+  let n = Matrix.normalize z in
+  check_float 1e-12 "zero stays zero" 0.0 (Matrix.total n)
+
+let test_mix () =
+  let a = Matrix.population_product cities in
+  let b = Matrix.uniform_pairs 3 in
+  let m = Matrix.mix [ (4.0, a); (3.0, b) ] in
+  check_float 1e-9 "normalized" 1.0 (Matrix.total m);
+  (* Mixing weights: entry = (4 a + 3 b)/7. *)
+  check_float 1e-9 "weighted blend" (((4.0 *. a.(0).(1)) +. (3.0 *. b.(0).(1))) /. 7.0) m.(0).(1)
+
+let test_dc_edge () =
+  let n_total = 4 in
+  (* city 0,1 -> dc 2 and 3 respectively, city 2 unused *)
+  let dc_of = function 0 -> Some 2 | 1 -> Some 3 | _ -> None in
+  let m = Matrix.dc_edge ~cities ~n_total ~dc_of in
+  check_float 1e-9 "normalized" 1.0 (Matrix.total m);
+  Alcotest.(check bool) "city0-dc2 traffic" true (m.(0).(2) > 0.0);
+  Alcotest.(check bool) "symmetric" true (m.(2).(0) = m.(0).(2));
+  check_float 1e-12 "city0-dc3 empty" 0.0 (m.(0).(3));
+  (* proportional to population: city0 twice city1 *)
+  check_float 1e-9 "population proportional" 2.0 (m.(0).(2) /. m.(1).(3))
+
+let test_perturb_factors_range () =
+  let f = Perturb.factors ~n:1000 ~gamma:0.3 ~seed:7 in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in [0.7, 1.3]" true (x >= 0.7 && x <= 1.3))
+    f;
+  (* gamma = 0 is the identity *)
+  let f0 = Perturb.factors ~n:10 ~gamma:0.0 ~seed:7 in
+  Array.iter (fun x -> check_float 1e-12 "unit factor" 1.0 x) f0
+
+let test_perturb_deterministic () =
+  let a = Perturb.population cities ~gamma:0.5 ~seed:3 in
+  let b = Perturb.population cities ~gamma:0.5 ~seed:3 in
+  check_float 1e-12 "same seed" a.(0).(1) b.(0).(1);
+  let c = Perturb.population cities ~gamma:0.5 ~seed:4 in
+  Alcotest.(check bool) "different seed" true (a.(0).(1) <> c.(0).(1))
+
+let prop_mix_normalized =
+  QCheck.Test.make ~name:"mix of random matrices is normalized" ~count:100
+    QCheck.(pair small_int (int_range 2 6))
+    (fun (seed, n) ->
+      let rng = Cisp_util.Rng.create seed in
+      let rand_matrix () =
+        let m = Array.init n (fun _ -> Array.init n (fun _ -> Cisp_util.Rng.float rng 5.0)) in
+        for i = 0 to n - 1 do
+          m.(i).(i) <- 0.0
+        done;
+        m
+      in
+      let m = Matrix.mix [ (1.0, rand_matrix ()); (2.0, rand_matrix ()) ] in
+      Float.abs (Matrix.total m -. 1.0) < 1e-9)
+
+let suites =
+  [
+    ( "traffic.matrix",
+      [
+        Alcotest.test_case "population product" `Quick test_population_product;
+        Alcotest.test_case "uniform pairs" `Quick test_uniform_pairs;
+        Alcotest.test_case "scale to gbps" `Quick test_scale_to_gbps;
+        Alcotest.test_case "normalize zero" `Quick test_normalize_zero;
+        Alcotest.test_case "mix" `Quick test_mix;
+        Alcotest.test_case "dc edge" `Quick test_dc_edge;
+        QCheck_alcotest.to_alcotest prop_mix_normalized;
+      ] );
+    ( "traffic.perturb",
+      [
+        Alcotest.test_case "factor range" `Quick test_perturb_factors_range;
+        Alcotest.test_case "deterministic" `Quick test_perturb_deterministic;
+      ] );
+  ]

@@ -1,0 +1,163 @@
+open Cisp_weather
+
+let check_float eps = Alcotest.(check (float eps))
+let coord = Cisp_geo.Coord.make
+
+(* ---------- Rainfield ---------- *)
+
+let test_field_deterministic () =
+  let a = Rainfield.sample Rainfield.us_climate ~day:100 in
+  let b = Rainfield.sample Rainfield.us_climate ~day:100 in
+  let p = coord ~lat:35.0 ~lon:(-90.0) in
+  check_float 0.0 "same day same rain" (Rainfield.rain_at a p) (Rainfield.rain_at b p)
+
+let test_field_day_variation () =
+  let p = coord ~lat:33.0 ~lon:(-88.0) in
+  let rains = List.init 60 (fun d -> Rainfield.rain_at (Rainfield.sample Rainfield.us_climate ~day:d) p) in
+  Alcotest.(check bool) "some dry, some wet" true
+    (List.exists (fun r -> r < 0.1) rains && List.exists (fun r -> r > 1.0) rains)
+
+let test_rain_nonnegative_and_decay () =
+  let f = Rainfield.sample Rainfield.us_climate ~day:10 in
+  let rng = Cisp_util.Rng.create 3 in
+  for _ = 1 to 200 do
+    let p =
+      coord
+        ~lat:(Cisp_util.Rng.uniform rng 25.0 49.0)
+        ~lon:(Cisp_util.Rng.uniform rng (-125.0) (-66.0))
+    in
+    Alcotest.(check bool) "nonnegative" true (Rainfield.rain_at f p >= 0.0)
+  done;
+  (* Rain decays away from a storm center. *)
+  match f.Rainfield.storms with
+  | [] -> () (* possible on a calm day; nothing to check *)
+  | s :: _ ->
+    let near = Rainfield.rain_at { f with Rainfield.storms = [ s ] } s.Rainfield.center in
+    let far_p =
+      Cisp_geo.Geodesy.destination s.Rainfield.center ~bearing_deg:0.0
+        ~distance_km:(s.Rainfield.radius_km *. 4.0)
+    in
+    let far = Rainfield.rain_at { f with Rainfield.storms = [ s ] } far_p in
+    Alcotest.(check bool) "decays with distance" true (far < near)
+
+let test_hurricane_intense () =
+  let c = coord ~lat:40.0 ~lon:(-74.0) in
+  let h = Rainfield.hurricane ~center:c in
+  Alcotest.(check bool) "core rain heavy" true (Rainfield.rain_at h c > 80.0)
+
+(* ---------- Failure ---------- *)
+
+let test_hop_margin_band () =
+  let m = Failure.hop_margin_db ~d_km:60.0 () in
+  Alcotest.(check bool) "within [10, 38]" true (m >= 10.0 && m <= 38.0);
+  Alcotest.(check bool) "longer hops have less margin" true
+    (Failure.hop_margin_db ~d_km:90.0 () <= Failure.hop_margin_db ~d_km:40.0 ())
+
+let test_hop_failure_threshold () =
+  Alcotest.(check bool) "dry hop survives" false (Failure.hop_failed ~rain_mm_h:0.0 ~d_km:60.0 ());
+  Alcotest.(check bool) "deluge kills hop" true (Failure.hop_failed ~rain_mm_h:200.0 ~d_km:60.0 ());
+  (* Monotone in rain. *)
+  let failed_at r = Failure.hop_failed ~rain_mm_h:r ~d_km:80.0 () in
+  let rec first_failure r = if r > 500.0 then r else if failed_at r then r else first_failure (r +. 5.0) in
+  let threshold = first_failure 5.0 in
+  Alcotest.(check bool) "threshold exists" true (threshold < 500.0);
+  Alcotest.(check bool) "below threshold ok" false (failed_at (threshold -. 5.0))
+
+let test_loss_probability_shape () =
+  let p r = Failure.hop_loss_probability ~rain_mm_h:r ~d_km:60.0 () in
+  Alcotest.(check bool) "floor when dry" true (p 0.0 < 0.005);
+  Alcotest.(check bool) "saturates" true (p 300.0 > 0.95);
+  Alcotest.(check bool) "monotone" true (p 10.0 <= p 50.0 && p 50.0 <= p 150.0)
+
+(* ---------- Year sweep (synthetic inputs) ---------- *)
+
+let year_fixture () =
+  let sites =
+    Array.init 5 (fun i ->
+        let c =
+          Cisp_geo.Geodesy.destination
+            (coord ~lat:33.0 ~lon:(-88.0))
+            ~bearing_deg:(float_of_int i *. 72.0) ~distance_km:300.0
+        in
+        Cisp_data.City.make (Printf.sprintf "W%d" i) ~lat:(Cisp_geo.Coord.lat c)
+          ~lon:(Cisp_geo.Coord.lon c) ~population:((i + 1) * 200_000))
+  in
+  let inputs =
+    Cisp_design.Inputs.synthetic ~sites ~mw_stretch:1.03 ~mw_cost_per_km:0.02
+      ~fiber_stretch:1.9
+      ~traffic:(Cisp_traffic.Matrix.population_product sites)
+  in
+  let topo = Cisp_design.Greedy.design inputs ~budget:60 in
+  (inputs, topo)
+
+(* A hops structure is needed for positions; reuse the towers fixture
+   approach with a flat DEM. *)
+let dem = Cisp_terrain.Dem.create ~seed:5 Cisp_terrain.Dem.Flat
+let cache = Cisp_terrain.Dem_cache.create dem
+
+let hops_fixture sites =
+  let towers = Cisp_towers.Culling.apply (Cisp_towers.Synth.generate ~dem ~sites ()) in
+  Cisp_towers.Hops.build ~cache ~sites ~towers ()
+
+let test_year_bounds () =
+  let inputs, topo = year_fixture () in
+  let hops = hops_fixture (Array.to_list inputs.Cisp_design.Inputs.sites) in
+  let r = Year.run ~intervals:20 ~climate:Rainfield.us_climate ~hops inputs topo in
+  Alcotest.(check int) "intervals" 20 r.Year.intervals;
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "best <= median" true (p.Year.best <= p.Year.median +. 1e-9);
+      Alcotest.(check bool) "median <= p99" true (p.Year.median <= p.Year.p99 +. 1e-9);
+      Alcotest.(check bool) "p99 <= worst" true (p.Year.p99 <= p.Year.worst +. 1e-9);
+      Alcotest.(check bool) "worst <= fiber" true (p.Year.worst <= p.Year.fiber +. 1e-9);
+      Alcotest.(check bool) "best >= 1" true (p.Year.best >= 1.0 -. 1e-9))
+    r.Year.per_pair
+
+let test_year_cdfs_shape () =
+  let inputs, topo = year_fixture () in
+  let hops = hops_fixture (Array.to_list inputs.Cisp_design.Inputs.sites) in
+  let r = Year.run ~intervals:10 ~climate:Rainfield.us_climate ~hops inputs topo in
+  let cdfs = Year.stretch_cdfs r in
+  Alcotest.(check int) "five curves" 5 (List.length cdfs);
+  List.iter
+    (fun (_, cdf) ->
+      Alcotest.(check int) "one point per pair" (Array.length r.Year.per_pair) (Array.length cdf))
+    cdfs
+
+(* ---------- HFT relay ---------- *)
+
+let test_hft_shape () =
+  let r = Hft.run ~minutes:2743 () in
+  Alcotest.(check int) "minutes" 2743 (Array.length r.Hft.loss_series);
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f >> median %.3f (hurricane-driven)" r.Hft.mean_loss r.Hft.median_loss)
+    true
+    (r.Hft.mean_loss > 3.0 *. r.Hft.median_loss);
+  Alcotest.(check bool) "median small" true (r.Hft.median_loss < 0.05);
+  Alcotest.(check bool) "mean substantial" true (r.Hft.mean_loss > 0.05);
+  Array.iter
+    (fun l -> Alcotest.(check bool) "loss in [0,1]" true (l >= 0.0 && l <= 1.0))
+    r.Hft.loss_series
+
+let suites =
+  [
+    ( "weather.rainfield",
+      [
+        Alcotest.test_case "deterministic" `Quick test_field_deterministic;
+        Alcotest.test_case "day variation" `Quick test_field_day_variation;
+        Alcotest.test_case "nonnegative and decay" `Quick test_rain_nonnegative_and_decay;
+        Alcotest.test_case "hurricane" `Quick test_hurricane_intense;
+      ] );
+    ( "weather.failure",
+      [
+        Alcotest.test_case "margin band" `Quick test_hop_margin_band;
+        Alcotest.test_case "failure threshold" `Quick test_hop_failure_threshold;
+        Alcotest.test_case "loss probability" `Quick test_loss_probability_shape;
+      ] );
+    ( "weather.year",
+      [
+        Alcotest.test_case "bounds" `Slow test_year_bounds;
+        Alcotest.test_case "cdf shape" `Slow test_year_cdfs_shape;
+      ] );
+    ("weather.hft", [ Alcotest.test_case "hurricane-driven loss" `Quick test_hft_shape ]);
+  ]
