@@ -15,7 +15,7 @@ let run_a ctx =
   List.iter (fun r -> Printf.printf "range=%-6.0fkm " r) ranges;
   Printf.printf "\n";
   let inputs_for range =
-    if range = 100.0 then Ctx.us_inputs ctx
+    if Float.equal range 100.0 then Ctx.us_inputs ctx
     else begin
       let config = { (Ctx.us_config ctx) with Scenario.max_range_km = range } in
       Scenario.population_inputs (Scenario.artifacts ~config ())

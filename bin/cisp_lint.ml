@@ -1,0 +1,83 @@
+(* cisp_lint: typed-AST static analysis for the cISP tree.
+
+   Walks the .cmt/.cmti files dune already produces and enforces the
+   repo's unit-safety and partiality rules (L1-L5, see lib/lint).
+   Normally driven by `dune build @lint`, which runs it from the build
+   root after everything is compiled. *)
+
+module Diag = Cisp_linter.Diag
+module Allowlist = Cisp_linter.Allowlist
+module Engine = Cisp_linter.Engine
+
+let usage =
+  "cisp_lint [options] [ROOT...]\n\n\
+   With no ROOT arguments, lints the repo under the current directory\n\
+   using the checked-in policy (lib/ strictly; bin/, bench/, examples/\n\
+   for unit-safety only).  With ROOT arguments, applies --rules to all\n\
+   .cmt/.cmti files found under the given directories.\n\nOptions:"
+
+let () =
+  let allowlist_path = ref "" in
+  let rules_csv = ref "L1,L2,L3,L4,L5" in
+  let verbose = ref false in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ("--allowlist", Arg.Set_string allowlist_path, "FILE suppression list (RULE FILE SYMBOL per line)");
+      ("--rules", Arg.Set_string rules_csv, "CSV rules to apply in explicit-ROOT mode (default: all)");
+      ("--verbose", Arg.Set verbose, " also report suppressed diagnostics");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun r -> roots := r :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r -> Printf.printf "%s  %s\n" (Diag.rule_id r) (Diag.rule_doc r))
+      Diag.all_rules;
+    exit 0
+  end;
+  let allowlist =
+    if String.equal !allowlist_path "" then Allowlist.empty
+    else
+      match Allowlist.load !allowlist_path with
+      | Ok t -> t
+      | Error msg ->
+          Printf.eprintf "cisp_lint: bad allowlist: %s\n" msg;
+          exit 2
+  in
+  (* validated up front so a typo'd --rules errors in repo mode too,
+     where the checked-in policy overrides the rule selection *)
+  let rules =
+    String.split_on_char ',' !rules_csv
+    |> List.filter_map (fun s ->
+           if String.equal (String.trim s) "" then None
+           else
+             match Diag.rule_of_string s with
+             | Some r -> Some r
+             | None ->
+                 Printf.eprintf "cisp_lint: unknown rule %S\n" s;
+                 exit 2)
+  in
+  let report =
+    match List.rev !roots with
+    | [] ->
+        if not (Sys.file_exists "lib") then begin
+          Printf.eprintf
+            "cisp_lint: no ROOT given and no lib/ here; run from the build root or pass directories\n";
+          exit 2
+        end;
+        Engine.run_repo ~allowlist ~root:"." ()
+    | roots -> Engine.run ~allowlist ~rules roots
+  in
+  List.iter (fun e -> Printf.eprintf "cisp_lint: warning: %s\n" e) report.Engine.errors;
+  List.iter (fun d -> print_endline (Diag.to_string d)) report.Engine.diagnostics;
+  if !verbose then
+    List.iter
+      (fun d -> Printf.printf "suppressed: %s\n" (Diag.to_string d))
+      report.Engine.suppressed;
+  Printf.printf "cisp_lint: %d unit(s) checked, %d violation(s), %d suppressed\n"
+    report.Engine.units_checked
+    (List.length report.Engine.diagnostics)
+    (List.length report.Engine.suppressed);
+  exit (Engine.exit_code report)

@@ -134,4 +134,4 @@ let c2s_byte_fraction pages =
           total := !total +. request +. float_of_int o.size_bytes)
         page.objects)
     pages;
-  if !total = 0.0 then 0.0 else !req /. !total
+  if Float.equal !total 0.0 then 0.0 else !req /. !total

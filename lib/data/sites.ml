@@ -38,6 +38,9 @@ let coalesce ?(radius_km = 50.0) cities =
   let centers =
     Hashtbl.fold
       (fun _ members acc ->
+        match members with
+        | [] -> acc
+        | first :: _ ->
         let total = List.fold_left (fun s c -> s + c.City.population) 0 members in
         let weight c =
           (* Guard against all-zero populations (e.g. data centers). *)
@@ -49,7 +52,7 @@ let coalesce ?(radius_km = 50.0) cities =
         let biggest =
           List.fold_left
             (fun best c -> if c.City.population > best.City.population then c else best)
-            (List.hd members) members
+            first members
         in
         City.make biggest.City.name ~lat ~lon ~population:total :: acc)
       groups []

@@ -96,7 +96,7 @@ let mw_fraction (inputs : Inputs.t) (topo : Topology.t) =
       end
     done
   done;
-  if !all = 0.0 then 0.0 else !mw /. !all
+  if Float.equal !all 0.0 then 0.0 else !mw /. !all
 
 let link_hops (inputs : Inputs.t) (i, j) =
   match inputs.Inputs.mw_links.(i).(j) with

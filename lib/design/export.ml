@@ -40,7 +40,7 @@ let collection features =
 
 let topology_geojson (inputs : Inputs.t) (topo : Topology.t) =
   let sites = Array.to_list (Array.map point_feature inputs.sites) in
-  let links = List.map (link_feature inputs) topo.Topology.built in
+  let links = List.map (fun l -> link_feature inputs l) topo.Topology.built in
   collection (sites @ links)
 
 let topology_with_plan_geojson (inputs : Inputs.t) (topo : Topology.t) (plan : Capacity.plan) =

@@ -101,7 +101,8 @@ let formulate ?(strong_linking = false) ?(oracle_pruning = true) (inputs : Input
                   if a.u = node then terms := (1.0, fvar.(k)) :: !terms;
                   if a.v = node then terms := (-1.0, fvar.(k)) :: !terms)
                 arcs;
-              if !terms <> [] || rhs <> 0.0 then Model.add_constraint m !terms Model.Eq rhs)
+              if (not (List.is_empty !terms)) || not (Float.equal rhs 0.0) then
+                Model.add_constraint m !terms Model.Eq rhs)
             node_list;
           Array.iteri
             (fun k a ->

@@ -8,7 +8,7 @@ let of_links inputs pairs =
   let pairs = List.sort_uniq compare (List.map norm pairs) in
   List.iter
     (fun (i, j) ->
-      if inputs.Inputs.mw_km.(i).(j) = infinity then
+      if Float.equal inputs.Inputs.mw_km.(i).(j) infinity then
         invalid_arg (Printf.sprintf "Topology.of_links: no MW link %d-%d" i j))
     pairs;
   let cost = List.fold_left (fun acc (i, j) -> acc + link_cost inputs i j) 0 pairs in
@@ -95,7 +95,7 @@ let mean_stretch (inputs : Inputs.t) d =
       end
     done
   done;
-  if !den = 0.0 then 1.0 else !num /. !den
+  if Float.equal !den 0.0 then 1.0 else !num /. !den
 
 let stretch_of t = mean_stretch t.inputs (distances t)
 

@@ -12,7 +12,7 @@ let make ~lat ~lon =
 
 let lat t = t.lat
 let lon t = t.lon
-let equal a b = a.lat = b.lat && a.lon = b.lon
+let equal a b = Float.equal a.lat b.lat && Float.equal a.lon b.lon
 
 let compare a b =
   match Float.compare a.lat b.lat with

@@ -37,7 +37,7 @@ let destination (a : Coord.t) ~bearing_deg ~distance_km =
   Coord.make ~lat:(deg phi2) ~lon:(deg lam2)
 
 (* Spherical linear interpolation along the great circle. *)
-let interpolate (a : Coord.t) (b : Coord.t) t =
+let interpolate (a : Coord.t) (b : Coord.t) ~frac:t =
   if t <= 0.0 then a
   else if t >= 1.0 then b
   else begin
@@ -61,9 +61,9 @@ let sample_path a b ~step_km =
   assert (step_km > 0.0);
   let d = distance_km a b in
   let n = max 1 (int_of_float (Float.ceil (d /. step_km))) in
-  Array.init (n + 1) (fun i -> interpolate a b (float_of_int i /. float_of_int n))
+  Array.init (n + 1) (fun i -> interpolate a b ~frac:(float_of_int i /. float_of_int n))
 
-let midpoint a b = interpolate a b 0.5
+let midpoint a b = interpolate a b ~frac:0.5
 
 let path_length_km pts =
   let total = ref 0.0 in

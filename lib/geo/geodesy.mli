@@ -16,9 +16,9 @@ val initial_bearing_deg : Coord.t -> Coord.t -> float
 val destination : Coord.t -> bearing_deg:float -> distance_km:float -> Coord.t
 (** Point reached travelling [distance_km] along [bearing_deg]. *)
 
-val interpolate : Coord.t -> Coord.t -> float -> Coord.t
-(** [interpolate a b t] is the point a fraction [t] in \[0,1\] along
-    the great circle from [a] to [b] (slerp). *)
+val interpolate : Coord.t -> Coord.t -> frac:float -> Coord.t
+(** [interpolate a b ~frac] is the point a fraction [frac] in \[0,1\]
+    along the great circle from [a] to [b] (slerp). *)
 
 val sample_path : Coord.t -> Coord.t -> step_km:float -> Coord.t array
 (** Points along the great circle every [step_km] (inclusive of both

@@ -34,7 +34,7 @@ let run g ~src = run_internal g ~src ~stop_at:None
 let run_to g ~src ~dst = run_internal g ~src ~stop_at:(Some dst)
 
 let path r ~dst =
-  if r.dist.(dst) = infinity then []
+  if Float.equal r.dist.(dst) infinity then []
   else begin
     let rec build acc v = if v = -1 then acc else build (v :: acc) r.prev.(v) in
     build [] dst
@@ -42,11 +42,11 @@ let path r ~dst =
 
 let distance g ~src ~dst =
   let r = run_to g ~src ~dst in
-  if r.dist.(dst) = infinity then None else Some r.dist.(dst)
+  if Float.equal r.dist.(dst) infinity then None else Some r.dist.(dst)
 
 let shortest_path g ~src ~dst =
   let r = run_to g ~src ~dst in
-  if r.dist.(dst) = infinity then None else Some (r.dist.(dst), path r ~dst)
+  if Float.equal r.dist.(dst) infinity then None else Some (r.dist.(dst), path r ~dst)
 
 let all_pairs g =
   let n = Graph.node_count g in

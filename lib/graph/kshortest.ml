@@ -41,23 +41,22 @@ let yen g ~src ~dst ~k =
       | [] -> []
       | x :: rest -> if n = 0 then [] else x :: take_prefix (n - 1) rest
     in
-    let rec rounds i =
+    let rec rounds i prev_path =
       if i >= k then ()
       else begin
-        let _, prev_path = List.nth !accepted (i - 1) in
-        let len = List.length prev_path in
+        let prev = Array.of_list prev_path in
+        let len = Array.length prev in
         (* Spur from every node except the last. *)
         for spur_idx = 0 to len - 2 do
           let root = take_prefix (spur_idx + 1) prev_path in
-          let spur_node = List.nth prev_path spur_idx in
+          let spur_node = prev.(spur_idx) in
           let banned_edges = Hashtbl.create 8 in
           List.iter
             (fun (_, p) ->
-              if List.length p > spur_idx + 1 && path_equal (take_prefix (spur_idx + 1) p) root
-              then begin
-                let u = List.nth p spur_idx and v = List.nth p (spur_idx + 1) in
-                Hashtbl.replace banned_edges (u, v) ()
-              end)
+              match (List.nth_opt p spur_idx, List.nth_opt p (spur_idx + 1)) with
+              | Some u, Some v when path_equal (take_prefix (spur_idx + 1) p) root ->
+                  Hashtbl.replace banned_edges (u, v) ()
+              | _ -> ())
             !accepted;
           let banned_nodes = Hashtbl.create 8 in
           List.iteri
@@ -78,8 +77,8 @@ let yen g ~src ~dst ~k =
         | best :: rest ->
           candidates := rest;
           accepted := !accepted @ [ best ];
-          rounds (i + 1)
+          rounds (i + 1) (snd best)
       end
     in
-    rounds 1;
+    rounds 1 (snd first);
     !accepted

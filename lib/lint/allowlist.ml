@@ -1,0 +1,78 @@
+type entry = {
+  rule : Diag.rule option;
+  file : string;
+  symbol : string;
+  reason : string;
+}
+
+type t = entry list
+
+let empty = []
+
+let parse_line ~file:src ~lineno line =
+  let line, reason =
+    match String.index_opt line '#' with
+    | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> (line, "")
+  in
+  let fields =
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> not (String.equal s ""))
+  in
+  match fields with
+  | [] -> Ok None
+  | [ rule_s; file; symbol ] ->
+      let rule =
+        if String.equal rule_s "*" then Ok None
+        else
+          match Diag.rule_of_string rule_s with
+          | Some r -> Ok (Some r)
+          | None -> Error (Printf.sprintf "%s:%d: unknown rule %S" src lineno rule_s)
+      in
+      Result.map (fun rule -> Some { rule; file; symbol; reason }) rule
+  | _ ->
+      Error
+        (Printf.sprintf
+           "%s:%d: expected `RULE FILE SYMBOL  # reason' (RULE and SYMBOL may be `*')"
+           src lineno)
+
+let parse ~file contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line ~file ~lineno line with
+        | Ok None -> go acc (lineno + 1) rest
+        | Ok (Some e) -> go (e :: acc) (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  go [] 1 lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse ~file:path contents
+  | exception Sys_error msg -> Error msg
+
+(* [d.file] is whatever relative path the compiler was invoked with, so
+   entries match on path suffix at a '/' boundary (or exactly). *)
+let file_matches entry_file diag_file =
+  String.equal entry_file "*"
+  || String.equal entry_file diag_file
+  ||
+  let le = String.length entry_file and ld = String.length diag_file in
+  ld > le
+  && String.equal (String.sub diag_file (ld - le) le) entry_file
+  && Char.equal diag_file.[ld - le - 1] '/'
+
+let entry_matches e (d : Diag.t) =
+  (match e.rule with None -> true | Some r -> r = d.rule)
+  && file_matches e.file d.file
+  && (String.equal e.symbol "*" || String.equal e.symbol d.symbol)
+
+let matches t d = List.exists (fun e -> entry_matches e d) t
+
+let filter t diags =
+  List.partition (fun d -> not (matches t d)) diags

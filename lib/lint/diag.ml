@@ -1,0 +1,66 @@
+type rule = L1 | L2 | L3 | L4 | L5
+
+let all_rules = [ L1; L2; L3; L4; L5 ]
+
+let rule_id = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | L4 -> "L4"
+  | L5 -> "L5"
+
+let rule_of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "L1" -> Some L1
+  | "L2" -> Some L2
+  | "L3" -> Some L3
+  | "L4" -> Some L4
+  | "L5" -> Some L5
+  | _ -> None
+
+let rule_doc = function
+  | L1 -> "polymorphic compare/equality on a float-bearing type"
+  | L2 -> "partial stdlib function in library code"
+  | L3 -> "physical constant duplicated outside Cisp_util.Units"
+  | L4 -> "bare float parameter without a unit label or suffix"
+  | L5 -> "stdout printing from library code"
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  symbol : string;
+  message : string;
+}
+
+let make ~rule ~symbol ~message (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    symbol;
+    message;
+  }
+
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string d =
+  let where =
+    if String.equal d.symbol "" then "" else Printf.sprintf " (in `%s')" d.symbol
+  in
+  Printf.sprintf "%s:%d:%d: [%s] %s%s" d.file d.line d.col (rule_id d.rule)
+    d.message where

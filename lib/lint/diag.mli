@@ -1,0 +1,39 @@
+(** Lint diagnostics: the five repo rules and [file:line:col] reports.
+
+    - L1: no polymorphic compare / equality ([compare], [min], [max],
+      [=], [<>]) instantiated at a float-bearing type.
+    - L2: no partial stdlib calls ([List.hd], [List.tl], [List.nth],
+      [Option.get], bare [Hashtbl.find], ...) in library code.
+    - L3: no duplicated physical constants (299792.458, 6371.0, the
+      1.5 glass factor, ...) outside [Cisp_util.Units].
+    - L4: every public function of the unit-heavy libraries taking a
+      bare [float] must carry the unit in a label or name suffix
+      ([_km], [_ms], [_ghz], [_gbps], [_deg], ...).
+    - L5: no stdout printing from library code. *)
+
+type rule = L1 | L2 | L3 | L4 | L5
+
+val all_rules : rule list
+val rule_id : rule -> string
+val rule_of_string : string -> rule option
+val rule_doc : rule -> string
+
+type t = {
+  rule : rule;
+  file : string;  (** source path as recorded by the compiler *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based *)
+  symbol : string;
+      (** enclosing top-level value (expression rules) or signature
+          item (L4); [""] when unknown *)
+  message : string;
+}
+
+val make : rule:rule -> symbol:string -> message:string -> Location.t -> t
+(** Diagnostic at the start of [loc]. *)
+
+val order : t -> t -> int
+(** Sort key: file, line, column, rule. *)
+
+val to_string : t -> string
+(** ["file:line:col: [L2] message (in `symbol')"]. *)

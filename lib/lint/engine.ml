@@ -1,0 +1,79 @@
+type report = {
+  diagnostics : Diag.t list;
+  suppressed : Diag.t list;
+  errors : string list;
+  units_checked : int;
+}
+
+let empty_report = { diagnostics = []; suppressed = []; errors = []; units_checked = 0 }
+
+let merge a b =
+  {
+    diagnostics = a.diagnostics @ b.diagnostics;
+    suppressed = a.suppressed @ b.suppressed;
+    errors = a.errors @ b.errors;
+    units_checked = a.units_checked + b.units_checked;
+  }
+
+let finalize ~allowlist diags =
+  let diags = List.sort_uniq Diag.order diags in
+  let kept, suppressed = Allowlist.filter allowlist diags in
+  (kept, suppressed)
+
+let check_units ~rules units =
+  List.concat_map
+    (fun (u : Loader.unit_) ->
+      match u.kind with
+      | Loader.Impl s -> Rules.check_impl ~rules ~source:u.source s
+      | Loader.Intf s -> Rules.check_intf ~rules ~source:u.source s)
+    units
+
+let run ?(allowlist = Allowlist.empty) ~rules roots =
+  let units, errors = Loader.load_roots roots in
+  let diagnostics, suppressed = finalize ~allowlist (check_units ~rules units) in
+  { diagnostics; suppressed; errors; units_checked = List.length units }
+
+(* ---------------- repo policy ---------------- *)
+
+let lib_rules = [ Diag.L1; Diag.L2; Diag.L3; Diag.L5 ]
+let exe_rules = [ Diag.L1; Diag.L3 ]
+
+let unit_labelled_dirs =
+  [ "lib/geo/"; "lib/rf/"; "lib/terrain/"; "lib/fiber/"; "lib/design/" ]
+
+let in_unit_labelled_dir source =
+  List.exists
+    (fun d ->
+      (* match anywhere in the path so it works from any build root *)
+      let ld = String.length d and ls = String.length source in
+      let rec at i = i + ld <= ls && (String.equal (String.sub source i ld) d || at (i + 1)) in
+      at 0)
+    unit_labelled_dirs
+
+let run_repo ?(allowlist = Allowlist.empty) ~root () =
+  let ( / ) = Filename.concat in
+  let existing dirs = List.filter Sys.file_exists dirs in
+  let lib_units, lib_errors = Loader.load_roots (existing [ root / "lib" ]) in
+  let exe_units, exe_errors =
+    Loader.load_roots (existing [ root / "bin"; root / "bench"; root / "examples" ])
+  in
+  let impl_diags = check_units ~rules:lib_rules lib_units in
+  let l4_diags =
+    check_units ~rules:[ Diag.L4 ]
+      (List.filter (fun (u : Loader.unit_) -> in_unit_labelled_dir u.source) lib_units)
+  in
+  let exe_diags = check_units ~rules:exe_rules exe_units in
+  let diagnostics, suppressed =
+    finalize ~allowlist (impl_diags @ l4_diags @ exe_diags)
+  in
+  {
+    diagnostics;
+    suppressed;
+    errors = lib_errors @ exe_errors;
+    units_checked = List.length lib_units + List.length exe_units;
+  }
+
+let exit_code report =
+  if report.diagnostics <> [] then 1
+  else if report.errors <> [] then 2
+  else 0

@@ -1,0 +1,30 @@
+(** Orchestration: load annotation files, run rules, apply the
+    allowlist, decide the exit code. *)
+
+type report = {
+  diagnostics : Diag.t list;  (** violations, sorted, allowlist applied *)
+  suppressed : Diag.t list;   (** matched by the allowlist *)
+  errors : string list;       (** unreadable annotation files etc. *)
+  units_checked : int;
+}
+
+val empty_report : report
+val merge : report -> report -> report
+
+val run :
+  ?allowlist:Allowlist.t -> rules:Diag.rule list -> string list -> report
+(** [run ~rules roots] lints every [.cmt]/[.cmti] under [roots] with
+    the given rules (expression rules apply to implementations, L4 to
+    interfaces). *)
+
+val run_repo : ?allowlist:Allowlist.t -> root:string -> unit -> report
+(** The checked-in repo policy, relative to [root]:
+    L1/L2/L3/L5 on [lib/] implementations; L4 on the interfaces of the
+    unit-heavy sublibraries ([lib/geo], [lib/rf], [lib/terrain],
+    [lib/fiber], [lib/design]); L1/L3 on [bin/], [bench/] and
+    [examples/] (executables may print and may use partial functions
+    at the top level, but must not corrupt units or duplicate
+    constants). *)
+
+val exit_code : report -> int
+(** 0 clean, 1 violations, 2 no violations but load errors. *)

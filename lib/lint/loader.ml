@@ -1,0 +1,72 @@
+type kind =
+  | Impl of Typedtree.structure
+  | Intf of Typedtree.signature
+
+type unit_ = {
+  source : string;
+  cmt_path : string;
+  kind : kind;
+}
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.equal (String.sub s (ls - lf) lf) suf
+
+let rec scan_tree acc path =
+  match Sys.is_directory path with
+  | true ->
+      Sys.readdir path |> Array.to_list
+      |> List.fold_left (fun acc name -> scan_tree acc (Filename.concat path name)) acc
+  | false ->
+      if has_suffix path ".cmt" || has_suffix path ".cmti" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+(* Per-root, so a missing root or a root with nothing to lint (a source
+   tree that was never built, a typo'd path) is reported instead of
+   silently contributing zero units. *)
+let find_cmt_files roots =
+  let files, errors =
+    List.fold_left
+      (fun (files, errors) root ->
+        if not (Sys.file_exists root) then
+          (files, (root ^ ": no such file or directory") :: errors)
+        else
+          match scan_tree [] root with
+          | [] ->
+              ( files,
+                (root ^ ": no .cmt/.cmti files found (is the tree built?)")
+                :: errors )
+          | fs -> (List.rev_append fs files, errors))
+      ([], []) roots
+  in
+  (List.sort_uniq String.compare files, List.rev errors)
+
+let load_file cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | infos -> (
+      let source =
+        match infos.Cmt_format.cmt_sourcefile with
+        | Some s -> s
+        | None -> cmt_path
+      in
+      match infos.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation s -> Ok (Some { source; cmt_path; kind = Impl s })
+      | Cmt_format.Interface s -> Ok (Some { source; cmt_path; kind = Intf s })
+      | _ -> Ok None)
+  | exception Cmt_format.Error (Cmt_format.Not_a_typedtree msg) ->
+      Error (Printf.sprintf "%s: not a typedtree: %s" cmt_path msg)
+  | exception Sys_error msg -> Error msg
+  | exception _ -> Error (Printf.sprintf "%s: unreadable cmt file" cmt_path)
+
+let load_roots roots =
+  let files, root_errors = find_cmt_files roots in
+  List.fold_left
+    (fun (units, errors) f ->
+      match load_file f with
+      | Ok (Some u) -> (u :: units, errors)
+      | Ok None -> (units, errors)
+      | Error e -> (units, e :: errors))
+    ([], []) files
+  |> fun (units, errors) ->
+  ( List.sort (fun a b -> String.compare a.source b.source) units,
+    root_errors @ List.rev errors )

@@ -1,0 +1,27 @@
+(** Discovery and decoding of [.cmt] / [.cmti] files.
+
+    Dune compiles everything with [-bin-annot], so the typed ASTs of
+    the whole tree are sitting in [_build] next to the object files;
+    the lint pass walks those rather than re-typing sources. *)
+
+type kind =
+  | Impl of Typedtree.structure  (** from a [.cmt] *)
+  | Intf of Typedtree.signature  (** from a [.cmti] *)
+
+type unit_ = {
+  source : string;    (** source path recorded at compile time *)
+  cmt_path : string;
+  kind : kind;
+}
+
+val find_cmt_files : string list -> string list * string list
+(** All [.cmt] / [.cmti] files under the given directories (files are
+    accepted verbatim), sorted and deduplicated, plus one error per
+    root that is missing or contains nothing to lint. *)
+
+val load_file : string -> (unit_ option, string) result
+(** [Ok None] for packed / partial cmt files. *)
+
+val load_roots : string list -> unit_ list * string list
+(** Load every annotation file under the roots; returns the decoded
+    units (sorted by source path) and decode errors. *)

@@ -1,0 +1,302 @@
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.equal (String.sub s (ls - lf) lf) suf
+
+(* ------------------------------------------------------------------ *)
+(* Identifier normalization                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The typer records stdlib identifiers either through the [Stdlib]
+   module ("Stdlib.compare", "Stdlib.List.hd") or through the mangled
+   unit name of a stdlib submodule ("Stdlib__List.hd"); normalize both
+   spellings to the way a programmer writes them ("compare",
+   "List.hd"). *)
+let normalize_ident path =
+  let s = Path.name path in
+  let strip prefix s =
+    if String.starts_with ~prefix s then
+      Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+    else None
+  in
+  match strip "Stdlib__" s with
+  | Some rest -> rest
+  | None -> ( match strip "Stdlib." s with Some rest -> rest | None -> s)
+
+(* ------------------------------------------------------------------ *)
+(* Type inspection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let is_float ty = Path.same ty Predef.path_float
+
+let rec contains_float ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) -> is_float p || List.exists contains_float args
+  | Types.Ttuple ts -> List.exists contains_float ts
+  | Types.Tpoly (t, _) -> contains_float t
+  | _ -> false
+
+let first_arrow_arg ty =
+  let rec go ty =
+    match Types.get_desc ty with
+    | Types.Tarrow (_, a, _, _) -> Some a
+    | Types.Tpoly (t, _) -> go t
+    | _ -> None
+  in
+  go ty
+
+let type_to_string ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* ------------------------------------------------------------------ *)
+(* L1: polymorphic compare / equality on float-bearing types           *)
+(* ------------------------------------------------------------------ *)
+
+let poly_compare_fns =
+  [
+    ("compare", "Float.compare (or a typed comparator)");
+    ("min", "Float.min");
+    ("max", "Float.max");
+    ("=", "Float.equal (or a typed equality)");
+    ("<>", "Float.equal (negated)");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* L2: partial stdlib functions                                        *)
+(* ------------------------------------------------------------------ *)
+
+let partial_fns =
+  [
+    ("List.hd", "match on the list");
+    ("List.tl", "match on the list");
+    ("List.nth", "List.nth_opt or an array");
+    ("Option.get", "match, Option.value, or Option.fold");
+    ("Hashtbl.find", "Hashtbl.find_opt");
+    ("Stack.pop", "Stack.pop_opt");
+    ("Queue.pop", "Queue.take_opt");
+    ("Queue.take", "Queue.take_opt");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* L3: physical constants outside Cisp_util.Units                      *)
+(* ------------------------------------------------------------------ *)
+
+let protected_constants =
+  [
+    (299_792.458, "Units.c_vacuum_km_s");
+    (299_792_458.0, "Units.c_vacuum_km_s (the paper uses km/s)");
+    (299_792.458 *. 2.0 /. 3.0, "Units.c_fiber_km_s");
+    (6371.0, "Units.earth_radius_km");
+    (1.5, "Units.fiber_latency_factor / Units.towers_per_100k");
+  ]
+
+let protected_constant x =
+  List.find_opt
+    (fun (c, _) -> Float.abs (x -. c) <= 1e-9 *. Float.max 1.0 (Float.abs c))
+    protected_constants
+
+let is_units_source source =
+  has_suffix source "util/units.ml" || has_suffix source "util/units.mli"
+
+(* ------------------------------------------------------------------ *)
+(* L4: unit vocabulary for float-valued public APIs                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A name "carries a unit" when its last underscore segment names a
+   unit or a recognized dimensionless quantity. *)
+let unit_vocabulary =
+  [
+    (* lengths / distances *)
+    "km"; "m"; "mm"; "cm";
+    (* times *)
+    "ms"; "s"; "us"; "ns"; "h"; "hours"; "days"; "years";
+    (* frequencies / rates *)
+    "ghz"; "mhz"; "khz"; "hz"; "gbps"; "mbps"; "kbps"; "bps";
+    (* angles *)
+    "deg"; "rad";
+    (* RF *)
+    "db"; "dbm"; "dbi"; "mm_h";
+    (* money *)
+    "usd"; "gb";
+    (* coordinates *)
+    "lat"; "lon";
+    (* recognized dimensionless quantities *)
+    "frac"; "fraction"; "factor"; "ratio"; "stretch"; "inflation";
+    "rate"; "prob"; "probability"; "percentile"; "k";
+  ]
+
+let carries_unit name =
+  let lower = String.lowercase_ascii name in
+  (* "mm_h" is two segments; check the whole name and 2-segment tails
+     first, then the last segment. *)
+  let segs = String.split_on_char '_' lower in
+  let last n =
+    let len = List.length segs in
+    let tail = List.filteri (fun i _ -> i >= len - n) segs in
+    String.concat "_" tail
+  in
+  List.mem (last 2) unit_vocabulary || List.mem (last 1) unit_vocabulary
+
+let strip_option ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [ arg ], _) when Path.same p Predef.path_option -> arg
+  | _ -> ty
+
+let arrow_args ty =
+  let rec go acc ty =
+    match Types.get_desc ty with
+    | Types.Tarrow (lbl, a, b, _) -> go ((lbl, a) :: acc) b
+    | Types.Tpoly (t, _) -> go acc t
+    | _ -> List.rev acc
+  in
+  go [] ty
+
+(* ------------------------------------------------------------------ *)
+(* L5: stdout printing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let stdout_fns =
+  [
+    "print_endline"; "print_string"; "print_newline"; "print_int";
+    "print_float"; "print_char"; "print_bytes"; "stdout";
+    "Printf.printf"; "Format.printf"; "Format.print_string";
+    "Format.print_newline"; "Format.std_formatter"; "Fmt.pr"; "Fmt.stdout";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Implementation walker: L1, L2, L3, L5                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_impl ~rules ~source structure =
+  let diags = ref [] in
+  let current = ref "" in
+  let emit rule loc message =
+    diags := Diag.make ~rule ~symbol:!current ~message loc :: !diags
+  in
+  let has r = List.mem r rules in
+  let check_ident (e : Typedtree.expression) path =
+    let name = normalize_ident path in
+    (if has Diag.L1 && List.mem_assoc name poly_compare_fns then
+       match first_arrow_arg e.exp_type with
+       | Some arg when contains_float arg ->
+           emit Diag.L1 e.exp_loc
+             (Printf.sprintf
+                "polymorphic `%s' instantiated at float-bearing type `%s'; use %s"
+                name (type_to_string arg)
+                (List.assoc name poly_compare_fns))
+       | _ -> ());
+    (if has Diag.L2 then
+       match List.assoc_opt name partial_fns with
+       | Some hint ->
+           emit Diag.L2 e.exp_loc
+             (Printf.sprintf "partial `%s' in library code; use %s" name hint)
+       | None -> ());
+    if has Diag.L5 && List.mem name stdout_fns then
+      emit Diag.L5 e.exp_loc
+        (Printf.sprintf "`%s' writes to stdout from library code; return data or take a formatter" name)
+  in
+  let check_constant (e : Typedtree.expression) lit =
+    if has Diag.L3 && not (is_units_source source) then
+      match float_of_string_opt lit with
+      | None -> ()
+      | Some x -> (
+          match protected_constant x with
+          | Some (_, home) ->
+              emit Diag.L3 e.exp_loc
+                (Printf.sprintf "literal %s duplicates a physical constant; use %s" lit home)
+          | None -> ())
+  in
+  let default = Tast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      Tast_iterator.expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Typedtree.Texp_ident (path, _, _) -> check_ident e path
+          | Typedtree.Texp_constant (Asttypes.Const_float lit) -> check_constant e lit
+          | _ -> ());
+          default.Tast_iterator.expr sub e);
+      Tast_iterator.structure_item =
+        (fun sub item ->
+          match item.Typedtree.str_desc with
+          | Typedtree.Tstr_value (_, vbs) ->
+              List.iter
+                (fun (vb : Typedtree.value_binding) ->
+                  let saved = !current in
+                  (match vb.vb_pat.pat_desc with
+                  | Typedtree.Tpat_var (id, _) -> current := Ident.name id
+                  | _ -> ());
+                  default.Tast_iterator.value_binding sub vb;
+                  current := saved)
+                vbs
+          | _ -> default.Tast_iterator.structure_item sub item);
+    }
+  in
+  iter.Tast_iterator.structure iter structure;
+  !diags
+
+(* ------------------------------------------------------------------ *)
+(* Interface walker: L4                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_value_description (vd : Typedtree.value_description) emit =
+  let name = vd.val_name.txt in
+  let args = arrow_args vd.val_val.Types.val_type in
+  let float_args =
+    List.filteri (fun _ _ -> true) args
+    |> List.mapi (fun i (lbl, ty) -> (i, lbl, ty))
+    |> List.filter (fun (_, lbl, ty) ->
+           let ty =
+             match lbl with Asttypes.Optional _ -> strip_option ty | _ -> ty
+           in
+           match Types.get_desc ty with
+           | Types.Tconstr (p, [], _) -> is_float p
+           | _ -> false)
+  in
+  let offenders =
+    List.filter
+      (fun (_, lbl, _) ->
+        match lbl with
+        | Asttypes.Labelled l | Asttypes.Optional l -> not (carries_unit l)
+        | Asttypes.Nolabel -> true)
+      float_args
+  in
+  match offenders with
+  | [] -> ()
+  | [ _ ] when carries_unit name -> ()
+  | _ ->
+      List.iter
+        (fun (i, lbl, _) ->
+          let what =
+            match lbl with
+            | Asttypes.Labelled l | Asttypes.Optional l ->
+                Printf.sprintf "float argument `~%s'" l
+            | Asttypes.Nolabel -> Printf.sprintf "unlabelled float argument #%d" (i + 1)
+          in
+          emit ~symbol:name vd.val_loc
+            (Printf.sprintf
+               "%s of `%s' carries no unit; add a unit label or suffix (_km, _ms, _ghz, _gbps, _deg, ...)"
+               what name))
+        offenders
+
+let check_intf ~rules ~source:_ signature =
+  if not (List.mem Diag.L4 rules) then []
+  else begin
+    let diags = ref [] in
+    let emit ~symbol loc message =
+      diags := Diag.make ~rule:Diag.L4 ~symbol ~message loc :: !diags
+    in
+    let default = Tast_iterator.default_iterator in
+    let iter =
+      {
+        default with
+        Tast_iterator.signature_item =
+          (fun sub item ->
+            (match item.Typedtree.sig_desc with
+            | Typedtree.Tsig_value vd -> check_value_description vd emit
+            | _ -> ());
+            default.Tast_iterator.signature_item sub item);
+      }
+    in
+    iter.Tast_iterator.signature iter signature;
+    !diags
+  end

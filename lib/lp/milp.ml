@@ -92,7 +92,7 @@ let solve ?(limits = default_limits) model =
             | Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded -> k ()
           in
           let near = Float.round xv in
-          let far = if near = 0.0 then 1.0 else near -. 1.0 in
+          let far = if Float.equal near 0.0 then 1.0 else near -. 1.0 in
           try_fix near (fun () -> try_fix far (fun () -> ()))
       end
     in
@@ -125,7 +125,7 @@ let solve ?(limits = default_limits) model =
             | Some v -> push_children extra sol.Simplex.x v);
             (* Gap check. *)
             let gap =
-              if !incumbent_obj = infinity then infinity
+              if Float.equal !incumbent_obj infinity then infinity
               else
                 Float.abs (!incumbent_obj -. !best_bound)
                 /. Float.max 1e-9 (Float.abs !incumbent_obj)

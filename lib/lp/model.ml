@@ -14,7 +14,7 @@ type t = {
 let create () = { vars = []; n = 0; constraints = []; objective = [] }
 
 let add_var t ?(lb = 0.0) ?(ub = infinity) ?(integer = false) name =
-  if lb <> 0.0 then invalid_arg "Model.add_var: only lb = 0 supported";
+  if not (Float.equal lb 0.0) then invalid_arg "Model.add_var: only lb = 0 supported";
   if ub < 0.0 then invalid_arg "Model.add_var: negative ub";
   let v = t.n in
   t.vars <- { name; ub; integer } :: t.vars;
@@ -23,7 +23,10 @@ let add_var t ?(lb = 0.0) ?(ub = infinity) ?(integer = false) name =
 
 let binary t name = add_var t ~ub:1.0 ~integer:true name
 
-let info t v = List.nth t.vars (t.n - 1 - v)
+let info t v =
+  match List.nth_opt t.vars (t.n - 1 - v) with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Model.info: unknown variable %d" v)
 let var_name t v = (info t v).name
 let var_index v = v
 let n_vars t = t.n

@@ -32,7 +32,7 @@ let check ?(params = default_params) ~surface a b =
     let n = max 2 (int_of_float (Float.ceil (total /. params.step_km))) in
     let margin_at i =
       let t = float_of_int i /. float_of_int n in
-      let p = Geodesy.interpolate a.position b.position t in
+      let p = Geodesy.interpolate a.position b.position ~frac:t in
       let d1 = total *. t and d2 = total *. (1.0 -. t) in
       let ray = ha +. (t *. (hb -. ha)) in
       let need =

@@ -101,11 +101,9 @@ let chain_for m ~link_km ~target_gbps ~tower_usd =
   }
 
 let cheapest_for ~link_km ~target_gbps ~tower_usd =
-  let options =
-    List.map
-      (fun m -> chain_for m ~link_km ~target_gbps ~tower_usd)
-      [ microwave; millimeter_wave; free_space_optics ]
-  in
+  let mw = chain_for microwave ~link_km ~target_gbps ~tower_usd in
+  let mmw = chain_for millimeter_wave ~link_km ~target_gbps ~tower_usd in
+  let fso = chain_for free_space_optics ~link_km ~target_gbps ~tower_usd in
   List.fold_left
     (fun best o -> if o.capex_usd < best.capex_usd then o else best)
-    (List.hd options) (List.tl options)
+    mw [ mmw; fso ]

@@ -162,4 +162,4 @@ let mean_route_latency_ms m table ~demands_gbps =
       num := !num +. (d *. Cisp_util.Units.ms_of_km_at_c !lat);
       den := !den +. d)
     table;
-  if !den = 0.0 then 0.0 else !num /. !den
+  if Float.equal !den 0.0 then 0.0 else !num /. !den

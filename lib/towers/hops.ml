@@ -1,4 +1,3 @@
-module Coord = Cisp_geo.Coord
 module Geodesy = Cisp_geo.Geodesy
 module Grid = Cisp_geo.Grid
 module Dem_cache = Cisp_terrain.Dem_cache
@@ -111,7 +110,7 @@ let hops_of_link l =
   pairs l.node_path
 
 let link_of_result t ~src ~dst (r : Dijkstra.result) =
-  if r.dist.(dst) = infinity then None
+  if Float.equal r.dist.(dst) infinity then None
   else begin
     let node_path = Dijkstra.path r ~dst in
     let tower_count = List.length (List.filter (fun v -> is_tower_node t v) node_path) in

@@ -1,5 +1,4 @@
 module Rng = Cisp_util.Rng
-module Coord = Cisp_geo.Coord
 module Geodesy = Cisp_geo.Geodesy
 module Graph = Cisp_graph.Graph
 module Dijkstra = Cisp_graph.Dijkstra
@@ -25,8 +24,6 @@ let default_model =
 
 type t = {
   hops : Hops.t;
-  src : int;
-  dst : int;
   model : model;
   knowledge : knowledge array;         (* per registry tower *)
   (* Swathe subgraph: nodes are [0] = src site, [1] = dst site,
@@ -70,8 +67,6 @@ let create ~hops ~src ~dst ~model =
     node_of;
   {
     hops;
-    src;
-    dst;
     model;
     knowledge = Array.make (Array.length towers) Unknown;
     sub_tower;

@@ -1,4 +1,5 @@
 module Rng = Cisp_util.Rng
+module Units = Cisp_util.Units
 module Coord = Cisp_geo.Coord
 module Geodesy = Cisp_geo.Geodesy
 module Dem = Cisp_terrain.Dem
@@ -19,7 +20,7 @@ type config = {
 let default_config =
   {
     seed = 7;
-    city_towers_per_100k = 1.5;
+    city_towers_per_100k = Units.towers_per_100k;
     city_radius_km = 30.0;
     corridor_spacing_km = 20.0;
     corridor_max_km = 1200.0;
@@ -50,11 +51,12 @@ let random_point_near rng center ~radius_km =
 (* Real towers are sited on local high ground; emulate by sampling a
    few candidate positions and keeping the highest. *)
 let high_point dem rng sample_fn =
-  let candidates = List.init 3 (fun _ -> sample_fn rng) in
-  List.fold_left
-    (fun best p ->
-      if Dem.elevation_m dem p > Dem.elevation_m dem best then p else best)
-    (List.hd candidates) (List.tl candidates)
+  let best = ref (sample_fn rng) in
+  for _ = 2 to 3 do
+    let p = sample_fn rng in
+    if Dem.elevation_m dem p > Dem.elevation_m dem !best then best := p
+  done;
+  !best
 
 let city_cluster cfg rng dem (city : City.t) =
   let count =
@@ -78,7 +80,7 @@ let corridor_towers cfg rng dem (a : City.t) (b : City.t) =
     List.concat
       (List.init n (fun i ->
            let t = float_of_int (i + 1) /. float_of_int (n + 1) in
-           let on_path = Geodesy.interpolate a.coord b.coord t in
+           let on_path = Geodesy.interpolate a.coord b.coord ~frac:t in
            let p =
              high_point dem rng (fun rng ->
                  let bearing = Rng.float rng 360.0 in
@@ -120,7 +122,10 @@ let generate ?(config = default_config) ~dem ~sites () =
         Array.init n (fun j ->
             (Geodesy.distance_km cities.(i).City.coord cities.(j).City.coord, j))
       in
-      Array.sort compare dists;
+      Array.sort
+        (fun (da, ja) (db, jb) ->
+          match Float.compare da db with 0 -> Int.compare ja jb | c -> c)
+        dists;
       let count = min knn (n - 1) in
       for r = 1 to count do
         let _, j = dists.(r) in

@@ -54,7 +54,7 @@ let exponential t rate =
 
 let poisson t mean =
   assert (mean >= 0.0);
-  if mean = 0.0 then 0
+  if Float.equal mean 0.0 then 0
   else if mean > 50.0 then
     (* Normal approximation, adequate for synthetic workload generation. *)
     let x = mean +. (sqrt mean *. gaussian t) in

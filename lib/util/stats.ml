@@ -4,7 +4,7 @@ let mean xs =
 
 let weighted_mean pairs =
   let wsum = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 pairs in
-  if wsum = 0.0 then 0.0
+  if Float.equal wsum 0.0 then 0.0
   else Array.fold_left (fun acc (w, x) -> acc +. (w *. x)) 0.0 pairs /. wsum
 
 let variance xs =

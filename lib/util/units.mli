@@ -13,6 +13,12 @@ val fiber_latency_factor : float
 val earth_radius_km : float
 (** Mean Earth radius, km. *)
 
+val towers_per_100k : float
+(** Paper §4 tower-density prior: synthesized city clusters hold 1.5
+    towers per 100,000 inhabitants.  Lives here (not in the tower
+    synthesizer) so the 1.5 literal has exactly one home and the L3
+    lint rule can police every other occurrence. *)
+
 val ms_of_km_at_c : float -> float
 (** One-way propagation delay in milliseconds over [d] km at c. *)
 

@@ -40,7 +40,7 @@ let run ?(seed = 7) ?(hops = 20) ?(minutes = 2743) () =
     if day >= 4 then begin
       let drift = Float.min 1.0 (float_of_int (day - 4) /. 2.0) in
       let center =
-        Geodesy.interpolate (Coord.make ~lat:36.5 ~lon:(-70.0)) carteret drift
+        Geodesy.interpolate (Coord.make ~lat:36.5 ~lon:(-70.0)) carteret ~frac:drift
       in
       let h = Rainfield.hurricane ~center in
       { base with Rainfield.storms = h.Rainfield.storms @ base.Rainfield.storms }

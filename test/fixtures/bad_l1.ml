@@ -1,0 +1,6 @@
+(* Seeded L1 violations: polymorphic comparison at float-bearing types. *)
+let sort_by_distance (dists : (float * int) array) = Array.sort compare dists
+let same_speed (a : float) b = a = b
+
+(* Negative case: polymorphic compare at a non-float type is allowed. *)
+let cmp_ids (a : int) b = compare a b

@@ -1,0 +1,5 @@
+(* Seeded L2 violations: partial stdlib calls in library code. *)
+let first (xs : int list) = List.hd xs
+let pick (xs : int list) n = List.nth xs n
+let force (o : int option) = Option.get o
+let lookup (h : (string, int) Hashtbl.t) k = Hashtbl.find h k

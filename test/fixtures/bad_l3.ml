@@ -1,0 +1,7 @@
+(* Seeded L3 violations: physical constants duplicated outside Units. *)
+let c_km_s = 299792.458
+let earth_km = 6371.0
+let glass_factor = 1.5
+
+(* Negative case: unprotected literals are fine. *)
+let unrelated = 42.75

@@ -1,0 +1,2 @@
+let scale a b = a *. b
+let speed ~v = v

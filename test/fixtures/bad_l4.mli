@@ -1,0 +1,3 @@
+(* Seeded L4 violations: unit-less float parameters in a public API. *)
+val scale : float -> float -> float
+val speed : v:float -> float

@@ -1,0 +1,3 @@
+(* Seeded L5 violations: stdout printing from library code. *)
+let shout msg = print_endline msg
+let report n = Printf.printf "%d\n" n

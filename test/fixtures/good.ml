@@ -1,0 +1,5 @@
+(* Clean fixture: total functions, typed comparisons, units everywhere. *)
+
+let distance_km ~a_km ~b_km = a_km +. b_km
+let latency_ms d_km = d_km /. 200_000.0
+let nth_or_zero xs n = Option.value (List.nth_opt xs n) ~default:0

@@ -1,0 +1,9 @@
+(* Clean fixture: every rule holds. *)
+
+val distance_km : a_km:float -> b_km:float -> float
+(* Unit-suffixed labels. *)
+
+val latency_ms : float -> float
+(* A single bare float may ride on the function name's unit suffix. *)
+
+val nth_or_zero : int list -> int -> int

@@ -57,8 +57,8 @@ let test_destination_roundtrip () =
   check_float 1.0 "arrives" 0.0 (Geodesy.distance_km p chicago)
 
 let test_interpolate_endpoints () =
-  let p0 = Geodesy.interpolate nyc la 0.0 in
-  let p1 = Geodesy.interpolate nyc la 1.0 in
+  let p0 = Geodesy.interpolate nyc la ~frac:0.0 in
+  let p1 = Geodesy.interpolate nyc la ~frac:1.0 in
   Alcotest.(check bool) "t=0 is start" true (Coord.equal p0 nyc);
   Alcotest.(check bool) "t=1 is end" true (Coord.equal p1 la)
 
@@ -141,7 +141,7 @@ let prop_interpolate_on_segment =
                  (pair (float_range 25.0 49.0) (float_range (-120.0) (-70.0)))))
     (fun (t, ((la1, lo1), (la2, lo2))) ->
       let a = coord ~lat:la1 ~lon:lo1 and b = coord ~lat:la2 ~lon:lo2 in
-      let p = Geodesy.interpolate a b t in
+      let p = Geodesy.interpolate a b ~frac:t in
       let d = Geodesy.distance_km a b in
       Float.abs (Geodesy.distance_km a p -. (t *. d)) < 1.0)
 

@@ -1,0 +1,200 @@
+(* The lint pass (lib/lint) against the seeded fixtures in
+   test/fixtures: every rule L1-L5 must fire on its bad_l*.ml at the
+   expected file:line, and must stay silent on good.ml/good.mli. *)
+
+module Diag = Cisp_linter.Diag
+module Allowlist = Cisp_linter.Allowlist
+module Engine = Cisp_linter.Engine
+module Rules = Cisp_linter.Rules
+
+(* Under `dune runtest` the cwd is _build/default/test, under
+   `dune exec` it is wherever the user ran it from; find the fixture
+   tree (and its .objs directory full of .cmt files) from either. *)
+let fixtures_root =
+  let candidates =
+    [ "fixtures"; "_build/default/test/fixtures"; "test/fixtures" ]
+  in
+  let is_dir p = Sys.file_exists p && Sys.is_directory p in
+  match List.find_opt is_dir candidates with
+  | Some p -> p
+  | None -> "fixtures"
+
+let report =
+  lazy (Engine.run ~rules:Diag.all_rules [ fixtures_root ])
+
+let diags () = (Lazy.force report).Engine.diagnostics
+
+let in_file file (d : Diag.t) = String.equal (Filename.basename d.file) file
+
+let count ~rule ~file =
+  List.length (List.filter (fun (d : Diag.t) -> d.rule = rule && in_file file d) (diags ()))
+
+let check_hit ~rule ~file ~line =
+  let hit =
+    List.exists
+      (fun (d : Diag.t) -> d.rule = rule && in_file file d && d.line = line)
+      (diags ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires at %s:%d" (Diag.rule_id rule) file line)
+    true hit
+
+let test_loader () =
+  let r = Lazy.force report in
+  Alcotest.(check bool) "decodes the fixture units" true (r.Engine.units_checked >= 8);
+  Alcotest.(check (list string)) "no decode errors" [] r.Engine.errors
+
+let test_l1_positive () =
+  check_hit ~rule:Diag.L1 ~file:"bad_l1.ml" ~line:2;
+  check_hit ~rule:Diag.L1 ~file:"bad_l1.ml" ~line:3
+
+let test_l1_negative () =
+  (* compare at int (line 6) must not fire; exactly the two seeded hits. *)
+  Alcotest.(check int) "two L1 hits" 2 (count ~rule:Diag.L1 ~file:"bad_l1.ml")
+
+let test_l2_positive () =
+  List.iter (fun line -> check_hit ~rule:Diag.L2 ~file:"bad_l2.ml" ~line) [ 2; 3; 4; 5 ]
+
+let test_l2_negative () =
+  (* good.ml uses List.nth_opt / Option.value: total, silent. *)
+  Alcotest.(check int) "no L2 in good.ml" 0 (count ~rule:Diag.L2 ~file:"good.ml")
+
+let test_l3_positive () =
+  List.iter (fun line -> check_hit ~rule:Diag.L3 ~file:"bad_l3.ml" ~line) [ 2; 3; 4 ]
+
+let test_l3_negative () =
+  (* the unprotected 42.75 literal must not fire *)
+  Alcotest.(check int) "three L3 hits" 3 (count ~rule:Diag.L3 ~file:"bad_l3.ml")
+
+let test_l4_positive () =
+  (* `scale` has two unit-less floats, `speed` one unit-less label. *)
+  check_hit ~rule:Diag.L4 ~file:"bad_l4.mli" ~line:2;
+  check_hit ~rule:Diag.L4 ~file:"bad_l4.mli" ~line:3;
+  Alcotest.(check int) "three L4 hits" 3 (count ~rule:Diag.L4 ~file:"bad_l4.mli")
+
+let test_l4_negative () =
+  (* unit-suffixed labels and name-suffix riding are accepted *)
+  Alcotest.(check int) "no L4 in good.mli" 0 (count ~rule:Diag.L4 ~file:"good.mli")
+
+let test_l5_positive () =
+  check_hit ~rule:Diag.L5 ~file:"bad_l5.ml" ~line:2;
+  check_hit ~rule:Diag.L5 ~file:"bad_l5.ml" ~line:3
+
+let test_l5_negative () =
+  Alcotest.(check int) "no L5 in good.ml" 0 (count ~rule:Diag.L5 ~file:"good.ml")
+
+let test_good_is_clean () =
+  let bad = List.filter (fun d -> in_file "good.ml" d || in_file "good.mli" d) (diags ()) in
+  Alcotest.(check (list string)) "good fixtures are clean" []
+    (List.map Diag.to_string bad)
+
+let test_symbols () =
+  let sym rule file line =
+    match
+      List.find_opt
+        (fun (d : Diag.t) -> d.rule = rule && in_file file d && d.line = line)
+        (diags ())
+    with
+    | Some d -> d.Diag.symbol
+    | None -> "<missing>"
+  in
+  Alcotest.(check string) "L1 symbol" "sort_by_distance" (sym Diag.L1 "bad_l1.ml" 2);
+  Alcotest.(check string) "L5 symbol" "shout" (sym Diag.L5 "bad_l5.ml" 2);
+  Alcotest.(check string) "L4 symbol" "scale" (sym Diag.L4 "bad_l4.mli" 2)
+
+let test_diag_format () =
+  match List.find_opt (fun d -> in_file "bad_l2.ml" d) (diags ()) with
+  | None -> Alcotest.fail "expected a bad_l2.ml diagnostic"
+  | Some d ->
+      let s = Diag.to_string d in
+      let has_sub sub =
+        let ls = String.length s and lu = String.length sub in
+        let rec at i = i + lu <= ls && (String.equal (String.sub s i lu) sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "has file:line" true (has_sub "bad_l2.ml:2:");
+      Alcotest.(check bool) "has rule tag" true (has_sub "[L2]")
+
+let parse_allowlist text =
+  match Allowlist.parse ~file:"<test>" text with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_allowlist_wildcard () =
+  let allowlist = parse_allowlist "L2 bad_l2.ml *  # suppress the whole file\n" in
+  let r = Engine.run ~allowlist ~rules:Diag.all_rules [ fixtures_root ] in
+  let l2 =
+    List.filter (fun (d : Diag.t) -> d.rule = Diag.L2) r.Engine.diagnostics
+  in
+  Alcotest.(check int) "L2 suppressed" 0 (List.length l2);
+  Alcotest.(check int) "four suppressions recorded" 4 (List.length r.Engine.suppressed);
+  Alcotest.(check bool) "other rules still fire" true (r.Engine.diagnostics <> [])
+
+let test_allowlist_symbol () =
+  let allowlist = parse_allowlist "L5 bad_l5.ml shout  # only this value\n" in
+  let r = Engine.run ~allowlist ~rules:Diag.all_rules [ fixtures_root ] in
+  let l5 =
+    List.filter (fun (d : Diag.t) -> d.rule = Diag.L5) r.Engine.diagnostics
+  in
+  Alcotest.(check int) "one L5 left" 1 (List.length l5);
+  Alcotest.(check int) "one suppression" 1 (List.length r.Engine.suppressed)
+
+let test_allowlist_reject () =
+  match Allowlist.parse ~file:"<test>" "LX foo.ml *\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error for rule LX"
+  | Error _ -> ()
+
+let test_exit_codes () =
+  Alcotest.(check int) "violations exit 1" 1 (Engine.exit_code (Lazy.force report));
+  Alcotest.(check int) "clean exit 0" 0 (Engine.exit_code Engine.empty_report)
+
+let test_vocabulary () =
+  let yes = [ "distance_km"; "rain_mm_h"; "bearing_deg"; "coding_rate"; "lat" ] in
+  let no = [ "value"; "interpolate"; "x" ] in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " carries a unit") true (Rules.carries_unit n))
+    yes;
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " carries no unit") false (Rules.carries_unit n))
+    no
+
+let test_protected_constants () =
+  let protected x = Option.is_some (Rules.protected_constant x) in
+  Alcotest.(check bool) "c is protected" true (protected 299792.458);
+  Alcotest.(check bool) "earth radius is protected" true (protected 6371.0);
+  Alcotest.(check bool) "1.5 is protected" true (protected 1.5);
+  Alcotest.(check bool) "other literals pass" false (protected 300000.0);
+  Alcotest.(check bool) "units.ml is exempt" true (Rules.is_units_source "lib/util/units.ml")
+
+let suites =
+  [
+    ( "lint.rules",
+      [
+        Alcotest.test_case "loader decodes fixtures" `Quick test_loader;
+        Alcotest.test_case "L1 positive" `Quick test_l1_positive;
+        Alcotest.test_case "L1 negative" `Quick test_l1_negative;
+        Alcotest.test_case "L2 positive" `Quick test_l2_positive;
+        Alcotest.test_case "L2 negative" `Quick test_l2_negative;
+        Alcotest.test_case "L3 positive" `Quick test_l3_positive;
+        Alcotest.test_case "L3 negative" `Quick test_l3_negative;
+        Alcotest.test_case "L4 positive" `Quick test_l4_positive;
+        Alcotest.test_case "L4 negative" `Quick test_l4_negative;
+        Alcotest.test_case "L5 positive" `Quick test_l5_positive;
+        Alcotest.test_case "L5 negative" `Quick test_l5_negative;
+        Alcotest.test_case "good fixtures are clean" `Quick test_good_is_clean;
+        Alcotest.test_case "symbols tracked" `Quick test_symbols;
+        Alcotest.test_case "diagnostic format" `Quick test_diag_format;
+      ] );
+    ( "lint.allowlist",
+      [
+        Alcotest.test_case "wildcard entry" `Quick test_allowlist_wildcard;
+        Alcotest.test_case "symbol entry" `Quick test_allowlist_symbol;
+        Alcotest.test_case "bad entry rejected" `Quick test_allowlist_reject;
+        Alcotest.test_case "exit codes" `Quick test_exit_codes;
+      ] );
+    ( "lint.vocabulary",
+      [
+        Alcotest.test_case "unit vocabulary" `Quick test_vocabulary;
+        Alcotest.test_case "protected constants" `Quick test_protected_constants;
+      ] );
+  ]

@@ -18,4 +18,5 @@ let () =
          Test_apps.suites;
          Test_integration.suites;
          Test_orbit.suites;
+         Test_lint.suites;
        ])
