@@ -3,7 +3,8 @@
 
      dune exec bench/main.exe                 # everything, full scale
      dune exec bench/main.exe -- --quick      # trimmed sweeps
-     dune exec bench/main.exe -- fig5 fig7    # selected experiments *)
+     dune exec bench/main.exe -- fig5 fig7    # selected experiments
+     dune exec bench/main.exe -- --jobs 4 par # domain-pool width *)
 
 let experiments : (string * (Ctx.t -> unit)) list =
   [
@@ -24,10 +25,22 @@ let experiments : (string * (Ctx.t -> unit)) list =
     ("ablation", Ablation.run);
     ("alt", Alt.run);
     ("micro", Micro.run);
+    ("par", Par.run);
   ]
 
+(* Consume "--jobs N" (pool width for the parallel hot paths),
+   returning the remaining args. *)
+let rec extract_jobs = function
+  | [] -> []
+  | "--jobs" :: n :: rest ->
+    (match int_of_string_opt n with
+    | Some k when k >= 1 -> Cisp_util.Pool.set_default_jobs k
+    | Some _ | None -> Printf.eprintf "ignoring invalid --jobs %S\n" n);
+    extract_jobs rest
+  | a :: rest -> a :: extract_jobs rest
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = Array.to_list Sys.argv |> List.tl |> extract_jobs in
   let quick = List.mem "--quick" args in
   let selected = List.filter (fun a -> a <> "--quick") args in
   let ctx = Ctx.create ~quick in

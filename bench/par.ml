@@ -1,0 +1,130 @@
+(* Parallel-pipeline benchmark: wall-clock of the four pool-backed hot
+   paths at 1 domain vs N domains on the standard us-backbone
+   scenario, with a bit-identity check between the two runs.  Each
+   run appends a JSON line per kernel to BENCH.json so the speedup
+   trajectory accumulates across commits. *)
+
+module Pool = Cisp_util.Pool
+module Inputs = Cisp_design.Inputs
+module Topology = Cisp_design.Topology
+module Greedy = Cisp_design.Greedy
+module Hops = Cisp_towers.Hops
+module Year = Cisp_weather.Year
+
+let bench_json_path = "BENCH.json"
+
+let record ~kernel ~jobs ~seq_s ~par_s =
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_json_path in
+  Printf.fprintf oc
+    {|{"bench":"par","kernel":"%s","jobs":%d,"seq_s":%.6f,"par_s":%.6f,"speedup":%.3f}|}
+    kernel jobs seq_s par_s speedup;
+  output_char oc '\n';
+  close_out oc
+
+(* Result of the first run, fastest wall-clock of [reps] runs. *)
+let timed reps f =
+  let r, s0 = Ctx.time f in
+  let best = ref s0 in
+  for _ = 2 to reps do
+    let _, s = Ctx.time f in
+    if s < !best then best := s
+  done;
+  (r, !best)
+
+let kernel ctx ~name ~jobs ~equal run =
+  let reps = if ctx.Ctx.quick then 1 else 2 in
+  let seq_r, seq_s = Pool.with_default_jobs 1 (fun () -> timed reps run) in
+  let par_r, par_s = Pool.with_default_jobs jobs (fun () -> timed reps run) in
+  if not (equal seq_r par_r) then
+    failwith (Printf.sprintf "par bench: %s differs between 1 and %d domains!" name jobs);
+  Ctx.note "%-24s seq %8.3fs   %d-domain %8.3fs   speedup %.2fx   (bit-identical)" name seq_s
+    jobs par_s
+    (if par_s > 0.0 then seq_s /. par_s else 0.0);
+  record ~kernel:name ~jobs ~seq_s ~par_s
+
+let scores_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some (c1, b1), Some (c2, b2) -> c1 = c2 && Float.equal b1 b2
+         | None, Some _ | Some _, None -> false)
+       a b
+
+let link_equal (l1 : Hops.link) (l2 : Hops.link) =
+  l1.Hops.src = l2.Hops.src && l1.Hops.dst = l2.Hops.dst
+  && Float.equal l1.Hops.distance_km l2.Hops.distance_km
+  && Float.equal l1.Hops.geodesic_km l2.Hops.geodesic_km
+  && l1.Hops.node_path = l2.Hops.node_path
+  && l1.Hops.tower_count = l2.Hops.tower_count
+
+let links_equal a b =
+  Array.for_all2
+    (fun r1 r2 ->
+      Array.for_all2
+        (fun x y ->
+          match (x, y) with
+          | None, None -> true
+          | Some l1, Some l2 -> link_equal l1 l2
+          | None, Some _ | Some _, None -> false)
+        r1 r2)
+    a b
+
+let summary_equal (p : Year.pair_summary) (q : Year.pair_summary) =
+  Float.equal p.Year.best q.Year.best
+  && Float.equal p.Year.median q.Year.median
+  && Float.equal p.Year.p99 q.Year.p99
+  && Float.equal p.Year.worst q.Year.worst
+  && Float.equal p.Year.fiber q.Year.fiber
+
+let year_equal (x : Year.result) (y : Year.result) =
+  Float.equal x.Year.mean_failed_links y.Year.mean_failed_links
+  && Array.length x.Year.per_pair = Array.length y.Year.per_pair
+  && Array.for_all2 summary_equal x.Year.per_pair y.Year.per_pair
+
+let run ctx =
+  let jobs =
+    (* Honor an explicit --jobs/CISP_JOBS if it asks for real
+       parallelism; otherwise measure at the acceptance point, 4. *)
+    let d = Pool.default_jobs () in
+    if d > 1 then d else 4
+  in
+  Ctx.section
+    (Printf.sprintf "Parallel hot paths: 1 vs %d domains (us backbone%s)" jobs
+       (if ctx.Ctx.quick then ", quick" else ""));
+  let inputs = Ctx.us_inputs ctx in
+  let a = Ctx.us_artifacts ctx in
+  let budget = Ctx.us_budget ctx in
+  let w = Greedy.weight_matrix inputs in
+  let base = Topology.fiber_baseline inputs in
+  let cands = Array.of_list (Greedy.candidates inputs) in
+  Ctx.note "n=%d sites, %d candidate links" (Inputs.n_sites inputs) (Array.length cands);
+  (* 1. Greedy candidate scoring — the per-round O(cands x n^2) loop. *)
+  kernel ctx ~name:"greedy_scoring" ~jobs ~equal:scores_equal (fun () ->
+      Greedy.score_candidates inputs w base ~budget cands);
+  (* 2. APSP: one Dijkstra per site over the full tower graph — the
+     step-1-to-step-2 handoff that builds [Inputs.mw_km]. *)
+  kernel ctx ~name:"apsp_mw_links" ~jobs ~equal:links_equal (fun () ->
+      Hops.all_links a.Cisp_design.Scenario.hops);
+  (* 3. LOS + Fresnel hop-feasibility sweep (tower graph build), on a
+     cold DEM cache each run so domains share the miss work. *)
+  kernel ctx ~name:"los_sweep" ~jobs
+    ~equal:(fun (x : int) y -> x = y)
+    (fun () ->
+      let cache = Cisp_terrain.Dem_cache.create a.Cisp_design.Scenario.dem in
+      let hops =
+        Hops.build ~config:a.Cisp_design.Scenario.hops.Hops.config ~cache
+          ~sites:(Array.to_list a.Cisp_design.Scenario.sites)
+          ~towers:(Array.to_list a.Cisp_design.Scenario.hops.Hops.towers)
+          ()
+      in
+      hops.Hops.feasible_hops);
+  (* 4. Monte Carlo weather year over the designed topology. *)
+  let topo = Ctx.us_topology ctx in
+  let intervals = if ctx.Ctx.quick then 24 else 96 in
+  kernel ctx ~name:"weather_year" ~jobs ~equal:year_equal (fun () ->
+      Year.run ~intervals ~climate:Cisp_weather.Rainfield.us_climate
+        ~hops:a.Cisp_design.Scenario.hops inputs topo);
+  Ctx.note "wall-clock records appended to %s" bench_json_path

@@ -41,6 +41,16 @@ let height_t =
 let geojson_t =
   Arg.(value & opt (some string) None & info [ "geojson" ] ~docv:"FILE" ~doc:"Write the designed network as GeoJSON")
 
+(* Pool width for the parallel hot paths (APSP, candidate scoring, LOS
+   sweeps, weather trials).  Results are bit-identical at any width;
+   default: $(b,CISP_JOBS) or the recommended domain count. *)
+let jobs_t =
+  let doc = "Worker domains for the parallel hot paths (default: CISP_JOBS or all cores). \
+             Results are independent of this setting." in
+  Term.(
+    const (fun jobs -> Option.iter Util.Pool.set_default_jobs jobs)
+    $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc))
+
 let config_of region sites range height =
   let base =
     match region with
@@ -55,7 +65,7 @@ let effective_budget budget sites =
 (* ---------- design ---------- *)
 
 let design_cmd =
-  let run region sites budget gbps range height geojson =
+  let run () region sites budget gbps range height geojson =
     let config = config_of region sites range height in
     Printf.printf "building artifacts...\n%!";
     let a = Design.Scenario.artifacts ~config () in
@@ -84,7 +94,7 @@ let design_cmd =
   in
   Cmd.v
     (Cmd.info "design" ~doc:"Design a cISP topology (paper sections 3-4)")
-    Term.(const run $ region_t $ sites_t $ budget_t $ gbps_t $ range_t $ height_t $ geojson_t)
+    Term.(const run $ jobs_t $ region_t $ sites_t $ budget_t $ gbps_t $ range_t $ height_t $ geojson_t)
 
 (* ---------- weather ---------- *)
 
@@ -92,7 +102,7 @@ let weather_cmd =
   let intervals_t =
     Arg.(value & opt int 365 & info [ "intervals" ] ~docv:"N" ~doc:"Weather intervals over the year")
   in
-  let run region sites budget intervals =
+  let run () region sites budget intervals =
     let config = config_of region sites 100.0 1.0 in
     let a = Design.Scenario.artifacts ~config () in
     let inputs = Design.Scenario.population_inputs a in
@@ -116,7 +126,7 @@ let weather_cmd =
   in
   Cmd.v
     (Cmd.info "weather" ~doc:"Year-long precipitation sweep (paper section 6.1)")
-    Term.(const run $ region_t $ sites_t $ budget_t $ intervals_t)
+    Term.(const run $ jobs_t $ region_t $ sites_t $ budget_t $ intervals_t)
 
 (* ---------- econ ---------- *)
 

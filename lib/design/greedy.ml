@@ -44,21 +44,38 @@ let weight_matrix (inputs : Inputs.t) =
 
 let score rule cost b = match rule with Absolute -> b | Per_cost -> b /. float_of_int (max 1 cost)
 
+(* Initial scoring of every affordable candidate against the metric
+   [d].  Each candidate's benefit is a self-contained O(n^2) scan, so
+   the array computes in parallel; entry [idx] is [Some (cost, benefit)]
+   for candidates worth pushing, in the same order as [cands]. *)
+let score_candidates (inputs : Inputs.t) w d ~budget cands =
+  Cisp_util.Pool.parallel_map_array (Cisp_util.Pool.get ())
+    (fun (i, j) ->
+      let c = Topology.link_cost inputs i j in
+      if c > budget then None
+      else begin
+        let b = benefit inputs w d (i, j) in
+        if b > 1e-15 then Some (c, b) else None
+      end)
+    cands
+
 let design_ordered ?(rule = Per_cost) (inputs : Inputs.t) ~budget =
   let cands = Array.of_list (candidates inputs) in
   let w = weight_matrix inputs in
   let d = ref (Topology.fiber_baseline inputs) in
   let topo = ref (Topology.empty inputs) in
-  (* Lazy greedy: heap keyed by negated (possibly stale) score. *)
+  (* Lazy greedy: heap keyed by negated (possibly stale) score.  The
+     scores come from the parallel pass; pushing in candidate order
+     keeps the heap bit-identical to a sequential build. *)
   let heap = Cisp_graph.Heap.create () in
-  Array.iter
-    (fun (i, j) ->
-      let c = Topology.link_cost inputs i j in
-      if c <= budget then begin
-        let b = benefit inputs w !d (i, j) in
-        if b > 1e-15 then Cisp_graph.Heap.push heap (-.score rule c b) ((i, j), b)
-      end)
-    cands;
+  Array.iteri
+    (fun idx scored ->
+      match scored with
+      | None -> ()
+      | Some (c, b) ->
+        let i, j = cands.(idx) in
+        Cisp_graph.Heap.push heap (-.score rule c b) ((i, j), b))
+    (score_candidates inputs w !d ~budget cands);
   let spent = ref 0 in
   let order = ref [] in
   let rec step () =

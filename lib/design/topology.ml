@@ -34,24 +34,43 @@ let remove t pair =
     { t with built = List.filter (( <> ) pair) t.built; cost = t.cost - link_cost t.inputs i j }
   end
 
+(* Below this size the per-pass synchronization of the pool costs more
+   than the row updates it spreads out. *)
+let par_threshold = 64
+
 (* Metric closure of the complete fiber mesh.  Fiber route matrices
    are already shortest paths over the conduit graph, hence metric;
    one Floyd-Warshall pass guards against non-metric synthetic
-   inputs. *)
+   inputs.  For a fixed pivot [k] the row updates are independent
+   (row [k] itself is a fixed point of pass [k]: the candidate
+   d(k,k) + d(k,j) can never beat d(k,j) with non-negative
+   distances), so each pass parallelizes over [i] without changing
+   any comparison or store order within a row. *)
 let fiber_baseline (inputs : Inputs.t) =
   let n = Inputs.n_sites inputs in
   let d = Array.map Array.copy inputs.fiber_km in
-  for k = 0 to n - 1 do
-    for i = 0 to n - 1 do
-      let dik = d.(i).(k) in
-      if dik < infinity then begin
-        for j = 0 to n - 1 do
-          let alt = dik +. d.(k).(j) in
-          if alt < d.(i).(j) then d.(i).(j) <- alt
-        done
-      end
+  let pass k i =
+    let dik = d.(i).(k) in
+    if dik < infinity then begin
+      let row = d.(i) and pivot = d.(k) in
+      for j = 0 to n - 1 do
+        let alt = dik +. pivot.(j) in
+        if alt < row.(j) then row.(j) <- alt
+      done
+    end
+  in
+  if n < par_threshold then
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        pass k i
+      done
     done
-  done;
+  else begin
+    let pool = Cisp_util.Pool.get () in
+    for k = 0 to n - 1 do
+      Cisp_util.Pool.parallel_for pool ~n (pass k)
+    done
+  end;
   d
 
 (* Exact closure after adding one extra edge (i,j,w) to a closed
@@ -62,7 +81,7 @@ let distances_incremental (inputs : Inputs.t) d (i, j) =
   let w = inputs.mw_km.(i).(j) in
   assert (w < infinity);
   let out = Array.map Array.copy d in
-  for s = 0 to n - 1 do
+  let relax s =
     let dsi = d.(s).(i) and dsj = d.(s).(j) in
     let row = out.(s) in
     for t = 0 to n - 1 do
@@ -71,7 +90,13 @@ let distances_incremental (inputs : Inputs.t) d (i, j) =
       let alt = Float.min via_ij via_ji in
       if alt < row.(t) then row.(t) <- alt
     done
-  done;
+  in
+  (* Rows of [out] are written independently; [d] is only read. *)
+  if n < par_threshold then
+    for s = 0 to n - 1 do
+      relax s
+    done
+  else Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n relax;
   out
 
 let distances t =

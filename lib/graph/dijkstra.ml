@@ -48,6 +48,12 @@ let shortest_path g ~src ~dst =
   let r = run_to g ~src ~dst in
   if Float.equal r.dist.(dst) infinity then None else Some (r.dist.(dst), path r ~dst)
 
+(* Each source's Dijkstra is independent and only reads the graph, so
+   the rows compute in parallel; every row is bit-identical to the
+   sequential run. *)
 let all_pairs g =
   let n = Graph.node_count g in
-  Array.init n (fun src -> (run g ~src).dist)
+  let out = Array.make n [||] in
+  Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n (fun src ->
+      out.(src) <- (run g ~src).dist);
+  out

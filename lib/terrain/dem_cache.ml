@@ -1,5 +1,6 @@
 type t = {
   dem : Dem.t;
+  lock : Mutex.t;
   surface : (int, float) Hashtbl.t;
   ground : (int, float) Hashtbl.t;
   mutable hits : int;
@@ -7,30 +8,63 @@ type t = {
 }
 
 let create dem =
-  { dem; surface = Hashtbl.create 65536; ground = Hashtbl.create 65536; hits = 0; misses = 0 }
+  {
+    dem;
+    lock = Mutex.create ();
+    surface = Hashtbl.create 65536;
+    ground = Hashtbl.create 65536;
+    hits = 0;
+    misses = 0;
+  }
 
 let dem t = t.dem
 
 (* ~0.0036 degrees: about 400 m in latitude. *)
 let quantum = 276.0
 
+let quantize v = Float.round (v *. quantum)
+
 let key p =
-  let qi = int_of_float (Float.round (Cisp_geo.Coord.lat p *. quantum)) in
-  let qj = int_of_float (Float.round (Cisp_geo.Coord.lon p *. quantum)) in
+  let qi = int_of_float (quantize (Cisp_geo.Coord.lat p)) in
+  let qj = int_of_float (quantize (Cisp_geo.Coord.lon p)) in
   (qi * 1_000_003) lxor qj
 
+(* The cell's representative point.  The cached value must be a pure
+   function of the cell — never of whichever query happened to touch
+   the cell first — or parallel sweeps would make cache contents (and
+   thus LOS verdicts) depend on domain scheduling. *)
+let snap p =
+  Cisp_geo.Coord.make
+    ~lat:(quantize (Cisp_geo.Coord.lat p) /. quantum)
+    ~lon:(quantize (Cisp_geo.Coord.lon p) /. quantum)
+
+(* The LOS sweeps query this cache from every pool domain at once, so
+   the tables are mutex-protected.  The heavy part (the DEM noise
+   evaluation on a miss) runs outside the lock: a raced miss computes
+   the same value twice, but both computations are at the snapped cell
+   center of the pure DEM, so whichever write lands is identical. *)
 let lookup t table compute p =
   let k = key p in
+  Mutex.lock t.lock;
   match Hashtbl.find_opt table k with
   | Some v ->
     t.hits <- t.hits + 1;
+    Mutex.unlock t.lock;
     v
   | None ->
     t.misses <- t.misses + 1;
-    let v = compute t.dem p in
-    Hashtbl.add table k v;
+    Mutex.unlock t.lock;
+    let v = compute t.dem (snap p) in
+    Mutex.lock t.lock;
+    if not (Hashtbl.mem table k) then Hashtbl.add table k v;
+    Mutex.unlock t.lock;
     v
 
 let surface_m t p = lookup t t.surface Dem.surface_m p
 let elevation_m t p = lookup t t.ground Dem.elevation_m p
-let stats t = (t.hits, t.misses)
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = (t.hits, t.misses) in
+  Mutex.unlock t.lock;
+  s

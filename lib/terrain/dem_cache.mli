@@ -14,10 +14,13 @@ val create : Dem.t -> t
 val dem : t -> Dem.t
 
 val surface_m : t -> Cisp_geo.Coord.t -> float
-(** Memoized [Dem.surface_m] at the cell containing the point. *)
+(** Memoized [Dem.surface_m], evaluated at the center of the cell
+    containing the point — a pure function of the cell, so results
+    never depend on query order (or on which pool domain queried the
+    cell first). *)
 
 val elevation_m : t -> Cisp_geo.Coord.t -> float
-(** Memoized ground elevation (no clutter). *)
+(** Memoized ground elevation (no clutter), also at the cell center. *)
 
 val stats : t -> int * int
 (** (hits, misses) — for tests and tuning. *)

@@ -57,38 +57,62 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
   (* Index towers spatially for range queries. *)
   let grid = Grid.create ~cell_deg:0.5 in
   Array.iteri (fun k (tw : Tower.t) -> Grid.add grid tw.position k) towers;
-  let feasible_hops = ref 0 in
-  (* Tower-tower hops: each unordered pair within range tested once. *)
-  Array.iteri
-    (fun k (tw : Tower.t) ->
+  let pool = Cisp_util.Pool.get () in
+  (* Tower-tower hops: each unordered pair within range tested once.
+     The LOS + Fresnel walks are pure (the DEM cache is domain-safe),
+     so feasibility is decided in parallel per source tower; edges are
+     then inserted sequentially in the same (k, nearby-iteration)
+     order a sequential sweep would produce, keeping adjacency-list
+     order — and hence any downstream shortest-path tie-break —
+     bit-identical. *)
+  let n_towers = Array.length towers in
+  let tower_edges = Array.make n_towers [] in
+  Cisp_util.Pool.parallel_for pool ~n:n_towers (fun k ->
+      let tw = towers.(k) in
       let ep_k = endpoint_of_tower tw in
+      let acc = ref [] in
       Grid.iter_nearby grid tw.position ~radius_km:config.los_params.Los.max_range_km
         (fun _ k' ->
           if k' > k then begin
             let ep_k' = endpoint_of_tower towers.(k') in
             if Los.feasible ~params:config.los_params ~surface ep_k ep_k' then begin
               let d = Geodesy.distance_km tw.position towers.(k').position in
-              Graph.add_undirected graph (n_sites + k) (n_sites + k') d;
-              incr feasible_hops
+              acc := (k', d) :: !acc
             end
-          end))
-    towers;
+          end);
+      tower_edges.(k) <- List.rev !acc);
+  let feasible_hops = ref 0 in
+  Array.iteri
+    (fun k edges ->
+      List.iter
+        (fun (k', d) ->
+          Graph.add_undirected graph (n_sites + k) (n_sites + k') d;
+          incr feasible_hops)
+        edges)
+    tower_edges;
   (* Site-tower attachment: a site reaches nearby towers directly.  The
      paper observes each site hosts plenty of towers; the attachment
      radius stands in for intra-city connectivity whose latency is
-     still counted via the edge length. *)
-  Array.iteri
-    (fun i (c : City.t) ->
+     still counted via the edge length.  Same parallel-test /
+     sequential-insert split as above. *)
+  let site_edges = Array.make n_sites [] in
+  Cisp_util.Pool.parallel_for pool ~n:n_sites (fun i ->
+      let c = sites.(i) in
       let ep_site = endpoint_of_site c in
+      let relaxed = { config.los_params with Los.min_range_km = 0.05 } in
+      let acc = ref [] in
       Grid.iter_nearby grid c.coord ~radius_km:config.site_attach_radius_km
         (fun _ k ->
           let ep_t = endpoint_of_tower towers.(k) in
-          let relaxed = { config.los_params with Los.min_range_km = 0.05 } in
           if Los.feasible ~params:relaxed ~surface ep_site ep_t then begin
             let d = Geodesy.distance_km c.coord towers.(k).position in
-            Graph.add_undirected graph i (n_sites + k) d
-          end))
-    sites;
+            acc := (k, d) :: !acc
+          end);
+      site_edges.(i) <- List.rev !acc);
+  Array.iteri
+    (fun i edges ->
+      List.iter (fun (k, d) -> Graph.add_undirected graph i (n_sites + k) d) edges)
+    site_edges;
   { config; sites; towers; graph; n_sites; feasible_hops = !feasible_hops }
 
 type link = {
@@ -132,10 +156,10 @@ let shortest_link t ~src ~dst =
 let all_links t =
   let n = t.n_sites in
   let out = Array.make_matrix n n None in
-  for src = 0 to n - 1 do
-    let r = Dijkstra.run t.graph ~src in
-    for dst = 0 to n - 1 do
-      if dst <> src then out.(src).(dst) <- link_of_result t ~src ~dst r
-    done
-  done;
+  (* One Dijkstra per site, each writing only its own row. *)
+  Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n (fun src ->
+      let r = Dijkstra.run t.graph ~src in
+      for dst = 0 to n - 1 do
+        if dst <> src then out.(src).(dst) <- link_of_result t ~src ~dst r
+      done);
   out

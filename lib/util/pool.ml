@@ -1,0 +1,242 @@
+(* A job is one parallel_for: workers (and the submitter) pull
+   fixed-size chunks of the index range from a shared atomic counter.
+   Chunk boundaries affect only scheduling, never results, because
+   each index owns its output slot. *)
+
+type job = {
+  fn : int -> unit;
+  n : int;
+  chunk : int;
+  next : int Atomic.t;
+  cancelled : bool Atomic.t;
+  mutable active : int; (* workers currently inside the job; pool mutex *)
+  mutable failure : (exn * Printexc.raw_backtrace) option; (* pool mutex *)
+}
+
+type t = {
+  width : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* new job published, or shutdown *)
+  finished : Condition.t; (* a worker left the job *)
+  mutable current : job option;
+  mutable generation : int;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.width
+
+(* True while the current domain is executing a job body: nested
+   submissions from inside a task run sequentially instead of
+   deadlocking on the (busy) pool. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential_for n fn =
+  for i = 0 to n - 1 do
+    fn i
+  done
+
+let run_slice pool job =
+  let saved = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  let rec loop () =
+    if not (Atomic.get job.cancelled) then begin
+      let start = Atomic.fetch_and_add job.next job.chunk in
+      if start < job.n then begin
+        let stop = min job.n (start + job.chunk) in
+        (try
+           for i = start to stop - 1 do
+             job.fn i
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Atomic.set job.cancelled true;
+           Mutex.lock pool.mutex;
+           (match job.failure with
+           | None -> job.failure <- Some (e, bt)
+           | Some _ -> ());
+           Mutex.unlock pool.mutex);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  Domain.DLS.set in_task saved
+
+let rec worker_loop pool seen_generation =
+  Mutex.lock pool.mutex;
+  while (not pool.stopped) && pool.generation = seen_generation do
+    Condition.wait pool.work pool.mutex
+  done;
+  if pool.stopped then Mutex.unlock pool.mutex
+  else begin
+    let generation = pool.generation in
+    match pool.current with
+    | None ->
+      Mutex.unlock pool.mutex;
+      worker_loop pool generation
+    | Some job ->
+      job.active <- job.active + 1;
+      Mutex.unlock pool.mutex;
+      run_slice pool job;
+      Mutex.lock pool.mutex;
+      job.active <- job.active - 1;
+      if job.active = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.mutex;
+      worker_loop pool generation
+  end
+
+let create ~jobs:requested =
+  let width = max 1 requested in
+  let pool =
+    {
+      width;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      generation = 0;
+      stopped = false;
+      workers = [];
+    }
+  in
+  if width > 1 then
+    pool.workers <- List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.stopped then Mutex.unlock pool.mutex
+  else begin
+    pool.stopped <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.workers;
+    pool.workers <- []
+  end
+
+let parallel_for pool ~n fn =
+  if n <= 0 then ()
+  else if pool.width = 1 || n = 1 || Domain.DLS.get in_task then sequential_for n fn
+  else begin
+    Mutex.lock pool.mutex;
+    if pool.stopped || Option.is_some pool.current then begin
+      (* Pool busy (submission from another domain mid-job) or already
+         torn down: run on the caller.  Same results, just sequential. *)
+      Mutex.unlock pool.mutex;
+      sequential_for n fn
+    end
+    else begin
+      (* Over-decompose ~8 chunks per worker so a slow chunk cannot
+         serialize the tail of the range. *)
+      let chunk = max 1 (n / (pool.width * 8)) in
+      let job =
+        {
+          fn;
+          n;
+          chunk;
+          next = Atomic.make 0;
+          cancelled = Atomic.make false;
+          active = 0;
+          failure = None;
+        }
+      in
+      pool.current <- Some job;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.mutex;
+      run_slice pool job;
+      Mutex.lock pool.mutex;
+      while job.active > 0 do
+        Condition.wait pool.finished pool.mutex
+      done;
+      pool.current <- None;
+      Mutex.unlock pool.mutex;
+      match job.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let parallel_map_array pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    parallel_for pool ~n:(n - 1) (fun i -> out.(i + 1) <- f arr.(i + 1));
+    out
+  end
+
+let reduce pool ~map ~merge ~init arr =
+  let n = Array.length arr in
+  if n = 0 then init
+  else begin
+    let mapped = parallel_map_array pool map arr in
+    (* Pairwise collapse, ping-ponging between two buffers so no task
+       reads a slot another task writes.  The pairing depends only on
+       the live length, so the merge tree is a pure function of [n]. *)
+    let src = ref mapped in
+    let dst = ref (Array.make ((n + 1) / 2) mapped.(0)) in
+    let len = ref n in
+    while !len > 1 do
+      let s = !src and d = !dst in
+      let half = !len / 2 in
+      let odd = !len land 1 in
+      parallel_for pool ~n:half (fun i -> d.(i) <- merge s.(2 * i) s.((2 * i) + 1));
+      if odd = 1 then d.(half) <- s.(!len - 1);
+      src := d;
+      dst := s;
+      len := half + odd
+    done;
+    merge init !src.(0)
+  end
+
+(* ---------- default pool ---------- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "CISP_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some k when k >= 1 -> Some k
+    | Some _ | None -> None)
+
+let override = ref None
+let instance = ref None
+
+let default_jobs () =
+  match !override with
+  | Some k -> k
+  | None -> (
+    match env_jobs () with
+    | Some k -> k
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let set_default_jobs k = override := Some (max 1 k)
+
+let get () =
+  let want = default_jobs () in
+  match !instance with
+  | Some pool when pool.width = want && not pool.stopped -> pool
+  | Some pool ->
+    shutdown pool;
+    let fresh = create ~jobs:want in
+    instance := Some fresh;
+    fresh
+  | None ->
+    let fresh = create ~jobs:want in
+    instance := Some fresh;
+    fresh
+
+let with_default_jobs k f =
+  let saved = !override in
+  set_default_jobs k;
+  Fun.protect ~finally:(fun () -> override := saved) f
+
+(* Worker domains block on [work] between jobs; join them at exit so
+   the runtime shuts down cleanly. *)
+let () =
+  at_exit (fun () ->
+      match !instance with
+      | Some pool -> shutdown pool
+      | None -> ())

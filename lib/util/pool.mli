@@ -1,0 +1,78 @@
+(** Work-stealing-free domain pool for the embarrassingly parallel
+    hot paths (APSP, greedy candidate scoring, LOS sweeps, Monte
+    Carlo trials).
+
+    Design contract: parallelism only changes {e when} work runs,
+    never {e what} is computed.  Every combinator here is
+    deterministic — results are bit-identical whatever the pool size,
+    including [jobs = 1], which degrades to plain sequential loops
+    with no domains spawned.  {!reduce} guarantees this for float
+    accumulation by merging partial results in a fixed binary-tree
+    order that depends only on the input length, never on worker
+    scheduling.
+
+    A pool is a fixed set of long-lived worker domains fed from a
+    shared chunk counter (no work stealing, no per-worker deques).
+    Nested or concurrent submissions are safe: a [parallel_for] issued
+    from inside a worker task, or while another job is in flight, runs
+    sequentially on the calling domain instead of deadlocking. *)
+
+type t
+(** A pool of worker domains. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains (the submitting
+    thread is the remaining worker).  [jobs] is clamped to at least 1;
+    at 1 no domains are spawned and every combinator runs inline. *)
+
+val jobs : t -> int
+(** Parallel width of the pool (>= 1). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Using the pool afterwards
+    degrades to sequential execution. *)
+
+(** {2 Default pool}
+
+    Library hot paths share one process-wide pool sized by (in
+    priority order) {!set_default_jobs} / a [--jobs] CLI flag, the
+    [CISP_JOBS] environment variable, then
+    [Domain.recommended_domain_count].  It is created lazily on first
+    use and recycled automatically when the requested width changes. *)
+
+val default_jobs : unit -> int
+(** The width the default pool has (or would be created with). *)
+
+val set_default_jobs : int -> unit
+(** Override the default width ([--jobs]); clamped to at least 1.
+    Takes effect at the next {!get}. *)
+
+val with_default_jobs : int -> (unit -> 'a) -> 'a
+(** [with_default_jobs k f] runs [f] with the default width forced to
+    [k], restoring the previous setting afterwards (exception-safe).
+    The workhorse of the determinism tests. *)
+
+val get : unit -> t
+(** The shared default pool (created or resized on demand). *)
+
+(** {2 Deterministic parallel combinators} *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n f] runs [f 0 .. f (n-1)], each index exactly
+    once, in parallel.  The body must only write state owned by its
+    own index.  An exception raised by any [f i] cancels the remaining
+    chunks and is re-raised (with its backtrace) in the caller. *)
+
+val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array pool f arr] is [Array.map f arr] with the
+    elements evaluated in parallel.  [f] must be pure (or at least
+    per-element independent). *)
+
+val reduce : t -> map:('a -> 'b) -> merge:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** [reduce pool ~map ~merge ~init arr] maps every element in
+    parallel, then combines the results pairwise in a fixed
+    left-to-right binary tree whose shape depends only on
+    [Array.length arr]; the final tree value is merged onto [init] as
+    [merge init total].  For non-associative operations (float sums)
+    the result is therefore identical for every pool width.  Returns
+    [init] on the empty array. *)

@@ -36,36 +36,43 @@ let run ?(seed = 99) ?(intervals = 365) ~climate ~hops (inputs : Inputs.t) (topo
   let pairs = Array.of_list (List.rev !pairs) in
   let np = Array.length pairs in
   let samples = Array.make_matrix np intervals 0.0 in
-  let failed_total = ref 0 in
+  let failed_per_interval = Array.make intervals 0 in
   let pos = node_position hops in
-  for interval = 0 to intervals - 1 do
-    let day = interval * 365 / intervals in
-    let field = Rainfield.sample ~seed climate ~day in
-    (* Distances over surviving links. *)
-    let d = ref base in
-    Array.iter
-      (fun ((i, j), link) ->
-        let failed =
-          match link with
-          | Some l -> Failure.link_failed ~node_position:pos field l
-          | None ->
-            (* Synthetic instance: approximate with a single hop at the
-               link midpoint. *)
-            let rain =
-              Rainfield.rain_at field
-                (Cisp_geo.Geodesy.midpoint inputs.sites.(i).Cisp_data.City.coord
-                   inputs.sites.(j).Cisp_data.City.coord)
-            in
-            Failure.hop_failed ~rain_mm_h:rain ~d_km:60.0 ()
-        in
-        if failed then incr failed_total
-        else d := Topology.distances_incremental inputs !d (i, j))
-      links;
-    let dm = !d in
-    Array.iteri
-      (fun k (s, t) -> samples.(k).(interval) <- dm.(s).(t) /. inputs.geodesic_km.(s).(t))
-      pairs
-  done;
+  (* Each interval is an independent trial: its rain field is a pure
+     function of (seed, day) — its own RNG stream — and it writes only
+     its own column of [samples], so the trials run in parallel with
+     bit-identical results at any pool width. *)
+  Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n:intervals (fun interval ->
+      let day = interval * 365 / intervals in
+      let field = Rainfield.sample ~seed climate ~day in
+      (* Distances over surviving links. *)
+      let d = ref base in
+      let failed_here = ref 0 in
+      Array.iter
+        (fun ((i, j), link) ->
+          let failed =
+            match link with
+            | Some l -> Failure.link_failed ~node_position:pos field l
+            | None ->
+              (* Synthetic instance: approximate with a single hop at the
+                 link midpoint. *)
+              let rain =
+                Rainfield.rain_at field
+                  (Cisp_geo.Geodesy.midpoint inputs.sites.(i).Cisp_data.City.coord
+                     inputs.sites.(j).Cisp_data.City.coord)
+              in
+              Failure.hop_failed ~rain_mm_h:rain ~d_km:60.0 ()
+          in
+          if failed then incr failed_here
+          else d := Topology.distances_incremental inputs !d (i, j))
+        links;
+      failed_per_interval.(interval) <- !failed_here;
+      let dm = !d in
+      Array.iteri
+        (fun k (s, t) -> samples.(k).(interval) <- dm.(s).(t) /. inputs.geodesic_km.(s).(t))
+        pairs);
+  let failed_total = ref 0 in
+  Array.iter (fun c -> failed_total := !failed_total + c) failed_per_interval;
   let per_pair =
     Array.mapi
       (fun k (s, t) ->

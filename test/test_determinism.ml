@@ -1,0 +1,114 @@
+(* Parallel determinism regression (the pool's core contract): the
+   whole design pipeline — APSP inputs, greedy + local search, export,
+   weather — must be bit-identical at every pool width.  Runs the
+   small Europe scenario at widths 1, 2 and 8 and compares outputs
+   structurally (floats bitwise, via polymorphic equality: no NaNs in
+   these pipelines). *)
+
+open Cisp_design
+module Pool = Cisp_util.Pool
+module Hops = Cisp_towers.Hops
+
+let config = { Scenario.europe_config with Scenario.n_sites = Some 8 }
+let budget = 120
+
+(* Lazy so the (heavy, memoized) artifact build is paid inside the
+   first test run, not at module init of every `dune runtest`
+   filter. *)
+let artifacts = lazy (Scenario.artifacts ~config ())
+
+let bits f = Int64.bits_of_float f
+
+let run_design width =
+  Pool.with_default_jobs width (fun () ->
+      let a = Lazy.force artifacts in
+      (* Recomputed per call: exercises the pooled per-source Dijkstra
+         APSP that builds [Inputs.mw_km]. *)
+      let inputs = Scenario.population_inputs a in
+      let topo = Scenario.design inputs ~budget in
+      (topo, Topology.stretch_of topo, Export.topology_geojson inputs topo))
+
+let test_design_width_invariant () =
+  let t1, s1, g1 = run_design 1 in
+  List.iter
+    (fun width ->
+      let tw, sw, gw = run_design width in
+      let label fmt = Printf.sprintf fmt width in
+      Alcotest.(check (list (pair int int)))
+        (label "built links, jobs=1 vs %d")
+        t1.Topology.built tw.Topology.built;
+      Alcotest.(check int) (label "tower cost, jobs=1 vs %d") t1.Topology.cost tw.Topology.cost;
+      Alcotest.(check int64) (label "stretch bitwise, jobs=1 vs %d") (bits s1) (bits sw);
+      Alcotest.(check string) (label "exported GeoJSON, jobs=1 vs %d") g1 gw)
+    [ 2; 8 ]
+
+let test_apsp_width_invariant () =
+  let a = Lazy.force artifacts in
+  let links w = Pool.with_default_jobs w (fun () -> Hops.all_links a.Scenario.hops) in
+  Alcotest.(check bool) "MW link matrix identical at jobs=1 vs 4" true (links 1 = links 4)
+
+let test_metric_width_invariant () =
+  let a = Lazy.force artifacts in
+  let inputs = Scenario.population_inputs a in
+  let base w = Pool.with_default_jobs w (fun () -> Topology.fiber_baseline inputs) in
+  Alcotest.(check bool) "fiber metric closure identical at jobs=1 vs 4" true (base 1 = base 4);
+  let topo = Pool.with_default_jobs 1 (fun () -> Scenario.design inputs ~budget) in
+  let dist w = Pool.with_default_jobs w (fun () -> Topology.distances topo) in
+  Alcotest.(check bool) "topology metric identical at jobs=1 vs 4" true (dist 1 = dist 4)
+
+let test_weather_width_invariant () =
+  let a = Lazy.force artifacts in
+  let inputs = Scenario.population_inputs a in
+  let topo = Pool.with_default_jobs 1 (fun () -> Scenario.design inputs ~budget) in
+  let year w =
+    Pool.with_default_jobs w (fun () ->
+        Cisp_weather.Year.run ~intervals:16 ~climate:Cisp_weather.Rainfield.eu_climate
+          ~hops:a.Scenario.hops inputs topo)
+  in
+  let r1 = year 1 in
+  List.iter
+    (fun w ->
+      let rw = year w in
+      Alcotest.(check int64)
+        (Printf.sprintf "mean failed links bitwise, jobs=1 vs %d" w)
+        (bits r1.Cisp_weather.Year.mean_failed_links)
+        (bits rw.Cisp_weather.Year.mean_failed_links);
+      Alcotest.(check bool)
+        (Printf.sprintf "per-pair summaries identical, jobs=1 vs %d" w)
+        true
+        (r1.Cisp_weather.Year.per_pair = rw.Cisp_weather.Year.per_pair))
+    [ 2; 8 ]
+
+let test_los_sweep_width_invariant () =
+  (* Rebuild the tower hop graph on a cold DEM cache at both widths:
+     covers the LOS + Fresnel sweep and the snapped-cell-center cache
+     semantics (cache contents must not depend on which domain touched
+     a cell first). *)
+  let a = Lazy.force artifacts in
+  let build w =
+    Pool.with_default_jobs w (fun () ->
+        let cache = Cisp_terrain.Dem_cache.create a.Scenario.dem in
+        let h =
+          Hops.build ~config:a.Scenario.hops.Hops.config ~cache
+            ~sites:(Array.to_list a.Scenario.sites)
+            ~towers:(Array.to_list a.Scenario.hops.Hops.towers)
+            ()
+        in
+        (h.Hops.feasible_hops, Hops.all_links h))
+  in
+  let f1, l1 = build 1 in
+  let f4, l4 = build 4 in
+  Alcotest.(check int) "feasible hop count identical" f1 f4;
+  Alcotest.(check bool) "resulting MW links identical" true (l1 = l4)
+
+let suites =
+  [
+    ( "determinism.parallel",
+      [
+        Alcotest.test_case "design pipeline at jobs 1/2/8" `Slow test_design_width_invariant;
+        Alcotest.test_case "APSP link matrix" `Slow test_apsp_width_invariant;
+        Alcotest.test_case "metric closures" `Slow test_metric_width_invariant;
+        Alcotest.test_case "weather year at jobs 1/2/8" `Slow test_weather_width_invariant;
+        Alcotest.test_case "LOS sweep on a cold cache" `Slow test_los_sweep_width_invariant;
+      ] );
+  ]

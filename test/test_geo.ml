@@ -134,6 +134,27 @@ let prop_triangle_inequality =
       Geodesy.distance_km a c
       <= Geodesy.distance_km a b +. Geodesy.distance_km b c +. 1e-6)
 
+(* Rng-driven: random coordinate pairs from a seeded generator, so
+   failures reproduce from the printed seed alone. *)
+let random_coord rng =
+  Coord.make
+    ~lat:(Cisp_util.Rng.uniform rng (-60.0) 60.0)
+    ~lon:(Cisp_util.Rng.uniform rng (-180.0) 180.0)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"distance is symmetric" ~count:300 QCheck.small_int (fun seed ->
+      let rng = Cisp_util.Rng.create seed in
+      let a = random_coord rng and b = random_coord rng in
+      Float.abs (Geodesy.distance_km a b -. Geodesy.distance_km b a) < 1e-9)
+
+let prop_interpolate_endpoints =
+  QCheck.Test.make ~name:"interpolate hits both endpoints" ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Cisp_util.Rng.create (seed + 500) in
+      let a = random_coord rng and b = random_coord rng in
+      Geodesy.distance_km (Geodesy.interpolate a b ~frac:0.0) a < 1e-6
+      && Geodesy.distance_km (Geodesy.interpolate a b ~frac:1.0) b < 1e-6)
+
 let prop_interpolate_on_segment =
   QCheck.Test.make ~name:"interpolate splits distance proportionally" ~count:200
     QCheck.(pair (float_range 0.0 1.0)
@@ -165,6 +186,8 @@ let suites =
         Alcotest.test_case "cross track" `Quick test_cross_track;
         QCheck_alcotest.to_alcotest prop_destination_distance;
         QCheck_alcotest.to_alcotest prop_triangle_inequality;
+        QCheck_alcotest.to_alcotest prop_distance_symmetric;
+        QCheck_alcotest.to_alcotest prop_interpolate_endpoints;
         QCheck_alcotest.to_alcotest prop_interpolate_on_segment;
       ] );
     ( "geo.grid",

@@ -263,6 +263,13 @@ let prop_yen_paths_valid =
           && List.length p = List.length (List.sort_uniq compare p))
         (Kshortest.yen g ~src:0 ~dst:7 ~k:4))
 
+let prop_yen_sorted =
+  QCheck.Test.make ~name:"yen path lengths are nondecreasing" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 3000) ~n:9 ~edges:20 in
+      let ds = List.map fst (Kshortest.yen g ~src:0 ~dst:8 ~k:5) in
+      List.sort Float.compare ds = ds)
+
 let prop_disjoint_lengths_nondecreasing =
   QCheck.Test.make ~name:"successive disjoint paths never get shorter" ~count:100
     QCheck.small_int
@@ -277,6 +284,7 @@ let deep_suite =
     [
       QCheck_alcotest.to_alcotest prop_yen_first_is_shortest;
       QCheck_alcotest.to_alcotest prop_yen_paths_valid;
+      QCheck_alcotest.to_alcotest prop_yen_sorted;
       QCheck_alcotest.to_alcotest prop_disjoint_lengths_nondecreasing;
     ] )
 

@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_util.suites;
+         Test_pool.suites;
          Test_geo.suites;
          Test_terrain.suites;
          Test_rf.suites;
@@ -17,6 +18,7 @@ let () =
          Test_weather.suites;
          Test_apps.suites;
          Test_integration.suites;
+         Test_determinism.suites;
          Test_orbit.suites;
          Test_lint.suites;
        ])

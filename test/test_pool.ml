@@ -1,0 +1,154 @@
+open Cisp_util
+
+(* The machine running the tests may have a single core; Pool.create
+   still spawns real domains, so every parallel path is exercised
+   regardless of [Domain.recommended_domain_count]. *)
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ---------- parallel_for ---------- *)
+
+let test_for_empty () =
+  with_pool 4 (fun pool ->
+      let calls = Atomic.make 0 in
+      Pool.parallel_for pool ~n:0 (fun _ -> Atomic.incr calls);
+      Pool.parallel_for pool ~n:(-5) (fun _ -> Atomic.incr calls);
+      Alcotest.(check int) "no calls on empty range" 0 (Atomic.get calls))
+
+let test_for_singleton () =
+  with_pool 4 (fun pool ->
+      let seen = ref (-1) in
+      Pool.parallel_for pool ~n:1 (fun i -> seen := i);
+      Alcotest.(check int) "index 0 ran" 0 !seen)
+
+let test_for_each_index_once () =
+  with_pool 4 (fun pool ->
+      let n = 100_000 in
+      (* Each slot is written only by the worker owning that index, so
+         plain int cells are race-free. *)
+      let counts = Array.make n 0 in
+      Pool.parallel_for pool ~n (fun i -> counts.(i) <- counts.(i) + 1);
+      Alcotest.(check bool) "every index exactly once" true
+        (Array.for_all (fun c -> c = 1) counts))
+
+let test_for_stress_rounds () =
+  (* Many back-to-back jobs on one pool: exercises the generation
+     counter and worker re-arming. *)
+  with_pool 4 (fun pool ->
+      let total = Atomic.make 0 in
+      for _ = 1 to 50 do
+        Pool.parallel_for pool ~n:997 (fun _ -> Atomic.incr total)
+      done;
+      Alcotest.(check int) "all rounds complete" (50 * 997) (Atomic.get total))
+
+exception Boom of int
+
+let test_for_exception_propagates () =
+  with_pool 4 (fun pool ->
+      (try
+         Pool.parallel_for pool ~n:10_000 (fun i -> if i = 1234 then raise (Boom i));
+         Alcotest.fail "expected Boom to escape parallel_for"
+       with Boom i -> Alcotest.(check int) "the worker's exception" 1234 i);
+      (* The failed job must not wedge the pool. *)
+      let hits = Atomic.make 0 in
+      Pool.parallel_for pool ~n:64 (fun _ -> Atomic.incr hits);
+      Alcotest.(check int) "pool reusable after a failed job" 64 (Atomic.get hits))
+
+let test_for_nested () =
+  (* A parallel_for issued from inside a worker task must degrade to
+     sequential instead of deadlocking on the busy pool. *)
+  with_pool 4 (fun pool ->
+      let total = Atomic.make 0 in
+      Pool.parallel_for pool ~n:8 (fun _ ->
+          Pool.parallel_for pool ~n:8 (fun _ -> Atomic.incr total));
+      Alcotest.(check int) "inner loops all ran" 64 (Atomic.get total))
+
+let test_for_after_shutdown () =
+  let pool = Pool.create ~jobs:4 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  let hits = ref 0 in
+  Pool.parallel_for pool ~n:10 (fun _ -> incr hits);
+  Alcotest.(check int) "sequential fallback after shutdown" 10 !hits
+
+(* ---------- parallel_map_array ---------- *)
+
+let test_map_array () =
+  with_pool 4 (fun pool ->
+      let arr = Array.init 1_000 (fun i -> i - 500) in
+      let expect = Array.map (fun x -> (x * x) + 1) arr in
+      let got = Pool.parallel_map_array pool (fun x -> (x * x) + 1) arr in
+      Alcotest.(check (array int)) "matches Array.map" expect got;
+      Alcotest.(check (array int)) "empty array" [||]
+        (Pool.parallel_map_array pool (fun x -> x) [||]))
+
+(* ---------- reduce ---------- *)
+
+let reduce_sum jobs xs =
+  Pool.with_default_jobs jobs (fun () ->
+      Pool.reduce (Pool.get ()) ~map:Fun.id ~merge:( +. ) ~init:0.0 xs)
+
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let test_reduce_edge_cases () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (float 0.0)) "empty returns init" 7.5
+        (Pool.reduce pool ~map:Fun.id ~merge:( +. ) ~init:7.5 [||]);
+      Alcotest.(check (float 0.0)) "singleton is merge init (map x)" 5.0
+        (Pool.reduce pool ~map:(fun x -> x *. 2.0) ~merge:( +. ) ~init:1.0 [| 2.0 |]))
+
+let test_reduce_bit_identical_across_widths () =
+  (* Float addition is not associative, so this only holds because the
+     merge tree's shape is a pure function of the input length. *)
+  let rng = Rng.create 42 in
+  let xs = Array.init 10_001 (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let s1 = reduce_sum 1 xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=1 vs jobs=%d bitwise" jobs)
+        true
+        (bits_equal s1 (reduce_sum jobs xs)))
+    [ 2; 3; 8 ]
+
+let test_with_default_jobs_restores () =
+  let before = Pool.default_jobs () in
+  let inside = Pool.with_default_jobs 3 Pool.default_jobs in
+  Alcotest.(check int) "forced inside" 3 inside;
+  Alcotest.(check int) "restored" before (Pool.default_jobs ());
+  (try Pool.with_default_jobs 2 (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "restored after an exception" before (Pool.default_jobs ())
+
+(* QCheck: width-invariance of the float-sum reduce over random input
+   sizes (covers the odd-element carry in the pairwise collapse). *)
+let prop_reduce_width_invariant =
+  QCheck.Test.make ~name:"reduce independent of pool width" ~count:50
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 0 300) (float_range (-1e3) 1e3))
+        (int_range 2 8))
+    (fun (xs, jobs) -> bits_equal (reduce_sum 1 xs) (reduce_sum jobs xs))
+
+let suites =
+  [
+    ( "util.pool",
+      [
+        Alcotest.test_case "for: empty range" `Quick test_for_empty;
+        Alcotest.test_case "for: singleton range" `Quick test_for_singleton;
+        Alcotest.test_case "for: each index once" `Quick test_for_each_index_once;
+        Alcotest.test_case "for: stress rounds" `Quick test_for_stress_rounds;
+        Alcotest.test_case "for: exception propagates" `Quick test_for_exception_propagates;
+        Alcotest.test_case "for: nested use is safe" `Quick test_for_nested;
+        Alcotest.test_case "for: after shutdown" `Quick test_for_after_shutdown;
+        Alcotest.test_case "map_array" `Quick test_map_array;
+        Alcotest.test_case "reduce: edge cases" `Quick test_reduce_edge_cases;
+        Alcotest.test_case "reduce: bit-identical across widths" `Quick
+          test_reduce_bit_identical_across_widths;
+        Alcotest.test_case "with_default_jobs restores" `Quick test_with_default_jobs_restores;
+        QCheck_alcotest.to_alcotest prop_reduce_width_invariant;
+      ] );
+  ]

@@ -223,6 +223,76 @@ let test_routing_alternatives_not_faster () =
   Alcotest.(check bool) "min-max >= shortest" true (lat Routing.Min_max_utilization >= sp -. 1e-9);
   Alcotest.(check bool) "throughput-opt >= shortest" true (lat Routing.Throughput_optimal >= sp -. 1e-9)
 
+let test_routing_zero_demand_no_paths () =
+  let model = routing_fixture () in
+  let n = Cisp_design.Inputs.n_sites model.Routing.inputs in
+  let demands = Array.make_matrix n n 0.0 in
+  List.iter
+    (fun scheme ->
+      Alcotest.(check int) "no commodities, no routes" 0
+        (Hashtbl.length (Routing.paths model scheme ~demands_gbps:demands)))
+    [ Routing.Shortest_path; Routing.Min_max_utilization; Routing.Throughput_optimal;
+      Routing.Bounded_stretch 1.3 ]
+
+let test_routing_all_commodities_covered () =
+  let model = routing_fixture () in
+  let demands =
+    Cisp_traffic.Matrix.scale_to_gbps model.Routing.inputs.Cisp_design.Inputs.traffic
+      ~aggregate_gbps:2.0
+  in
+  (* 4 sites, all-pairs positive demand: 12 ordered commodities, under
+     every scheme. *)
+  List.iter
+    (fun scheme ->
+      Alcotest.(check int) "route per ordered pair" 12
+        (Hashtbl.length (Routing.paths model scheme ~demands_gbps:demands)))
+    [ Routing.Shortest_path; Routing.Min_max_utilization; Routing.Throughput_optimal;
+      Routing.Bounded_stretch 1.3 ]
+
+let test_routing_link_removal_reroutes () =
+  (* Rewiring: taking the direct (0,2) MW link out of the topology
+     must still route the (0,2) commodity — over the remaining MW
+     links or the fiber mesh — and can only cost latency. *)
+  let full = routing_fixture () in
+  let degraded =
+    { full with
+      Routing.topology =
+        Cisp_design.Topology.of_links full.Routing.inputs [ (0, 1); (1, 2) ] }
+  in
+  let demands =
+    Cisp_traffic.Matrix.scale_to_gbps full.Routing.inputs.Cisp_design.Inputs.traffic
+      ~aggregate_gbps:1.0
+  in
+  let paths_of m = Routing.paths m Routing.Shortest_path ~demands_gbps:demands in
+  let p_full = paths_of full and p_deg = paths_of degraded in
+  Alcotest.(check bool) "commodity (0,2) still routed" true (Hashtbl.mem p_deg (0, 2));
+  let lat m p = Routing.mean_route_latency_ms m p ~demands_gbps:demands in
+  Alcotest.(check bool) "rewiring never gains latency" true
+    (lat degraded p_deg >= lat full p_full -. 1e-9)
+
+let test_routing_bounded_stretch_honors_bound () =
+  let model = routing_fixture () in
+  let demands =
+    Cisp_traffic.Matrix.scale_to_gbps model.Routing.inputs.Cisp_design.Inputs.traffic
+      ~aggregate_gbps:3.0
+  in
+  let lat scheme =
+    Routing.mean_route_latency_ms model
+      (Routing.paths model scheme ~demands_gbps:demands)
+      ~demands_gbps:demands
+  in
+  let sp = lat Routing.Shortest_path in
+  (* Bound 1.0: every route is forced back to its shortest latency. *)
+  Alcotest.(check (float 1e-9)) "bound 1.0 = shortest path" sp (lat (Routing.Bounded_stretch 1.0));
+  (* A loose bound may spread load, but the demand-weighted mean can
+     never exceed bound x the shortest-path mean. *)
+  let b = 1.3 in
+  let bounded = lat (Routing.Bounded_stretch b) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f within %.1fx of %.4f" bounded b sp)
+    true
+    (bounded >= sp -. 1e-9 && bounded <= (b *. sp) +. 1e-9)
+
 (* ---------- Builder ---------- *)
 
 let test_builder_end_to_end () =
@@ -276,6 +346,11 @@ let suites =
       [
         Alcotest.test_case "shortest path endpoints" `Quick test_routing_shortest_uses_mw;
         Alcotest.test_case "alternatives not faster" `Quick test_routing_alternatives_not_faster;
+        Alcotest.test_case "zero demand" `Quick test_routing_zero_demand_no_paths;
+        Alcotest.test_case "all commodities covered" `Quick test_routing_all_commodities_covered;
+        Alcotest.test_case "link removal reroutes" `Quick test_routing_link_removal_reroutes;
+        Alcotest.test_case "bounded stretch honors bound" `Quick
+          test_routing_bounded_stretch_honors_bound;
       ] );
     ( "sim.builder",
       [

@@ -67,6 +67,33 @@ let test_perturb_deterministic () =
   let c = Perturb.population cities ~gamma:0.5 ~seed:4 in
   Alcotest.(check bool) "different seed" true (a.(0).(1) <> c.(0).(1))
 
+let test_perturb_normalized () =
+  let m = Perturb.population cities ~gamma:0.4 ~seed:11 in
+  check_float 1e-9 "normalized" 1.0 (Matrix.total m);
+  check_float 1e-12 "zero diagonal" 0.0 m.(2).(2);
+  check_float 1e-12 "symmetric" m.(0).(1) m.(1).(0)
+
+let test_perturb_gamma_zero_identity () =
+  (* gamma = 0 draws unit factors, so the perturbed matrix is exactly
+     the unperturbed population product. *)
+  let base = Matrix.population_product cities in
+  let m = Perturb.population cities ~gamma:0.0 ~seed:99 in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j v -> check_float 1e-12 "entry unchanged" v m.(i).(j)) row)
+    base
+
+let test_perturb_factors_length () =
+  Alcotest.(check int) "one factor per city" 17
+    (Array.length (Perturb.factors ~n:17 ~gamma:0.2 ~seed:1))
+
+let prop_perturb_factors_in_range =
+  QCheck.Test.make ~name:"perturbation factors stay in [1-g, 1+g]" ~count:200
+    QCheck.(pair small_int (float_range 0.0 1.0))
+    (fun (seed, gamma) ->
+      Array.for_all
+        (fun x -> x >= 1.0 -. gamma -. 1e-12 && x <= 1.0 +. gamma +. 1e-12)
+        (Perturb.factors ~n:64 ~gamma ~seed))
+
 let prop_mix_normalized =
   QCheck.Test.make ~name:"mix of random matrices is normalized" ~count:100
     QCheck.(pair small_int (int_range 2 6))
@@ -98,5 +125,9 @@ let suites =
       [
         Alcotest.test_case "factor range" `Quick test_perturb_factors_range;
         Alcotest.test_case "deterministic" `Quick test_perturb_deterministic;
+        Alcotest.test_case "normalized" `Quick test_perturb_normalized;
+        Alcotest.test_case "gamma zero is identity" `Quick test_perturb_gamma_zero_identity;
+        Alcotest.test_case "factors length" `Quick test_perturb_factors_length;
+        QCheck_alcotest.to_alcotest prop_perturb_factors_in_range;
       ] );
   ]
