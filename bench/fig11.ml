@@ -57,6 +57,7 @@ let run ctx =
           Sim.Udp.poisson_commodities net ~paths ~demands_gbps:demands ~packet_bytes:500
             ~start:0.0 ~stop;
           Sim.Engine.run eng ~until:(stop +. 0.2);
+          Sim.Net.flush_telemetry net;
           let x, y, z = mix in
           Printf.printf "%d:%d:%-6d %-8d %-14.3f %-12.5f\n%!" x y z load
             (Sim.Net.mean_delay_ms net) (Sim.Net.loss_rate net))

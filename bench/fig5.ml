@@ -19,6 +19,7 @@ let run_one ctx inputs topo plan ~demands ~label =
   let stop = sim_duration ctx in
   Sim.Udp.poisson_commodities net ~paths ~demands_gbps:demands ~packet_bytes:500 ~start:0.0 ~stop;
   Sim.Engine.run eng ~until:(stop +. 0.2);
+  Sim.Net.flush_telemetry net;
   ignore label;
   (Sim.Net.mean_delay_ms net, Sim.Net.loss_rate net)
 

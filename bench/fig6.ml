@@ -48,6 +48,7 @@ let run_one ~src_gbps ~pacing ~seed ~duration =
   in
   sampler 0.001;
   Sim.Engine.run eng ~until:(duration +. 2.0);
+  Sim.Net.flush_telemetry net;
   let qs = Array.of_list !samples in
   let fct = Array.of_list (List.map (fun x -> x *. 1000.0) !fcts) in
   {

@@ -28,19 +28,26 @@ let experiments : (string * (Ctx.t -> unit)) list =
     ("par", Par.run);
   ]
 
-(* Consume "--jobs N" (pool width for the parallel hot paths),
-   returning the remaining args. *)
-let rec extract_jobs = function
+(* Consume "--jobs N" (pool width), "--trace FILE" and "--metrics"
+   (telemetry sinks), returning the remaining args. *)
+let rec extract_options = function
   | [] -> []
   | "--jobs" :: n :: rest ->
     (match int_of_string_opt n with
     | Some k when k >= 1 -> Cisp_util.Pool.set_default_jobs k
     | Some _ | None -> Printf.eprintf "ignoring invalid --jobs %S\n" n);
-    extract_jobs rest
-  | a :: rest -> a :: extract_jobs rest
+    extract_options rest
+  | "--trace" :: file :: rest ->
+    Cisp_util.Telemetry.enable_trace file;
+    extract_options rest
+  | "--metrics" :: rest ->
+    Cisp_util.Telemetry.enable_metrics ();
+    extract_options rest
+  | a :: rest -> a :: extract_options rest
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl |> extract_jobs in
+  Cisp_util.Telemetry.init_from_env ();
+  let args = Array.to_list Sys.argv |> List.tl |> extract_options in
   let quick = List.mem "--quick" args in
   let selected = List.filter (fun a -> a <> "--quick") args in
   let ctx = Ctx.create ~quick in
@@ -63,4 +70,5 @@ let () =
       let (), secs = Ctx.time (fun () -> f ctx) in
       Printf.printf "[%s done in %.1fs]\n%!" name secs)
     to_run;
-  Printf.printf "\ntotal: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal: %.1fs\n%!" (Unix.gettimeofday () -. t0);
+  Cisp_util.Telemetry.finish ~ppf:Format.std_formatter ()

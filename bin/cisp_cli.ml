@@ -51,6 +51,33 @@ let jobs_t =
     const (fun jobs -> Option.iter Util.Pool.set_default_jobs jobs)
     $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc))
 
+(* Observability: --trace streams a Chrome-trace JSONL file at exit,
+   --metrics prints the span/counter summary.  Neither changes any
+   result (the telemetry layer only observes). *)
+let telemetry_t =
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome-trace-compatible JSONL event log to $(docv) \
+                (also honored via $(b,CISP_TRACE))")
+  in
+  let metrics_t =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print a telemetry summary (span timings, counters, distributions) at exit")
+  in
+  Term.(
+    const (fun trace metrics ->
+        Util.Telemetry.init_from_env ();
+        Option.iter Util.Telemetry.enable_trace trace;
+        if metrics then Util.Telemetry.enable_metrics ())
+    $ trace_t $ metrics_t)
+
+let finish_telemetry () = Util.Telemetry.finish ~ppf:Format.std_formatter ()
+
 let config_of region sites range height =
   let base =
     match region with
@@ -65,7 +92,7 @@ let effective_budget budget sites =
 (* ---------- design ---------- *)
 
 let design_cmd =
-  let run () region sites budget gbps range height geojson =
+  let run () () region sites budget gbps range height geojson =
     let config = config_of region sites range height in
     Printf.printf "building artifacts...\n%!";
     let a = Design.Scenario.artifacts ~config () in
@@ -84,17 +111,20 @@ let design_cmd =
       plan.Design.Capacity.hops_total plan.Design.Capacity.radios plan.Design.Capacity.new_towers;
     Printf.printf "cost per GB: $%.2f\n"
       (Design.Capacity.cost_per_gb Design.Cost.default plan ~aggregate_gbps:gbps);
-    match geojson with
+    (match geojson with
     | None -> ()
     | Some file ->
       let oc = open_out file in
       output_string oc (Design.Export.topology_with_plan_geojson inputs topo plan);
       close_out oc;
-      Printf.printf "wrote %s\n" file
+      Printf.printf "wrote %s\n" file);
+    finish_telemetry ()
   in
   Cmd.v
     (Cmd.info "design" ~doc:"Design a cISP topology (paper sections 3-4)")
-    Term.(const run $ jobs_t $ region_t $ sites_t $ budget_t $ gbps_t $ range_t $ height_t $ geojson_t)
+    Term.(
+      const run $ jobs_t $ telemetry_t $ region_t $ sites_t $ budget_t $ gbps_t $ range_t
+      $ height_t $ geojson_t)
 
 (* ---------- weather ---------- *)
 
@@ -102,7 +132,7 @@ let weather_cmd =
   let intervals_t =
     Arg.(value & opt int 365 & info [ "intervals" ] ~docv:"N" ~doc:"Weather intervals over the year")
   in
-  let run () region sites budget intervals =
+  let run () () region sites budget intervals =
     let config = config_of region sites 100.0 1.0 in
     let a = Design.Scenario.artifacts ~config () in
     let inputs = Design.Scenario.population_inputs a in
@@ -122,11 +152,12 @@ let weather_cmd =
       (med (fun p -> p.Weather.Year.best))
       (med (fun p -> p.Weather.Year.p99))
       (med (fun p -> p.Weather.Year.worst))
-      (med (fun p -> p.Weather.Year.fiber))
+      (med (fun p -> p.Weather.Year.fiber));
+    finish_telemetry ()
   in
   Cmd.v
     (Cmd.info "weather" ~doc:"Year-long precipitation sweep (paper section 6.1)")
-    Term.(const run $ jobs_t $ region_t $ sites_t $ budget_t $ intervals_t)
+    Term.(const run $ jobs_t $ telemetry_t $ region_t $ sites_t $ budget_t $ intervals_t)
 
 (* ---------- econ ---------- *)
 
@@ -152,9 +183,10 @@ let hft_cmd =
     let r = Weather.Hft.run () in
     Printf.printf "Chicago-NJ relay, %d trading minutes incl. a hurricane window:\n" r.Weather.Hft.minutes;
     Printf.printf "mean loss %.1f%%, median %.1f%% (paper: 16.1%% / 1.4%%)\n"
-      (100.0 *. r.Weather.Hft.mean_loss) (100.0 *. r.Weather.Hft.median_loss)
+      (100.0 *. r.Weather.Hft.mean_loss) (100.0 *. r.Weather.Hft.median_loss);
+    finish_telemetry ()
   in
-  Cmd.v (Cmd.info "hft" ~doc:"HFT relay loss reconstruction (paper section 2)") Term.(const run $ const ())
+  Cmd.v (Cmd.info "hft" ~doc:"HFT relay loss reconstruction (paper section 2)") Term.(const run $ telemetry_t)
 
 let () =
   let doc = "cISP: a speed-of-light ISP designer (NSDI 2022 reproduction)" in

@@ -1,7 +1,7 @@
 (* cisp_lint: typed-AST static analysis for the cISP tree.
 
    Walks the .cmt/.cmti files dune already produces and enforces the
-   repo's unit-safety and partiality rules (L1-L5, see lib/lint).
+   repo's unit-safety and partiality rules (L1-L6, see lib/lint).
    Normally driven by `dune build @lint`, which runs it from the build
    root after everything is compiled. *)
 
@@ -18,7 +18,7 @@ let usage =
 
 let () =
   let allowlist_path = ref "" in
-  let rules_csv = ref "L1,L2,L3,L4,L5" in
+  let rules_csv = ref "L1,L2,L3,L4,L5,L6" in
   let verbose = ref false in
   let list_rules = ref false in
   let roots = ref [] in

@@ -18,7 +18,7 @@ let default_search =
   }
 
 let search_value_per_gb ?(params = default_search) ~speedup_ms () =
-  assert (speedup_ms >= 0.0);
+  if speedup_ms < 0.0 then invalid_arg "Econ.search_value_per_gb: negative speedup_ms";
   let gain =
     if speedup_ms <= 200.0 then params.profit_gain_200ms_usd *. speedup_ms /. 200.0
     else begin

@@ -1,7 +1,7 @@
 type t = { name : string; coord : Cisp_geo.Coord.t; population : int }
 
 let make name ~lat ~lon ~population =
-  assert (population >= 0);
+  if population < 0 then invalid_arg "City.make: negative population";
   { name; coord = Cisp_geo.Coord.make ~lat ~lon; population }
 
 let pp ppf c =

@@ -140,6 +140,7 @@ let spare_from_registry =
       end
 
 let plan ?spare_series_at_hop (inputs : Inputs.t) (topo : Topology.t) ~aggregate_gbps =
+  Cisp_util.Telemetry.with_span "capacity.plan" (fun () ->
   let spare = match spare_series_at_hop with Some f -> f | None -> fun _ _ -> 0 in
   let loads = route_loads inputs topo ~aggregate_gbps in
   let links =
@@ -179,6 +180,10 @@ let plan ?spare_series_at_hop (inputs : Inputs.t) (topo : Topology.t) ~aggregate
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) hop_classes []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
+  if Cisp_util.Telemetry.enabled () then begin
+    Cisp_util.Telemetry.add "capacity.links" (List.length links);
+    Cisp_util.Telemetry.add "capacity.radios" !radios
+  end;
   {
     links;
     mw_carried_fraction = mw_fraction inputs topo;
@@ -187,7 +192,7 @@ let plan ?spare_series_at_hop (inputs : Inputs.t) (topo : Topology.t) ~aggregate
     radios = !radios;
     new_towers = !new_towers;
     rented_towers = !rented + !new_towers (* new towers also incur upkeep ~ rent *);
-  }
+  })
 
 let total_cost_usd cost plan =
   Cost.total_usd cost ~radios:plan.radios ~new_towers:plan.new_towers

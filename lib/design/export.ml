@@ -1,5 +1,8 @@
 let buf_add = Buffer.add_string
 
+(* Every control character below 0x20 must be escaped for the output
+   to be valid JSON (RFC 8259 §7): the named short escapes where they
+   exist, \u00XX for the rest. *)
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -8,6 +11,12 @@ let json_escape s =
       | '"' -> Buffer.add_string b "\\\""
       | '\\' -> Buffer.add_string b "\\\\"
       | '\n' -> Buffer.add_string b "\\n"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b

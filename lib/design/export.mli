@@ -6,6 +6,12 @@
     produces the underlying geodata: drop the output into any GeoJSON
     viewer to reproduce the figures. *)
 
+val json_escape : string -> string
+(** RFC 8259 string escaping: double quote, backslash, and every
+    control character below 0x20 (the named short escapes where they
+    exist, [\u00XX] otherwise).  City names flow into GeoJSON through
+    this. *)
+
 val topology_geojson : Inputs.t -> Topology.t -> string
 (** FeatureCollection: one point per site (name, population) and one
     LineString per built MW link, with properties [medium = "mw"],

@@ -49,17 +49,20 @@ let score rule cost b = match rule with Absolute -> b | Per_cost -> b /. float_o
    the array computes in parallel; entry [idx] is [Some (cost, benefit)]
    for candidates worth pushing, in the same order as [cands]. *)
 let score_candidates (inputs : Inputs.t) w d ~budget cands =
-  Cisp_util.Pool.parallel_map_array (Cisp_util.Pool.get ())
-    (fun (i, j) ->
-      let c = Topology.link_cost inputs i j in
-      if c > budget then None
-      else begin
-        let b = benefit inputs w d (i, j) in
-        if b > 1e-15 then Some (c, b) else None
-      end)
-    cands
+  Cisp_util.Telemetry.with_span "greedy.score" (fun () ->
+      Cisp_util.Telemetry.add "greedy.candidates" (Array.length cands);
+      Cisp_util.Pool.parallel_map_array (Cisp_util.Pool.get ())
+        (fun (i, j) ->
+          let c = Topology.link_cost inputs i j in
+          if c > budget then None
+          else begin
+            let b = benefit inputs w d (i, j) in
+            if b > 1e-15 then Some (c, b) else None
+          end)
+        cands)
 
 let design_ordered ?(rule = Per_cost) (inputs : Inputs.t) ~budget =
+  Cisp_util.Telemetry.with_span "greedy.design" (fun () ->
   let cands = Array.of_list (candidates inputs) in
   let w = weight_matrix inputs in
   let d = ref (Topology.fiber_baseline inputs) in
@@ -109,7 +112,9 @@ let design_ordered ?(rule = Per_cost) (inputs : Inputs.t) ~budget =
       end
   in
   step ();
-  (!topo, List.rev !order)
+  if Cisp_util.Telemetry.enabled () then
+    Cisp_util.Telemetry.add "greedy.links_built" (List.length !order);
+  (!topo, List.rev !order))
 
 let design ?rule inputs ~budget = fst (design_ordered ?rule inputs ~budget)
 

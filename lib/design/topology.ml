@@ -79,7 +79,7 @@ let fiber_baseline (inputs : Inputs.t) =
 let distances_incremental (inputs : Inputs.t) d (i, j) =
   let n = Inputs.n_sites inputs in
   let w = inputs.mw_km.(i).(j) in
-  assert (w < infinity);
+  if not (w < infinity) then invalid_arg "Topology.distances_incremental: non-finite link length";
   let out = Array.map Array.copy d in
   let relax s =
     let dsi = d.(s).(i) and dsj = d.(s).(j) in

@@ -58,7 +58,7 @@ let interpolate (a : Coord.t) (b : Coord.t) ~frac:t =
   end
 
 let sample_path a b ~step_km =
-  assert (step_km > 0.0);
+  if step_km <= 0.0 then invalid_arg "Geodesy.sample_path: step_km <= 0";
   let d = distance_km a b in
   let n = max 1 (int_of_float (Float.ceil (d /. step_km))) in
   Array.init (n + 1) (fun i -> interpolate a b ~frac:(float_of_int i /. float_of_int n))

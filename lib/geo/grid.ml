@@ -5,7 +5,7 @@ type 'a t = {
 }
 
 let create ~cell_deg =
-  assert (cell_deg > 0.0);
+  if cell_deg <= 0.0 then invalid_arg "Grid.create: cell_deg <= 0";
   { cell_deg; cells = Hashtbl.create 4096; count = 0 }
 
 let cell_of t p =

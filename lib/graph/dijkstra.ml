@@ -51,9 +51,16 @@ let shortest_path g ~src ~dst =
 (* Each source's Dijkstra is independent and only reads the graph, so
    the rows compute in parallel; every row is bit-identical to the
    sequential run. *)
+let all_pairs_results g ~sources =
+  Cisp_util.Telemetry.with_span "apsp" (fun () ->
+      let n = Array.length sources in
+      Cisp_util.Telemetry.add "apsp.sources" n;
+      let out = Array.make n { dist = [||]; prev = [||] } in
+      Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n (fun k ->
+          out.(k) <- run g ~src:sources.(k));
+      out)
+
 let all_pairs g =
   let n = Graph.node_count g in
-  let out = Array.make n [||] in
-  Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n (fun src ->
-      out.(src) <- (run g ~src).dist);
-  out
+  let rs = all_pairs_results g ~sources:(Array.init n Fun.id) in
+  Array.map (fun r -> r.dist) rs

@@ -2,15 +2,16 @@ type edge = { dst : int; weight : float; tag : int }
 type t = { adj : edge list array; mutable edges : int }
 
 let create n =
-  assert (n >= 0);
+  if n < 0 then invalid_arg "Graph.create: negative node count";
   { adj = Array.make n []; edges = 0 }
 
 let node_count g = Array.length g.adj
 let edge_count g = g.edges
 
 let add_edge ?(tag = -1) g u v w =
-  assert (w >= 0.0);
-  assert (u >= 0 && u < node_count g && v >= 0 && v < node_count g);
+  if w < 0.0 then invalid_arg "Graph.add_edge: negative weight";
+  if not (u >= 0 && u < node_count g && v >= 0 && v < node_count g) then
+    invalid_arg (Printf.sprintf "Graph.add_edge: node out of range %d-%d" u v);
   g.adj.(u) <- { dst = v; weight = w; tag } :: g.adj.(u);
   g.edges <- g.edges + 1
 

@@ -1,6 +1,6 @@
-type rule = L1 | L2 | L3 | L4 | L5
+type rule = L1 | L2 | L3 | L4 | L5 | L6
 
-let all_rules = [ L1; L2; L3; L4; L5 ]
+let all_rules = [ L1; L2; L3; L4; L5; L6 ]
 
 let rule_id = function
   | L1 -> "L1"
@@ -8,6 +8,7 @@ let rule_id = function
   | L3 -> "L3"
   | L4 -> "L4"
   | L5 -> "L5"
+  | L6 -> "L6"
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -16,6 +17,7 @@ let rule_of_string s =
   | "L3" -> Some L3
   | "L4" -> Some L4
   | "L5" -> Some L5
+  | "L6" -> Some L6
   | _ -> None
 
 let rule_doc = function
@@ -24,6 +26,7 @@ let rule_doc = function
   | L3 -> "physical constant duplicated outside Cisp_util.Units"
   | L4 -> "bare float parameter without a unit label or suffix"
   | L5 -> "stdout printing from library code"
+  | L6 -> "assert used for data validation in library code"
 
 type t = {
   rule : rule;

@@ -1,4 +1,4 @@
-(** Lint diagnostics: the five repo rules and [file:line:col] reports.
+(** Lint diagnostics: the six repo rules and [file:line:col] reports.
 
     - L1: no polymorphic compare / equality ([compare], [min], [max],
       [=], [<>]) instantiated at a float-bearing type.
@@ -9,9 +9,12 @@
     - L4: every public function of the unit-heavy libraries taking a
       bare [float] must carry the unit in a label or name suffix
       ([_km], [_ms], [_ghz], [_gbps], [_deg], ...).
-    - L5: no stdout printing from library code. *)
+    - L5: no stdout printing from library code.
+    - L6: no [assert] for data validation in library code — asserts
+      vanish under [-noassert], so inputs must be checked with
+      [invalid_arg].  [assert false] (unreachable marker) is exempt. *)
 
-type rule = L1 | L2 | L3 | L4 | L5
+type rule = L1 | L2 | L3 | L4 | L5 | L6
 
 val all_rules : rule list
 val rule_id : rule -> string

@@ -35,7 +35,7 @@ let run ?(allowlist = Allowlist.empty) ~rules roots =
 
 (* ---------------- repo policy ---------------- *)
 
-let lib_rules = [ Diag.L1; Diag.L2; Diag.L3; Diag.L5 ]
+let lib_rules = [ Diag.L1; Diag.L2; Diag.L3; Diag.L5; Diag.L6 ]
 let exe_rules = [ Diag.L1; Diag.L3 ]
 
 let unit_labelled_dirs =

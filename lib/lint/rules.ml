@@ -162,7 +162,19 @@ let stdout_fns =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Implementation walker: L1, L2, L3, L5                               *)
+(* L6: assert as data validation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [assert false] is the idiomatic unreachable marker (and keeps its
+   exception under -noassert); only asserts over a real condition are
+   validation in disguise. *)
+let is_assert_false (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_construct (_, cd, _) -> String.equal cd.Types.cstr_name "false"
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Implementation walker: L1, L2, L3, L5, L6                           *)
 (* ------------------------------------------------------------------ *)
 
 let check_impl ~rules ~source structure =
@@ -213,6 +225,9 @@ let check_impl ~rules ~source structure =
           (match e.exp_desc with
           | Typedtree.Texp_ident (path, _, _) -> check_ident e path
           | Typedtree.Texp_constant (Asttypes.Const_float lit) -> check_constant e lit
+          | Typedtree.Texp_assert (cond, _) when has Diag.L6 && not (is_assert_false cond) ->
+              emit Diag.L6 e.exp_loc
+                "`assert' vanishes under -noassert; validate inputs with invalid_arg"
           | _ -> ());
           default.Tast_iterator.expr sub e);
       Tast_iterator.structure_item =

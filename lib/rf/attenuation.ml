@@ -60,7 +60,8 @@ let path_attenuation_db ~f_ghz pol ~rain_mm_h ~d_km =
   *. effective_path_km ~d_km ~rain_mm_h
 
 let rain_rate_for_outage ~f_ghz pol ~d_km ~margin_db =
-  assert (margin_db > 0.0 && d_km > 0.0);
+  if not (margin_db > 0.0 && d_km > 0.0) then
+    invalid_arg "Attenuation.rain_rate_for_outage: margin_db and d_km must be positive";
   let att r = path_attenuation_db ~f_ghz pol ~rain_mm_h:r ~d_km in
   let rec bisect lo hi n =
     if n = 0 then (lo +. hi) /. 2.0

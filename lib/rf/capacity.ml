@@ -14,7 +14,8 @@ let qam_bits_per_symbol m =
   log2 0 m
 
 let qam_gbps ~bandwidth_mhz ~qam ~coding_rate ~channels =
-  assert (coding_rate > 0.0 && coding_rate <= 1.0 && channels > 0);
+  if not (coding_rate > 0.0 && coding_rate <= 1.0 && channels > 0) then
+    invalid_arg "Capacity.qam_gbps: coding_rate in (0,1] and channels > 0 required";
   let bits = float_of_int (qam_bits_per_symbol qam) in
   bandwidth_mhz *. 1e6 *. bits *. coding_rate *. float_of_int channels /. 1e9
 
@@ -26,5 +27,5 @@ let series_for_gbps gbps =
   end
 
 let gbps_of_series k =
-  assert (k >= 0);
+  if k < 0 then invalid_arg "Capacity.gbps_of_series: negative series count";
   float_of_int (k * k) *. hop_gbps

@@ -9,7 +9,8 @@ let default =
   { tx_power_dbm = 30.0; antenna_gain_dbi = 43.0; rx_threshold_dbm = -72.0; misc_losses_db = 3.0 }
 
 let fspl_db ~f_ghz ~d_km =
-  assert (f_ghz > 0.0 && d_km > 0.0);
+  if not (f_ghz > 0.0 && d_km > 0.0) then
+    invalid_arg "Link_budget.fspl_db: f_ghz and d_km must be positive";
   92.45 +. (20.0 *. log10 f_ghz) +. (20.0 *. log10 d_km)
 
 let fade_margin_db ?(budget = default) ~f_ghz ~d_km () =

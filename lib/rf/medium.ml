@@ -74,7 +74,8 @@ type chain_cost = {
 }
 
 let chain_for m ~link_km ~target_gbps ~tower_usd =
-  assert (link_km > 0.0 && target_gbps > 0.0);
+  if not (link_km > 0.0 && target_gbps > 0.0) then
+    invalid_arg "Medium.chain_for: link_km and target_gbps must be positive";
   let hops = max 1 (int_of_float (Float.ceil (link_km /. m.max_range_km))) in
   let chains =
     match m.technology with

@@ -9,12 +9,13 @@ let create () = { queue = Cisp_graph.Heap.create ~capacity:4096 (); clock = 0.0;
 let now t = t.clock
 
 let schedule t ~at f =
-  assert (at >= t.clock);
+  if at < t.clock then invalid_arg "Engine.schedule: at is in the past";
   Cisp_graph.Heap.push t.queue at f
 
 let schedule_in t ~after f = schedule t ~at:(t.clock +. after) f
 
 let run t ~until =
+  let count_before = t.count in
   let rec loop () =
     match Cisp_graph.Heap.peek t.queue with
     | None -> ()
@@ -29,6 +30,8 @@ let run t ~until =
       | None -> ())
   in
   loop ();
-  if t.clock < until then t.clock <- until
+  if t.clock < until then t.clock <- until;
+  if Cisp_util.Telemetry.enabled () then
+    Cisp_util.Telemetry.add "sim.events" (t.count - count_before)
 
 let events_processed t = t.count

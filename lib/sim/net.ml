@@ -43,8 +43,10 @@ let engine t = t.eng
 let key t src dst = (src * t.n) + dst
 
 let add_link t ~src ~dst ~gbps ~delay_ms ~buffer_bytes =
-  assert (src >= 0 && src < t.n && dst >= 0 && dst < t.n && src <> dst);
-  assert (not (Hashtbl.mem t.links (key t src dst)));
+  if not (src >= 0 && src < t.n && dst >= 0 && dst < t.n && src <> dst) then
+    invalid_arg (Printf.sprintf "Net.add_link: bad endpoints %d-%d" src dst);
+  if Hashtbl.mem t.links (key t src dst) then
+    invalid_arg (Printf.sprintf "Net.add_link: duplicate link %d-%d" src dst);
   Hashtbl.replace t.links (key t src dst)
     {
       rate_bps = gbps *. 1e9;
@@ -64,6 +66,10 @@ let add_duplex t a b ~gbps ~delay_ms ~buffer_bytes =
 
 let on_delivery t f = t.delivery_cbs <- f :: t.delivery_cbs
 
+(* Write path: the record is created on first use.  Only the traffic
+   paths (inject / deliver / drop accounting) may call this — stats
+   queries go through the read-only lookup below, so reading an
+   unknown flow id never pollutes [all_flow_stats]. *)
 let flow t id =
   match Hashtbl.find_opt t.flows id with
   | Some f -> f
@@ -71,6 +77,8 @@ let flow t id =
     let f = { sent = 0; delivered = 0; dropped = 0; delay_sum = 0.0; delay_max = 0.0 } in
     Hashtbl.add t.flows id f;
     f
+
+let find_flow t id = Hashtbl.find_opt t.flows id
 
 let deliver t pkt =
   let now = Engine.now t.eng in
@@ -116,7 +124,7 @@ let rec forward t pkt =
   end
 
 let inject t pkt =
-  assert (Array.length pkt.route >= 1);
+  if Array.length pkt.route < 1 then invalid_arg "Net.inject: empty route";
   pkt.injected_at <- Engine.now t.eng;
   let f = flow t pkt.flow_id in
   f.sent <- f.sent + 1;
@@ -139,7 +147,13 @@ let freeze (f : mutable_flow_stats) =
     delay_max_s = f.delay_max;
   }
 
-let flow_stats t id = freeze (flow t id)
+let zero_stats =
+  { sent = 0; delivered = 0; dropped = 0; delay_sum_s = 0.0; delay_max_s = 0.0 }
+
+let flow_stats_opt t id = Option.map freeze (find_flow t id)
+
+let flow_stats t id =
+  match find_flow t id with Some f -> freeze f | None -> zero_stats
 
 let all_flow_stats t = Hashtbl.fold (fun id f acc -> (id, freeze f) :: acc) t.flows []
 
@@ -170,12 +184,35 @@ let link_stats t ~src ~dst =
     (Hashtbl.find_opt t.links (key t src dst))
 
 let utilization t ~src ~dst ~duration_s =
+  if duration_s <= 0.0 then invalid_arg "Net.utilization: duration_s <= 0";
   match Hashtbl.find_opt t.links (key t src dst) with
   | None -> 0.0
   | Some l -> l.busy_s /. duration_s
 
 let max_utilization t ~duration_s =
+  if duration_s <= 0.0 then invalid_arg "Net.max_utilization: duration_s <= 0";
   Hashtbl.fold (fun _ (l : link) acc -> Float.max acc (l.busy_s /. duration_s)) t.links 0.0
 
 let queue_bytes t ~src ~dst =
   match Hashtbl.find_opt t.links (key t src dst) with None -> 0 | Some l -> l.queue_bytes
+
+(* Per-link and per-flow counters flushed into telemetry at teardown —
+   the FlowMonitor read-out of §5.  Totals are sums and samples are
+   sorted on read-out, so hashtable iteration order does not show. *)
+let flush_telemetry t =
+  if Cisp_util.Telemetry.enabled () then begin
+    Cisp_util.Telemetry.add "sim.links" (Hashtbl.length t.links);
+    Hashtbl.iter
+      (fun _ (l : link) ->
+        Cisp_util.Telemetry.add "sim.link_drops" l.drops;
+        Cisp_util.Telemetry.add "sim.link_bytes_sent" l.bytes_sent;
+        Cisp_util.Telemetry.observe "sim.queue_peak_bytes" (float_of_int l.queue_peak);
+        Cisp_util.Telemetry.observe "sim.link_busy_s" l.busy_s)
+      t.links;
+    Hashtbl.iter
+      (fun _ (f : mutable_flow_stats) ->
+        Cisp_util.Telemetry.add "sim.flow_sent" f.sent;
+        Cisp_util.Telemetry.add "sim.flow_delivered" f.delivered;
+        Cisp_util.Telemetry.add "sim.flow_dropped" f.dropped)
+      t.flows
+  end

@@ -43,6 +43,13 @@ type flow_stats = {
 }
 
 val flow_stats : t -> int -> flow_stats
+(** Read-only: an id no packet ever used reports all-zero stats and
+    leaves the flow table untouched (it will not appear in
+    {!all_flow_stats}). *)
+
+val flow_stats_opt : t -> int -> flow_stats option
+(** As {!flow_stats} but [None] for an unknown flow id. *)
+
 val all_flow_stats : t -> (int * flow_stats) list
 
 val mean_delay_ms : t -> float
@@ -59,8 +66,20 @@ type link_stats = {
 }
 
 val link_stats : t -> src:int -> dst:int -> link_stats option
+
 val utilization : t -> src:int -> dst:int -> duration_s:float -> float
+(** Busy fraction of the link over [duration_s].  Raises
+    [Invalid_argument] if [duration_s <= 0] (a zero-length run has no
+    well-defined utilization). *)
+
 val max_utilization : t -> duration_s:float -> float
+(** Maximum {!utilization} over every link; raises [Invalid_argument]
+    if [duration_s <= 0]. *)
 
 val queue_bytes : t -> src:int -> dst:int -> int
 (** Instantaneous queue occupancy (for the Fig 6 pacing experiment). *)
+
+val flush_telemetry : t -> unit
+(** Flush per-link counters (drops, bytes, queue peaks, busy time) and
+    per-flow totals into {!Cisp_util.Telemetry} at teardown.  No-op
+    when telemetry is disabled. *)

@@ -24,7 +24,7 @@ let value ~seed x y =
   a +. (sy *. (b -. a))
 
 let fbm ~seed ~octaves ~lacunarity ~gain x y =
-  assert (octaves > 0);
+  if octaves <= 0 then invalid_arg "Noise.fbm: octaves <= 0";
   let rec loop i freq amp sum norm =
     if i >= octaves then sum /. norm
     else begin

@@ -11,6 +11,7 @@ let default_config =
   { fcc_min_height_m = 100.0; cell_deg = 0.5; max_per_cell = 50; sample_seed = 11 }
 
 let apply ?(config = default_config) towers =
+  Cisp_util.Telemetry.with_span "towers.culling" (fun () ->
   let eligible =
     List.filter
       (fun (t : Tower.t) ->
@@ -39,4 +40,9 @@ let apply ?(config = default_config) towers =
       cells []
   in
   (* Stable order for reproducibility downstream. *)
-  List.sort (fun (a : Tower.t) (b : Tower.t) -> Int.compare a.id b.id) out
+  let kept = List.sort (fun (a : Tower.t) (b : Tower.t) -> Int.compare a.id b.id) out in
+  if Cisp_util.Telemetry.enabled () then begin
+    Cisp_util.Telemetry.add "culling.towers_in" (List.length towers);
+    Cisp_util.Telemetry.add "culling.towers_kept" (List.length kept)
+  end;
+  kept)

@@ -34,6 +34,7 @@ let tower_node t k = t.n_sites + k
 let is_tower_node t v = v >= t.n_sites
 
 let build ?(config = default_config) ~cache ~sites ~towers () =
+  Cisp_util.Telemetry.with_span "hops.build" (fun () ->
   let sites = Array.of_list sites in
   let towers = Array.of_list towers in
   let n_sites = Array.length sites in
@@ -67,20 +68,23 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
      bit-identical. *)
   let n_towers = Array.length towers in
   let tower_edges = Array.make n_towers [] in
-  Cisp_util.Pool.parallel_for pool ~n:n_towers (fun k ->
-      let tw = towers.(k) in
-      let ep_k = endpoint_of_tower tw in
-      let acc = ref [] in
-      Grid.iter_nearby grid tw.position ~radius_km:config.los_params.Los.max_range_km
-        (fun _ k' ->
-          if k' > k then begin
-            let ep_k' = endpoint_of_tower towers.(k') in
-            if Los.feasible ~params:config.los_params ~surface ep_k ep_k' then begin
-              let d = Geodesy.distance_km tw.position towers.(k').position in
-              acc := (k', d) :: !acc
-            end
-          end);
-      tower_edges.(k) <- List.rev !acc);
+  Cisp_util.Telemetry.with_span "hops.tower_los" (fun () ->
+      Cisp_util.Pool.parallel_for pool ~n:n_towers (fun k ->
+          let tw = towers.(k) in
+          let ep_k = endpoint_of_tower tw in
+          let acc = ref [] in
+          Grid.iter_nearby grid tw.position ~radius_km:config.los_params.Los.max_range_km
+            (fun _ k' ->
+              if k' > k then begin
+                if Cisp_util.Telemetry.enabled () then
+                  Cisp_util.Telemetry.incr "hops.los_tests";
+                let ep_k' = endpoint_of_tower towers.(k') in
+                if Los.feasible ~params:config.los_params ~surface ep_k ep_k' then begin
+                  let d = Geodesy.distance_km tw.position towers.(k').position in
+                  acc := (k', d) :: !acc
+                end
+              end);
+          tower_edges.(k) <- List.rev !acc));
   let feasible_hops = ref 0 in
   Array.iteri
     (fun k edges ->
@@ -96,24 +100,31 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
      still counted via the edge length.  Same parallel-test /
      sequential-insert split as above. *)
   let site_edges = Array.make n_sites [] in
-  Cisp_util.Pool.parallel_for pool ~n:n_sites (fun i ->
-      let c = sites.(i) in
-      let ep_site = endpoint_of_site c in
-      let relaxed = { config.los_params with Los.min_range_km = 0.05 } in
-      let acc = ref [] in
-      Grid.iter_nearby grid c.coord ~radius_km:config.site_attach_radius_km
-        (fun _ k ->
-          let ep_t = endpoint_of_tower towers.(k) in
-          if Los.feasible ~params:relaxed ~surface ep_site ep_t then begin
-            let d = Geodesy.distance_km c.coord towers.(k).position in
-            acc := (k, d) :: !acc
-          end);
-      site_edges.(i) <- List.rev !acc);
+  Cisp_util.Telemetry.with_span "hops.site_attach" (fun () ->
+      Cisp_util.Pool.parallel_for pool ~n:n_sites (fun i ->
+          let c = sites.(i) in
+          let ep_site = endpoint_of_site c in
+          let relaxed = { config.los_params with Los.min_range_km = 0.05 } in
+          let acc = ref [] in
+          Grid.iter_nearby grid c.coord ~radius_km:config.site_attach_radius_km
+            (fun _ k ->
+              if Cisp_util.Telemetry.enabled () then
+                Cisp_util.Telemetry.incr "hops.los_tests";
+              let ep_t = endpoint_of_tower towers.(k) in
+              if Los.feasible ~params:relaxed ~surface ep_site ep_t then begin
+                let d = Geodesy.distance_km c.coord towers.(k).position in
+                acc := (k, d) :: !acc
+              end);
+          site_edges.(i) <- List.rev !acc));
   Array.iteri
     (fun i edges ->
       List.iter (fun (k, d) -> Graph.add_undirected graph i (n_sites + k) d) edges)
     site_edges;
-  { config; sites; towers; graph; n_sites; feasible_hops = !feasible_hops }
+  if Cisp_util.Telemetry.enabled () then begin
+    Cisp_util.Telemetry.add "hops.towers" n_towers;
+    Cisp_util.Telemetry.add "hops.feasible_hops" !feasible_hops
+  end;
+  { config; sites; towers; graph; n_sites; feasible_hops = !feasible_hops })
 
 type link = {
   src : int;
@@ -154,12 +165,16 @@ let shortest_link t ~src ~dst =
   link_of_result t ~src ~dst r
 
 let all_links t =
-  let n = t.n_sites in
-  let out = Array.make_matrix n n None in
-  (* One Dijkstra per site, each writing only its own row. *)
-  Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n (fun src ->
-      let r = Dijkstra.run t.graph ~src in
-      for dst = 0 to n - 1 do
-        if dst <> src then out.(src).(dst) <- link_of_result t ~src ~dst r
-      done);
-  out
+  Cisp_util.Telemetry.with_span "hops.all_links" (fun () ->
+      let n = t.n_sites in
+      (* One Dijkstra per site (APSP over the hop graph, parallel on
+         the pool); path extraction is cheap and runs sequentially. *)
+      let rs = Dijkstra.all_pairs_results t.graph ~sources:(Array.init n Fun.id) in
+      let out = Array.make_matrix n n None in
+      Array.iteri
+        (fun src r ->
+          for dst = 0 to n - 1 do
+            if dst <> src then out.(src).(dst) <- link_of_result t ~src ~dst r
+          done)
+        rs;
+      out)

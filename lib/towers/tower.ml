@@ -8,7 +8,7 @@ type t = {
 }
 
 let make ~id ~position ~height_m ~source =
-  assert (height_m > 0.0);
+  if height_m <= 0.0 then invalid_arg "Tower.make: height_m <= 0";
   { id; position; height_m; source }
 
 let pp ppf t =
@@ -16,5 +16,6 @@ let pp ppf t =
   Format.fprintf ppf "tower#%d %a h=%.0fm %s" t.id Cisp_geo.Coord.pp t.position t.height_m src
 
 let usable_height_m t ~fraction =
-  assert (fraction > 0.0 && fraction <= 1.0);
+  if not (fraction > 0.0 && fraction <= 1.0) then
+    invalid_arg "Tower.usable_height_m: fraction outside (0,1]";
   t.height_m *. fraction

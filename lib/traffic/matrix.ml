@@ -55,7 +55,7 @@ let mix components =
     let out = Array.make_matrix n n 0.0 in
     List.iter
       (fun (w, m) ->
-        assert (size m = n);
+        if size m <> n then invalid_arg "Matrix.mix: size mismatch";
         let nm = normalize m in
         for i = 0 to n - 1 do
           for j = 0 to n - 1 do

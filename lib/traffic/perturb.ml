@@ -1,5 +1,5 @@
 let factors ~n ~gamma ~seed =
-  assert (gamma >= 0.0 && gamma <= 1.0);
+  if not (gamma >= 0.0 && gamma <= 1.0) then invalid_arg "Perturb.factors: gamma outside [0,1]";
   let rng = Cisp_util.Rng.create seed in
   Array.init n (fun _ -> Cisp_util.Rng.uniform rng (1.0 -. gamma) (1.0 +. gamma))
 

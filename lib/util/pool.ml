@@ -39,10 +39,17 @@ let sequential_for n fn =
 let run_slice pool job =
   let saved = Domain.DLS.get in_task in
   Domain.DLS.set in_task true;
+  (* Telemetry observes scheduling only (chunks claimed, time this
+     domain spent inside the job); it never affects which indices run
+     where, so results stay bit-identical with it on or off. *)
+  let tel = Telemetry.enabled () in
+  let t0 = if tel then Unix.gettimeofday () else 0.0 in
+  let chunks = ref 0 in
   let rec loop () =
     if not (Atomic.get job.cancelled) then begin
       let start = Atomic.fetch_and_add job.next job.chunk in
       if start < job.n then begin
+        incr chunks;
         let stop = min job.n (start + job.chunk) in
         (try
            for i = start to stop - 1 do
@@ -61,6 +68,14 @@ let run_slice pool job =
     end
   in
   loop ();
+  if tel then begin
+    let busy = Unix.gettimeofday () -. t0 in
+    Telemetry.add "pool.chunks" !chunks;
+    Telemetry.observe "pool.slice_busy_s" busy;
+    Telemetry.add
+      (Printf.sprintf "pool.domain%d.busy_us" (Domain.self () :> int))
+      (int_of_float (busy *. 1e6))
+  end;
   Domain.DLS.set in_task saved
 
 let rec worker_loop pool seen_generation =
@@ -141,6 +156,7 @@ let parallel_for pool ~n fn =
           failure = None;
         }
       in
+      if Telemetry.enabled () then Telemetry.incr "pool.jobs";
       pool.current <- Some job;
       pool.generation <- pool.generation + 1;
       Condition.broadcast pool.work;

@@ -23,7 +23,7 @@ let split t =
 let copy t = { state = t.state }
 
 let int t bound =
-  assert (bound > 0);
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
   (* Keep 62 bits so the value fits OCaml's 63-bit nonnegative range. *)
   let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
   r mod bound
@@ -53,7 +53,7 @@ let exponential t rate =
   -.log (u ()) /. rate
 
 let poisson t mean =
-  assert (mean >= 0.0);
+  if mean < 0.0 then invalid_arg "Rng.poisson: mean < 0";
   if Float.equal mean 0.0 then 0
   else if mean > 50.0 then
     (* Normal approximation, adequate for synthetic workload generation. *)
@@ -78,7 +78,7 @@ let shuffle t arr =
   done
 
 let sample t arr k =
-  assert (k <= Array.length arr);
+  if k > Array.length arr then invalid_arg "Rng.sample: k exceeds array length";
   let idx = Array.init (Array.length arr) (fun i -> i) in
   shuffle t idx;
   Array.init k (fun i -> arr.(idx.(i)))

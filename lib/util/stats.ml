@@ -53,7 +53,9 @@ let cdf xs =
   Array.mapi (fun i y -> (y, float_of_int (i + 1) /. float_of_int n)) ys
 
 let histogram xs ~bins =
-  assert (bins > 0);
+  (* invalid_arg, not assert: asserts vanish under -noassert and this
+     guards caller data, not an internal invariant (lint rule L6). *)
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
   let lo, hi = min_max xs in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
   let counts = Array.make bins 0 in

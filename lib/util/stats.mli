@@ -26,7 +26,8 @@ val cdf : float array -> (float * float) array
 (** Empirical CDF as (value, cumulative fraction) sorted points. *)
 
 val histogram : float array -> bins:int -> (float * int) array
-(** [histogram xs ~bins] returns (bin lower edge, count). *)
+(** [histogram xs ~bins] returns (bin lower edge, count).  Raises
+    [Invalid_argument] if [bins <= 0]. *)
 
 type summary = {
   n : int;

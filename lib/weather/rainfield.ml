@@ -41,7 +41,7 @@ let season_factor day =
   1.0 +. (0.35 *. cos phase)
 
 let sample ?(seed = 1234) climate ~day =
-  assert (day >= 0 && day < 366);
+  if not (day >= 0 && day < 366) then invalid_arg "Rainfield.sample: day outside [0, 366)";
   let rng = Rng.create (seed + (day * 7919)) in
   let summer = season_factor day in
   let mean = climate.mean_storms_per_interval *. summer in

@@ -15,6 +15,7 @@ let node_position (hops : Hops.t) node =
   else hops.Hops.towers.(node - hops.Hops.n_sites).Cisp_towers.Tower.position
 
 let run ?(seed = 99) ?(intervals = 365) ~climate ~hops (inputs : Inputs.t) (topo : Topology.t) =
+  Cisp_util.Telemetry.with_span "weather.year" (fun () ->
   let n = Inputs.n_sites inputs in
   let base = Topology.fiber_baseline inputs in
   let built = Array.of_list topo.Topology.built in
@@ -73,6 +74,12 @@ let run ?(seed = 99) ?(intervals = 365) ~climate ~hops (inputs : Inputs.t) (topo
         pairs);
   let failed_total = ref 0 in
   Array.iter (fun c -> failed_total := !failed_total + c) failed_per_interval;
+  if Cisp_util.Telemetry.enabled () then begin
+    Cisp_util.Telemetry.add "weather.intervals" intervals;
+    Array.iter
+      (fun c -> Cisp_util.Telemetry.observe "weather.failed_links" (float_of_int c))
+      failed_per_interval
+  end;
   let per_pair =
     Array.mapi
       (fun k (s, t) ->
@@ -92,7 +99,7 @@ let run ?(seed = 99) ?(intervals = 365) ~climate ~hops (inputs : Inputs.t) (topo
     intervals;
     mean_failed_links = float_of_int !failed_total /. float_of_int intervals;
     per_pair;
-  }
+  })
 
 let stretch_cdfs r =
   let cdf f = Cisp_util.Stats.cdf (Array.map f r.per_pair) in

@@ -1,0 +1,11 @@
+(* Seeded L6 violations: data-validation asserts in library code. *)
+let checked_sqrt x =
+  assert (x >= 0.0);
+  sqrt x
+
+let scale (xs : float array) k =
+  assert (Array.length xs > 0);
+  Array.map (fun x -> x *. k) xs
+
+(* assert false marks unreachable code and must NOT fire. *)
+let absurd (o : int option) = match o with Some v -> v | None -> assert false

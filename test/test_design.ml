@@ -396,12 +396,66 @@ let test_export_budget_evolution () =
   Alcotest.(check bool) "network grows with budget" true
     (List.sort compare links = links)
 
+(* Test-local inverse of Export.json_escape, over the full escape
+   vocabulary (named short escapes plus \u00XX). *)
+let json_unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] <> '\\' then Buffer.add_char b s.[!i]
+     else begin
+       incr i;
+       match s.[!i] with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | 'n' -> Buffer.add_char b '\n'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'r' -> Buffer.add_char b '\r'
+       | 't' -> Buffer.add_char b '\t'
+       | 'u' ->
+         Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 4)));
+         i := !i + 4
+       | c -> Alcotest.failf "unexpected escape \\%c" c
+     end);
+    incr i
+  done;
+  Buffer.contents b
+
+let test_export_json_escape_roundtrip () =
+  (* Every byte below 0x20, plus the named cases, round-trips; the
+     escaped form never contains a raw control character or bare
+     quote (RFC 8259). *)
+  let control = String.init 0x20 Char.chr in
+  let cases =
+    [ "plain"; "quote\"backslash\\"; "tab\there\nnewline"; control;
+      "S\xc3\xa3o Paulo" (* multibyte UTF-8 passes through untouched *) ]
+  in
+  List.iter
+    (fun s ->
+      let e = Export.json_escape s in
+      String.iter
+        (fun c ->
+          Alcotest.(check bool) "no raw control char in escaped form" true
+            (Char.code c >= 0x20))
+        e;
+      String.iteri
+        (fun i c ->
+          if c = '"' then
+            Alcotest.(check bool) "every quote is escaped" true
+              (i > 0 && e.[i - 1] = '\\'))
+        e;
+      Alcotest.(check string) (Printf.sprintf "round-trips %S" s) s (json_unescape e))
+    cases
+
 let export_suite =
   ( "design.export",
     [
       Alcotest.test_case "geojson wellformed" `Quick test_export_geojson_wellformed;
       Alcotest.test_case "plan annotation" `Quick test_export_with_plan;
       Alcotest.test_case "budget evolution" `Quick test_export_budget_evolution;
+      Alcotest.test_case "json escape round-trip" `Quick test_export_json_escape_roundtrip;
     ] )
 
 let suites = suites @ [ export_suite ]

@@ -79,6 +79,35 @@ let test_weather_width_invariant () =
         (r1.Cisp_weather.Year.per_pair = rw.Cisp_weather.Year.per_pair))
     [ 2; 8 ]
 
+let test_telemetry_bit_identity () =
+  (* The telemetry layer's core contract: enabling it changes nothing.
+     Same design run with telemetry off and on, at jobs 1 and 4 — the
+     topology, stretch and GeoJSON must be byte-identical (and the
+     instrumented phases must actually have recorded). *)
+  let module Telemetry = Cisp_util.Telemetry in
+  Telemetry.reset ();
+  Fun.protect ~finally:Telemetry.reset (fun () ->
+      let off1 = run_design 1 and off4 = run_design 4 in
+      Telemetry.enable_metrics ();
+      let on1 = run_design 1 and on4 = run_design 4 in
+      List.iter
+        (fun (label, (t_off, s_off, g_off), (t_on, s_on, g_on)) ->
+          Alcotest.(check (list (pair int int)))
+            (label ^ ": built links identical") t_off.Topology.built t_on.Topology.built;
+          Alcotest.(check int64) (label ^ ": stretch bitwise") (bits s_off) (bits s_on);
+          Alcotest.(check string) (label ^ ": GeoJSON identical") g_off g_on)
+        [ ("jobs=1", off1, on1); ("jobs=4", off4, on4) ];
+      List.iter
+        (fun span ->
+          Alcotest.(check bool)
+            (Printf.sprintf "phase %s recorded nonzero time" span)
+            true
+            (Telemetry.span_calls span > 0 && Telemetry.span_total_s span > 0.0))
+        (* [run_design] reuses memoized artifacts, so only the per-call
+           phases appear here; hops.build / capacity.plan are covered by
+           the CLI smoke run in CI. *)
+        [ "hops.all_links"; "apsp"; "greedy.score"; "greedy.design" ])
+
 let test_los_sweep_width_invariant () =
   (* Rebuild the tower hop graph on a cold DEM cache at both widths:
      covers the LOS + Fresnel sweep and the snapped-cell-center cache
@@ -110,5 +139,6 @@ let suites =
         Alcotest.test_case "metric closures" `Slow test_metric_width_invariant;
         Alcotest.test_case "weather year at jobs 1/2/8" `Slow test_weather_width_invariant;
         Alcotest.test_case "LOS sweep on a cold cache" `Slow test_los_sweep_width_invariant;
+        Alcotest.test_case "telemetry on/off bit-identity" `Slow test_telemetry_bit_identity;
       ] );
   ]

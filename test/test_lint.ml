@@ -83,6 +83,14 @@ let test_l5_positive () =
 let test_l5_negative () =
   Alcotest.(check int) "no L5 in good.ml" 0 (count ~rule:Diag.L5 ~file:"good.ml")
 
+let test_l6_positive () =
+  check_hit ~rule:Diag.L6 ~file:"bad_l6.ml" ~line:3;
+  check_hit ~rule:Diag.L6 ~file:"bad_l6.ml" ~line:7
+
+let test_l6_negative () =
+  (* `assert false' (line 11) is the unreachable marker: exempt. *)
+  Alcotest.(check int) "two L6 hits" 2 (count ~rule:Diag.L6 ~file:"bad_l6.ml")
+
 let test_good_is_clean () =
   let bad = List.filter (fun d -> in_file "good.ml" d || in_file "good.mli" d) (diags ()) in
   Alcotest.(check (list string)) "good fixtures are clean" []
@@ -181,6 +189,8 @@ let suites =
         Alcotest.test_case "L4 negative" `Quick test_l4_negative;
         Alcotest.test_case "L5 positive" `Quick test_l5_positive;
         Alcotest.test_case "L5 negative" `Quick test_l5_negative;
+        Alcotest.test_case "L6 positive" `Quick test_l6_positive;
+        Alcotest.test_case "L6 negative" `Quick test_l6_negative;
         Alcotest.test_case "good fixtures are clean" `Quick test_good_is_clean;
         Alcotest.test_case "symbols tracked" `Quick test_symbols;
         Alcotest.test_case "diagnostic format" `Quick test_diag_format;

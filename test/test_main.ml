@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_util.suites;
+         Test_telemetry.suites;
          Test_pool.suites;
          Test_geo.suites;
          Test_terrain.suites;

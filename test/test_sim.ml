@@ -97,6 +97,23 @@ let test_net_broken_route () =
   Engine.run eng ~until:1.0;
   Alcotest.(check int) "dropped" 1 (Net.flow_stats net 1).Net.dropped
 
+let test_net_stats_read_only () =
+  (* Reading stats for an id no packet ever used must not create a
+     flow record (the old get-or-create path polluted the table). *)
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:1.0 ~buffer_bytes:1_000_000;
+  Net.inject net (mk_pkt ~flow:1 [| 0; 1 |]);
+  Engine.run eng ~until:1.0;
+  let ghost = Net.flow_stats net 999 in
+  Alcotest.(check int) "ghost flow reads zero" 0 ghost.Net.sent;
+  Alcotest.(check (option reject)) "ghost flow option is None" None
+    (Net.flow_stats_opt net 999);
+  Alcotest.(check int) "table still holds only the real flow" 1
+    (List.length (Net.all_flow_stats net));
+  Alcotest.(check bool) "real flow still readable" true
+    (Option.is_some (Net.flow_stats_opt net 1))
+
 let test_net_utilization () =
   let eng = Engine.create () in
   let net = Net.create eng ~n_nodes:2 in
@@ -108,6 +125,36 @@ let test_net_utilization () =
   Engine.run eng ~until:1.0;
   check_float 1e-6 "utilization" 0.04 (Net.utilization net ~src:0 ~dst:1 ~duration_s:1.0);
   check_float 1e-6 "max utilization" 0.04 (Net.max_utilization net ~duration_s:1.0)
+
+let test_net_utilization_guards () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~n_nodes:2 in
+  Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:1.0 ~buffer_bytes:1_000_000;
+  Alcotest.check_raises "zero duration rejected"
+    (Invalid_argument "Net.utilization: duration_s <= 0") (fun () ->
+      ignore (Net.utilization net ~src:0 ~dst:1 ~duration_s:0.0));
+  Alcotest.check_raises "negative duration rejected"
+    (Invalid_argument "Net.max_utilization: duration_s <= 0") (fun () ->
+      ignore (Net.max_utilization net ~duration_s:(-1.0)))
+
+let test_net_flush_telemetry () =
+  (* With telemetry enabled, teardown flushes link/flow totals; the
+     sim's own results are unaffected. *)
+  Cisp_util.Telemetry.reset ();
+  Fun.protect ~finally:Cisp_util.Telemetry.reset (fun () ->
+      Cisp_util.Telemetry.enable_metrics ();
+      let eng = Engine.create () in
+      let net = Net.create eng ~n_nodes:2 in
+      Net.add_duplex net 0 1 ~gbps:1.0 ~delay_ms:1.0 ~buffer_bytes:1_000_000;
+      Net.inject net (mk_pkt ~flow:1 [| 0; 1 |]);
+      Engine.run eng ~until:1.0;
+      Net.flush_telemetry net;
+      Alcotest.(check bool) "events counted" true (Cisp_util.Telemetry.counter "sim.events" > 0);
+      Alcotest.(check int) "links flushed (duplex = 2 directed)" 2
+        (Cisp_util.Telemetry.counter "sim.links");
+      Alcotest.(check int) "flow sends flushed" 1 (Cisp_util.Telemetry.counter "sim.flow_sent");
+      Alcotest.(check int) "flow deliveries flushed" 1
+        (Cisp_util.Telemetry.counter "sim.flow_delivered"))
 
 (* ---------- Udp ---------- *)
 
@@ -333,7 +380,10 @@ let suites =
         Alcotest.test_case "queueing delay" `Quick test_net_queueing_delay;
         Alcotest.test_case "drop when full" `Quick test_net_drop_when_full;
         Alcotest.test_case "broken route" `Quick test_net_broken_route;
+        Alcotest.test_case "stats are read-only" `Quick test_net_stats_read_only;
         Alcotest.test_case "utilization" `Quick test_net_utilization;
+        Alcotest.test_case "utilization guards" `Quick test_net_utilization_guards;
+        Alcotest.test_case "telemetry flush" `Quick test_net_flush_telemetry;
       ] );
     ("sim.udp", [ Alcotest.test_case "poisson rate" `Quick test_udp_rate ]);
     ( "sim.tcp",

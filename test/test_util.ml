@@ -115,6 +115,12 @@ let test_stats_histogram () =
   Alcotest.(check int) "bins" 2 (Array.length h);
   Alcotest.(check int) "counts sum" 5 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
 
+let test_stats_histogram_guard () =
+  (* invalid_arg, not assert: the check must survive -noassert. *)
+  Alcotest.check_raises "bins = 0 rejected"
+    (Invalid_argument "Stats.histogram: bins <= 0") (fun () ->
+      ignore (Stats.histogram [| 1.0 |] ~bins:0))
+
 let test_stats_summary () =
   let s = Stats.summarize (Array.init 101 (fun i -> float_of_int i)) in
   Alcotest.(check int) "n" 101 s.n;
@@ -184,6 +190,7 @@ let suites =
         Alcotest.test_case "min max" `Quick test_stats_min_max;
         Alcotest.test_case "cdf" `Quick test_stats_cdf;
         Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        Alcotest.test_case "histogram guard" `Quick test_stats_histogram_guard;
         Alcotest.test_case "summary" `Quick test_stats_summary;
         QCheck_alcotest.to_alcotest prop_percentile_monotone;
         QCheck_alcotest.to_alcotest prop_mean_between_min_max;
