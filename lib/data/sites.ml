@@ -35,8 +35,10 @@ let coalesce ?(radius_km = 50.0) cities =
     let members = Option.value (Hashtbl.find_opt groups root) ~default:[] in
     Hashtbl.replace groups root (arr.(i) :: members)
   done;
+  (* Walk groups by root index, not hash order: population ties in the
+     final sort would otherwise keep table order. *)
   let centers =
-    Hashtbl.fold
+    Cisp_util.Tbl.fold_sorted ~compare:Int.compare
       (fun _ members acc ->
         match members with
         | [] -> acc

@@ -176,10 +176,7 @@ let plan ?spare_series_at_hop (inputs : Inputs.t) (topo : Topology.t) ~aggregate
             (1 + Option.value (Hashtbl.find_opt hop_classes new_per_end) ~default:0))
         (link_hop_pairs inputs lp.link))
     links;
-  let classes =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) hop_classes []
-    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  in
+  let classes = Cisp_util.Tbl.sorted_bindings ~compare:Int.compare hop_classes in
   if Cisp_util.Telemetry.enabled () then begin
     Cisp_util.Telemetry.add "capacity.links" (List.length links);
     Cisp_util.Telemetry.add "capacity.radios" !radios

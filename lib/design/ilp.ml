@@ -69,7 +69,9 @@ let formulate ?(strong_linking = false) ?(oracle_pruning = true) (inputs : Input
               Hashtbl.replace nodes a.u ();
               Hashtbl.replace nodes a.v ())
             !mw_arcs;
-          let node_list = Hashtbl.fold (fun k () acc -> k :: acc) nodes [] in
+          (* ascending node order: LP column order must not depend on
+             table iteration order (degenerate ties in the solver) *)
+          let node_list = Cisp_util.Tbl.sorted_keys ~compare:Int.compare nodes in
           let fiber_arcs = ref [] in
           List.iter
             (fun u ->
@@ -128,7 +130,8 @@ let formulate ?(strong_linking = false) ?(oracle_pruning = true) (inputs : Input
     done
   done;
   if not strong_linking then
-    Hashtbl.iter
+    (* ascending link order, for a stable constraint-row order *)
+    Cisp_util.Tbl.iter_sorted ~compare:Int.compare
       (fun l bucket ->
         let count = float_of_int (List.length !bucket) in
         Model.add_constraint m ((-.count, x.(l)) :: !bucket) Model.Le 0.0)

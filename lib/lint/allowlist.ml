@@ -3,6 +3,7 @@ type entry = {
   file : string;
   symbol : string;
   reason : string;
+  lineno : int;
 }
 
 type t = entry list
@@ -32,7 +33,7 @@ let parse_line ~file:src ~lineno line =
           | Some r -> Ok (Some r)
           | None -> Error (Printf.sprintf "%s:%d: unknown rule %S" src lineno rule_s)
       in
-      Result.map (fun rule -> Some { rule; file; symbol; reason }) rule
+      Result.map (fun rule -> Some { rule; file; symbol; reason; lineno }) rule
   | _ ->
       Error
         (Printf.sprintf
@@ -76,3 +77,36 @@ let matches t d = List.exists (fun e -> entry_matches e d) t
 
 let filter t diags =
   List.partition (fun d -> not (matches t d)) diags
+
+let to_string e =
+  Printf.sprintf "%s %s %s%s"
+    (match e.rule with Some r -> Diag.rule_id r | None -> "*")
+    e.file e.symbol
+    (if String.equal e.reason "" then "" else "  # " ^ e.reason)
+
+(* Entries matching none of the diagnostics.  Pass the PRE-suppression
+   diagnostic list: an entry is live exactly when it suppresses
+   something. *)
+let stale t diags =
+  List.filter (fun e -> not (List.exists (entry_matches e) diags)) t
+
+(* Drop the stale entries' lines from the checked-in file, keeping
+   comments, blank lines and every live entry byte-identical. *)
+let prune ~path stale_entries =
+  if stale_entries = [] then Ok 0
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | contents ->
+        let doomed =
+          List.map (fun e -> e.lineno) stale_entries |> List.sort_uniq Int.compare
+        in
+        let lines = String.split_on_char '\n' contents in
+        let kept =
+          List.filteri (fun i _ -> not (List.mem (i + 1) doomed)) lines
+        in
+        let out = String.concat "\n" kept in
+        (match Out_channel.with_open_text path (fun oc ->
+             Out_channel.output_string oc out) with
+        | () -> Ok (List.length doomed)
+        | exception Sys_error msg -> Error msg)

@@ -2,7 +2,7 @@
 
     One entry per line: [RULE FILE SYMBOL  # reason]
 
-    - [RULE] is [L1]..[L5] or [*] for any rule;
+    - [RULE] is [L1]..[L9] or [*] for any rule;
     - [FILE] matches the diagnostic's source path exactly or as a
       path suffix at a ['/'] boundary ([*] for any file);
     - [SYMBOL] is the enclosing value / signature-item name the
@@ -17,6 +17,7 @@ type entry = {
   file : string;
   symbol : string;
   reason : string;
+  lineno : int;  (** 1-based line in the source file, for pruning *)
 }
 
 type t = entry list
@@ -28,3 +29,16 @@ val matches : t -> Diag.t -> bool
 
 val filter : t -> Diag.t list -> Diag.t list * Diag.t list
 (** [(kept, suppressed)]. *)
+
+val to_string : entry -> string
+(** The entry in file syntax, for reporting. *)
+
+val stale : t -> Diag.t list -> entry list
+(** Entries matching none of the given diagnostics.  Pass the
+    {e pre-suppression} list: an entry is live exactly when it
+    suppresses something. *)
+
+val prune : path:string -> entry list -> (int, string) result
+(** Remove the given (stale) entries' lines from the checked-in file,
+    keeping comments, blanks and live entries byte-identical; returns
+    how many lines were dropped. *)

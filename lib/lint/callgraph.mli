@@ -1,0 +1,84 @@
+(** Phase 1 of the interprocedural analysis: a cross-module call
+    graph with per-node direct effects, built in one walk over every
+    loaded [.cmt]/[.cmti].
+
+    Nodes are structure-level bindings ([Top]), let-bound local
+    functions ([Local]) and inline lambdas ([Lambda]); a lambda
+    remembers its {e guard} — the callee it was handed to — so
+    {!Summary} can discount mutations protected by a lock-taking
+    wrapper like [Mutex.protect] or [Telemetry.locked].
+
+    Canonical naming: dune's wrapped-library mangling
+    ([Cisp_util__Pool]) is expanded to [Cisp_util.Pool], unit-local
+    module aliases are chased, and the [Stdlib.] prefix is stripped,
+    so one spelling identifies a definition across compilation
+    units. *)
+
+module SS = Effects.SS
+module SM = Effects.SM
+
+type callee =
+  | Internal of int  (** node id *)
+  | External of string  (** canonical name, not in any loaded unit *)
+
+type nkind = Top | Local | Lambda of { guard : callee option }
+
+(** How a call-site argument relates to the caller's world; used to
+    map a callee's parameter mutations back onto the caller. *)
+type argc =
+  | AGlobal of string  (** module-level state, canonical name *)
+  | AParam of int  (** the caller's own parameter *)
+  | AFreeLocal of string * string
+      (** captured from an enclosing scope: (unique key, name) *)
+  | ALocal  (** bound inside the caller: mutation stays private *)
+  | AOther
+
+type edge = {
+  mutable callee : callee;
+  e_mask : Effects.mask;  (** handler context at the call site *)
+  args : argc array;
+  call_site : Effects.site;
+  mutable damp_mut : bool;
+      (** callee is a lambda whose guard takes a lock: its mutations
+          are protected, do not fold them into the caller *)
+}
+
+type node = {
+  id : int;
+  name : string;  (** canonical for [Top], dotted path otherwise *)
+  symbol : string;  (** enclosing top-level value, for diagnostics *)
+  unit_source : string;
+  def_site : Effects.site;
+  kind : nkind;
+  is_fun : bool;
+  mutable params_idx : int SM.t;
+  mutable binders : SS.t;
+  mutable direct : Effects.t;
+  mutable edges : edge list;
+}
+
+type pool_site = {
+  ps_site : Effects.site;
+  ps_combinator : string;
+  ps_caller : int;
+  mutable ps_targets : int list;
+}
+
+type t = {
+  nodes : node array;
+  pool_sites : pool_site list;  (** sorted by site *)
+  public : SS.t;  (** canonical names exported by some [.cmti] *)
+  intf_units : SS.t;  (** canonical unit names that have an interface *)
+  by_name : int SM.t;  (** canonical [Top] name -> node id *)
+}
+
+val pool_combinators : string list
+val canonical_of_modname : string -> string
+
+val build : Loader.unit_ list -> t
+(** Deterministic in everything but the caller-supplied unit order;
+    feed it {!Loader.load_roots} output (sorted by source) for
+    byte-stable results. *)
+
+val find : t -> string -> node option
+(** Look up a [Top] node by canonical name. *)

@@ -1,6 +1,6 @@
-type rule = L1 | L2 | L3 | L4 | L5 | L6
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
 
-let all_rules = [ L1; L2; L3; L4; L5; L6 ]
+let all_rules = [ L1; L2; L3; L4; L5; L6; L7; L8; L9 ]
 
 let rule_id = function
   | L1 -> "L1"
@@ -9,6 +9,9 @@ let rule_id = function
   | L4 -> "L4"
   | L5 -> "L5"
   | L6 -> "L6"
+  | L7 -> "L7"
+  | L8 -> "L8"
+  | L9 -> "L9"
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -18,6 +21,9 @@ let rule_of_string s =
   | "L4" -> Some L4
   | "L5" -> Some L5
   | "L6" -> Some L6
+  | "L7" -> Some L7
+  | "L8" -> Some L8
+  | "L9" -> Some L9
   | _ -> None
 
 let rule_doc = function
@@ -27,6 +33,9 @@ let rule_doc = function
   | L4 -> "bare float parameter without a unit label or suffix"
   | L5 -> "stdout printing from library code"
   | L6 -> "assert used for data validation in library code"
+  | L7 -> "closure handed to the domain pool transitively mutates unsynchronized shared state"
+  | L8 -> "public API can raise an exception outside the Invalid_argument convention"
+  | L9 -> "ambient nondeterminism read reachable from the design pipeline"
 
 type t = {
   rule : rule;
@@ -67,3 +76,27 @@ let to_string d =
   in
   Printf.sprintf "%s:%d:%d: [%s] %s%s" d.file d.line d.col (rule_id d.rule)
     d.message where
+
+(* Minimal RFC 8259 string escaping; the linter library depends only
+   on compiler-libs, so it cannot reuse Cisp_design.Export. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","symbol":"%s","message":"%s"}|}
+    (json_escape d.file) d.line d.col (rule_id d.rule) (json_escape d.symbol)
+    (json_escape d.message)

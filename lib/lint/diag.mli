@@ -12,9 +12,24 @@
     - L5: no stdout printing from library code.
     - L6: no [assert] for data validation in library code — asserts
       vanish under [-noassert], so inputs must be checked with
-      [invalid_arg].  [assert false] (unreachable marker) is exempt. *)
+      [invalid_arg].  [assert false] (unreachable marker) is exempt.
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6
+    The last three rules consume the interprocedural effect analysis
+    ({!Callgraph}, {!Effects}, {!Summary}):
+
+    - L7: a closure handed to [Cisp_util.Pool.parallel_for] /
+      [parallel_map_array] / [reduce] must not transitively mutate
+      shared state that is neither [Atomic] nor mutex-protected.
+    - L8: a function exported by a [.mli] must not (transitively)
+      raise anything but the documented [Invalid_argument]
+      convention; the diagnostic lands on the public function of the
+      unit where the offending raise originates.
+    - L9: no reads of ambient nondeterminism ([Random], [Sys.time],
+      [Unix.gettimeofday], hash-table iteration order, environment
+      variables) reachable from the design pipeline outside
+      [Cisp_util.Rng]. *)
+
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
 
 val all_rules : rule list
 val rule_id : rule -> string
@@ -40,3 +55,7 @@ val order : t -> t -> int
 
 val to_string : t -> string
 (** ["file:line:col: [L2] message (in `symbol')"]. *)
+
+val to_json : t -> string
+(** One JSON object: [{"file":..,"line":..,"col":..,"rule":..,
+    "symbol":..,"message":..}] with RFC 8259 string escaping. *)

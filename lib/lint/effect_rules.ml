@@ -1,0 +1,178 @@
+(* Phase 2: the three summary-consuming rules.
+
+   - L7 domain-safety: every closure handed to a [Cisp_util.Pool]
+     combinator must not transitively mutate shared state — neither
+     module-level state nor a local captured from an enclosing scope
+     (the lattice already discounts [Atomic] operations, per-slot
+     [Array.set] writes and mutex-protected sections, see {!Effects}
+     and {!Summary}).
+   - L8 exception-escape: a function exported by a [.mli] must not
+     (transitively) raise anything but the repo's documented
+     [Invalid_argument] validation convention.  Blame lands at the
+     origin: a public function is flagged only when the offending
+     raise lives in its own compilation unit, so one deep raise does
+     not indict the whole call chain above it.
+   - L9 nondeterminism-taint: no ambient-nondeterminism read
+     (wall clocks, [Random], environment, hash-table iteration order)
+     may be reachable from the design pipeline outside the seeded
+     [Cisp_util.Rng]. *)
+
+module SM = Effects.SM
+module SS = Effects.SS
+
+type config = {
+  l7 : bool;
+  l8 : bool;
+  l9 : bool;
+  l8_unit_ok : string -> bool;
+      (* is this source file held to the public-raise convention? *)
+  l9_root : Callgraph.node -> bool;  (* pipeline entry points *)
+  l9_site_ok : string -> bool;  (* source files where L9 reads are flagged *)
+  l9_exempt : string -> bool;  (* canonical node names allowed to read *)
+}
+
+let default_l9_exempt name =
+  (* the repo's seeded, splittable PRNG is the one sanctioned
+     randomness source *)
+  String.starts_with ~prefix:"Cisp_util.Rng." name
+
+let generic =
+  {
+    l7 = true;
+    l8 = true;
+    l9 = true;
+    l8_unit_ok = (fun _ -> true);
+    l9_root = (fun _ -> true);
+    l9_site_ok = (fun _ -> true);
+    l9_exempt = default_l9_exempt;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let check_l7 (g : Callgraph.t) (sums : Effects.t array) =
+  List.concat_map
+    (fun (ps : Callgraph.pool_site) ->
+      let caller = g.Callgraph.nodes.(ps.Callgraph.ps_caller) in
+      let combinator =
+        (* "Cisp_util.Pool.parallel_for" -> "Pool.parallel_for" *)
+        match String.index_opt ps.Callgraph.ps_combinator '.' with
+        | Some i ->
+            String.sub ps.Callgraph.ps_combinator (i + 1)
+              (String.length ps.Callgraph.ps_combinator - i - 1)
+        | None -> ps.Callgraph.ps_combinator
+      in
+      List.concat_map
+        (fun tid ->
+          let s = sums.(tid) in
+          let mk what site =
+            Diag.make ~rule:Diag.L7 ~symbol:caller.Callgraph.symbol
+              ~message:
+                (Printf.sprintf
+                   "closure passed to %s mutates shared %s (write at %s)"
+                   combinator what
+                   (Effects.site_to_string site))
+              (Effects.loc_of_site ps.Callgraph.ps_site)
+          in
+          SM.fold
+            (fun name site acc -> mk ("`" ^ name ^ "'") site :: acc)
+            s.Effects.mut_global []
+          @ SM.fold
+              (fun _ (name, site) acc ->
+                mk (Printf.sprintf "captured local `%s'" name) site :: acc)
+              s.Effects.mut_free [])
+        ps.Callgraph.ps_targets)
+    g.Callgraph.pool_sites
+
+let check_l8 cfg (g : Callgraph.t) (sums : Effects.t array) =
+  Array.to_list g.Callgraph.nodes
+  |> List.concat_map (fun (node : Callgraph.node) ->
+         let is_public =
+           (match node.Callgraph.kind with
+           | Callgraph.Top -> true
+           | _ -> false)
+           && SS.mem node.Callgraph.name g.Callgraph.public
+           (* under shadowing (e.g. an outer [solve] wrapping an inner
+              one in a try) only the last binding of the name is the
+              exported one; [by_name] keeps exactly that binding *)
+           && SM.find_opt node.Callgraph.name g.Callgraph.by_name
+              = Some node.Callgraph.id
+           && cfg.l8_unit_ok node.Callgraph.unit_source
+         in
+         if not is_public then []
+         else
+           SM.fold
+             (fun exn site acc ->
+               if
+                 String.equal exn "Invalid_argument"
+                 (* blame at the origin: only flag raises born in this
+                    function's own unit *)
+                 || not (String.equal site.Effects.file node.Callgraph.unit_source)
+               then acc
+               else
+                 Diag.make ~rule:Diag.L8 ~symbol:node.Callgraph.symbol
+                   ~message:
+                     (Printf.sprintf
+                        "public `%s' can raise %s, outside the \
+                         Invalid_argument convention"
+                        node.Callgraph.name exn)
+                   (Effects.loc_of_site site)
+                 :: acc)
+             sums.(node.Callgraph.id).Effects.raises [])
+
+let check_l9 cfg (g : Callgraph.t) =
+  let n = Array.length g.Callgraph.nodes in
+  let via = Array.make n None in
+  let q = Queue.create () in
+  (* multi-source BFS, roots seeded in name order so the "reachable
+     from" witness is deterministic *)
+  Array.to_list g.Callgraph.nodes
+  |> List.filter cfg.l9_root
+  |> List.sort (fun (a : Callgraph.node) b ->
+         String.compare a.Callgraph.name b.Callgraph.name)
+  |> List.iter (fun (r : Callgraph.node) ->
+         if via.(r.Callgraph.id) = None then begin
+           via.(r.Callgraph.id) <- Some r.Callgraph.name;
+           Queue.add r.Callgraph.id q
+         end);
+  let rec drain () =
+    match Queue.take_opt q with
+    | None -> ()
+    | Some i ->
+        List.iter
+          (fun (e : Callgraph.edge) ->
+            match e.Callgraph.callee with
+            | Callgraph.External _ -> ()
+            | Callgraph.Internal j ->
+                if via.(j) = None then begin
+                  via.(j) <- via.(i);
+                  Queue.add j q
+                end)
+          g.Callgraph.nodes.(i).Callgraph.edges;
+        drain ()
+  in
+  drain ();
+  Array.to_list g.Callgraph.nodes
+  |> List.concat_map (fun (node : Callgraph.node) ->
+         match via.(node.Callgraph.id) with
+         | None -> []
+         | Some root ->
+             if cfg.l9_exempt node.Callgraph.name then []
+             else
+               Effects.RS.elements node.Callgraph.direct.Effects.nondet
+               |> List.filter_map (fun (what, site) ->
+                      if not (cfg.l9_site_ok site.Effects.file) then None
+                      else
+                        Some
+                          (Diag.make ~rule:Diag.L9 ~symbol:node.Callgraph.symbol
+                             ~message:
+                               (Printf.sprintf
+                                  "reads ambient nondeterminism (%s); \
+                                   reachable from pipeline entry `%s'"
+                                  what root)
+                             (Effects.loc_of_site site))))
+
+let check cfg (g : Callgraph.t) (r : Summary.result) =
+  let sums = r.Summary.summaries in
+  (if cfg.l7 then check_l7 g sums else [])
+  @ (if cfg.l8 then check_l8 cfg g sums else [])
+  @ if cfg.l9 then check_l9 cfg g else []

@@ -1,0 +1,30 @@
+(** Phase 2: the summary-consuming rules L7 (domain-safety), L8
+    (exception-escape) and L9 (nondeterminism-taint).
+
+    Policies are injected through {!config}; {!generic} checks
+    everything everywhere (the fixture/test mode), while
+    {!Engine.run_repo} narrows L8/L9 to library sources and seeds L9
+    reachability at the design-pipeline entry points. *)
+
+type config = {
+  l7 : bool;
+  l8 : bool;
+  l9 : bool;
+  l8_unit_ok : string -> bool;
+      (** is this source file held to the public-raise convention? *)
+  l9_root : Callgraph.node -> bool;  (** pipeline entry points *)
+  l9_site_ok : string -> bool;
+      (** source files where L9 reads are flagged *)
+  l9_exempt : string -> bool;
+      (** canonical node names allowed to read nondeterminism *)
+}
+
+val default_l9_exempt : string -> bool
+(** [Cisp_util.Rng] — the sanctioned, seeded randomness source. *)
+
+val generic : config
+(** All three rules, all nodes are L9 roots, only the default
+    exemption. *)
+
+val check : config -> Callgraph.t -> Summary.result -> Diag.t list
+(** Unsorted; {!Engine} owns ordering and allowlisting. *)

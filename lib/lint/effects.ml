@@ -1,0 +1,218 @@
+(* Effect vocabulary shared by the interprocedural passes.
+
+   A summary is a point in a finite join-semilattice: maps only grow,
+   witness sites only shrink (towards the smallest (file, line, col)),
+   booleans only flip to [true] — so the fixpoint in {!Summary}
+   terminates on any call graph, cyclic ones included. *)
+
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+module IM = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Witness sites                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type site = { file : string; line : int; col : int }
+
+let site_of_loc (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+  }
+
+let loc_of_site s =
+  let pos =
+    {
+      Lexing.pos_fname = s.file;
+      pos_lnum = s.line;
+      pos_bol = 0;
+      pos_cnum = s.col;
+    }
+  in
+  { Location.loc_start = pos; loc_end = pos; loc_ghost = false }
+
+let compare_site a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let min_site a b = if compare_site a b <= 0 then a else b
+let site_to_string s = Printf.sprintf "%s:%d" s.file s.line
+
+module Read_site = struct
+  type t = string * site (* what is read, where *)
+
+  let compare (da, sa) (db, sb) =
+    let c = compare_site sa sb in
+    if c <> 0 then c else String.compare da db
+end
+
+module RS = Set.Make (Read_site)
+
+(* ------------------------------------------------------------------ *)
+(* Handler masks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type mask = Catch_all | Catch of SS.t
+
+let mask_none = Catch SS.empty
+
+let compose_mask a b =
+  match (a, b) with
+  | Catch_all, _ | _, Catch_all -> Catch_all
+  | Catch x, Catch y -> Catch (SS.union x y)
+
+let mask_catches mask name =
+  match mask with Catch_all -> true | Catch names -> SS.mem name names
+
+let mask_raises mask raises =
+  match mask with
+  | Catch_all -> SM.empty
+  | Catch names -> SM.filter (fun n _ -> not (SS.mem n names)) raises
+
+(* ------------------------------------------------------------------ *)
+(* The effect lattice                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  raises : site SM.t;
+      (* exception constructor name (bare, as handler patterns see it)
+         -> smallest witness site *)
+  nondet : RS.t; (* ambient-nondeterminism reads, each with its site *)
+  io : bool;
+  locks : bool; (* takes a mutex DIRECTLY — never propagated *)
+  mut_global : site SM.t; (* canonical name of module-level state -> witness *)
+  mut_param : site IM.t; (* 0-based own-parameter index -> witness *)
+  mut_free : (string * site) SM.t;
+      (* free local captured from an enclosing scope, keyed by
+         [Ident.unique_name] -> (display name, witness) *)
+}
+
+let bottom =
+  {
+    raises = SM.empty;
+    nondet = RS.empty;
+    io = false;
+    locks = false;
+    mut_global = SM.empty;
+    mut_param = IM.empty;
+    mut_free = SM.empty;
+  }
+
+let min_w _ a b = Some (min_site a b)
+
+let union a b =
+  {
+    raises = SM.union min_w a.raises b.raises;
+    nondet = RS.union a.nondet b.nondet;
+    io = a.io || b.io;
+    locks = a.locks || b.locks;
+    mut_global = SM.union min_w a.mut_global b.mut_global;
+    mut_param = IM.union min_w a.mut_param b.mut_param;
+    mut_free =
+      SM.union
+        (fun _ (na, xa) (_, xb) -> Some (na, min_site xa xb))
+        a.mut_free b.mut_free;
+  }
+
+let site_eq a b = compare_site a b = 0
+
+let equal a b =
+  SM.equal site_eq a.raises b.raises
+  && RS.equal a.nondet b.nondet
+  && Bool.equal a.io b.io && Bool.equal a.locks b.locks
+  && SM.equal site_eq a.mut_global b.mut_global
+  && IM.equal site_eq a.mut_param b.mut_param
+  && SM.equal
+       (fun (na, xa) (nb, xb) -> String.equal na nb && site_eq xa xb)
+       a.mut_free b.mut_free
+
+let has_mut t =
+  not (SM.is_empty t.mut_global && IM.is_empty t.mut_param && SM.is_empty t.mut_free)
+
+let drop_mut t =
+  { t with mut_global = SM.empty; mut_param = IM.empty; mut_free = SM.empty }
+
+(* ------------------------------------------------------------------ *)
+(* External effect tables                                              *)
+(*                                                                     *)
+(* Names are post-canonicalization: the [Stdlib.] prefix is stripped   *)
+(* and dune's [Lib__Module] mangling is expanded to [Lib.Module], so   *)
+(* the tables read like source code.  Unknown externals contribute     *)
+(* nothing (the analysis is deliberately optimistic about code it      *)
+(* cannot see; the repo's own code is all visible).                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Partial stdlib functions and the (bare) exception they raise. *)
+let ext_raises = function
+  | "List.hd" | "List.tl" | "List.nth" | "int_of_string" | "float_of_string"
+  | "failwith" ->
+      Some "Failure"
+  | "List.find" | "List.assoc" | "List.assq" | "Hashtbl.find" | "String.index"
+  | "String.rindex" | "Sys.getenv" | "Unix.getenv" ->
+      Some "Not_found"
+  | "Option.get" | "bool_of_string" | "invalid_arg" | "Char.chr" ->
+      Some "Invalid_argument"
+  | "Stack.pop" | "Stack.top" | "Queue.pop" | "Queue.take" | "Queue.peek" ->
+      Some "Empty"
+  | _ -> None
+
+(* Which positional argument an external call mutates.  [Array.set] /
+   [Bytes.set] (and the [a.(i) <- v] sugar that compiles to them) are
+   deliberately absent: writing a slot you own is the pool's documented
+   per-index ownership convention, and flagging it would outlaw every
+   legitimate [parallel_for] fill loop. *)
+let ext_mut_arg name =
+  if String.starts_with ~prefix:"Buffer.add" name then Some 0
+  else
+    match name with
+    | ":=" | "incr" | "decr" | "Hashtbl.add" | "Hashtbl.replace"
+    | "Hashtbl.remove" | "Hashtbl.reset" | "Hashtbl.clear" | "Array.fill"
+    | "Bytes.fill" | "Queue.clear" | "Buffer.clear" | "Buffer.reset"
+    | "Buffer.truncate" ->
+        Some 0
+    | "Hashtbl.filter_map_inplace" | "Queue.add" | "Queue.push" | "Stack.push"
+    | "Array.sort" | "Array.stable_sort" | "Array.fast_sort" ->
+        Some 1
+    | "Array.blit" | "Bytes.blit" -> Some 2
+    | _ -> None
+
+(* Reads of ambient nondeterminism: wall clocks, PRNG singletons,
+   environment, domain identity, and hash-table iteration order (the
+   bucket layout depends on insertion history, so [iter]/[fold]/
+   [to_seq] orders are not a function of the table's contents). *)
+let ext_nondet name =
+  if String.starts_with ~prefix:"Random." name then Some name
+  else if String.starts_with ~prefix:"Hashtbl.to_seq" name then
+    Some (name ^ " iteration order")
+  else
+    match name with
+    | "Sys.time" | "Unix.time" | "Unix.gettimeofday" | "Sys.getenv"
+    | "Sys.getenv_opt" | "Unix.getenv" | "Domain.self"
+    | "Domain.recommended_domain_count" ->
+        Some name
+    | "Hashtbl.iter" | "Hashtbl.fold" -> Some (name ^ " iteration order")
+    | _ -> None
+
+let ext_locks = function
+  | "Mutex.lock" | "Mutex.try_lock" | "Mutex.protect" -> true
+  | _ -> false
+
+let ext_io name =
+  String.starts_with ~prefix:"print_" name
+  || String.starts_with ~prefix:"prerr_" name
+  || String.starts_with ~prefix:"output" name
+  || String.starts_with ~prefix:"In_channel." name
+  || String.starts_with ~prefix:"Out_channel." name
+  ||
+  match name with
+  | "Printf.printf" | "Printf.eprintf" | "Printf.fprintf" | "Format.printf"
+  | "Format.eprintf" | "Format.fprintf" | "print_newline" | "read_line"
+  | "read_int" | "read_int_opt" ->
+      true
+  | _ -> false

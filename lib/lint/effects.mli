@@ -1,0 +1,85 @@
+(** Effect vocabulary for the interprocedural passes: witness sites,
+    exception-handler masks, the per-function effect lattice, and the
+    tables describing what external (stdlib/unix) calls do.
+
+    A summary is a point in a finite join-semilattice — maps only
+    grow, witness sites only shrink towards the smallest
+    (file, line, col), booleans only flip to [true] — so the fixpoint
+    in {!Summary} terminates on any call graph, cyclic ones
+    included. *)
+
+module SS : Set.S with type elt = string
+module SM : Map.S with type key = string
+module IM : Map.S with type key = int
+
+(** {2 Witness sites} *)
+
+type site = { file : string; line : int; col : int }
+
+val site_of_loc : Location.t -> site
+val loc_of_site : site -> Location.t
+(** A ghost-free single-point location, good enough for {!Diag.make}. *)
+
+val compare_site : site -> site -> int
+val min_site : site -> site -> site
+val site_to_string : site -> string
+(** ["file:line"]. *)
+
+module RS : Set.S with type elt = string * site
+(** Nondeterminism reads: (what is read, where). *)
+
+(** {2 Exception-handler masks}
+
+    What an enclosing [try]/[match ... with exception] context
+    catches; applied to direct raises at their site and carried on
+    call edges. *)
+
+type mask =
+  | Catch_all  (** a wildcard / variable handler pattern *)
+  | Catch of SS.t  (** these constructor names only *)
+
+val mask_none : mask
+val compose_mask : mask -> mask -> mask
+val mask_catches : mask -> string -> bool
+val mask_raises : mask -> site SM.t -> site SM.t
+(** Remove the raises the mask catches. *)
+
+(** {2 The effect lattice} *)
+
+type t = {
+  raises : site SM.t;
+      (** bare exception constructor name -> smallest witness *)
+  nondet : RS.t;  (** ambient-nondeterminism read sites *)
+  io : bool;
+  locks : bool;
+      (** takes a mutex {e directly}; never propagated through calls *)
+  mut_global : site SM.t;
+      (** canonical name of mutated module-level state -> witness *)
+  mut_param : site IM.t;  (** mutated own-parameter index -> witness *)
+  mut_free : (string * site) SM.t;
+      (** mutated free local captured from an enclosing scope, keyed
+          by [Ident.unique_name] -> (display name, witness) *)
+}
+
+val bottom : t
+val union : t -> t -> t
+val equal : t -> t -> bool
+val has_mut : t -> bool
+val drop_mut : t -> t
+
+(** {2 External effect tables}
+
+    Keyed by canonical name ([Stdlib.] stripped, [Lib__Module]
+    mangling expanded).  Unknown externals contribute nothing. *)
+
+val ext_raises : string -> string option
+val ext_mut_arg : string -> int option
+(** Mutated positional argument index.  [Array.set]/[Bytes.set] are
+    deliberately exempt: per-slot writes are the pool's documented
+    index-ownership convention. *)
+
+val ext_nondet : string -> string option
+(** [Some description] when the call reads ambient nondeterminism. *)
+
+val ext_locks : string -> bool
+val ext_io : string -> bool

@@ -1,24 +1,36 @@
 type report = {
   diagnostics : Diag.t list;
   suppressed : Diag.t list;
+  stale : Allowlist.entry list;
   errors : string list;
   units_checked : int;
 }
 
-let empty_report = { diagnostics = []; suppressed = []; errors = []; units_checked = 0 }
+let empty_report =
+  { diagnostics = []; suppressed = []; stale = []; errors = []; units_checked = 0 }
 
 let merge a b =
   {
-    diagnostics = a.diagnostics @ b.diagnostics;
-    suppressed = a.suppressed @ b.suppressed;
+    diagnostics = List.sort_uniq Diag.order (a.diagnostics @ b.diagnostics);
+    suppressed = List.sort_uniq Diag.order (a.suppressed @ b.suppressed);
+    stale = a.stale @ b.stale;
     errors = a.errors @ b.errors;
     units_checked = a.units_checked + b.units_checked;
   }
 
-let finalize ~allowlist diags =
-  let diags = List.sort_uniq Diag.order diags in
-  let kept, suppressed = Allowlist.filter allowlist diags in
-  (kept, suppressed)
+(* ---------------- pass manager ---------------- *)
+
+(* A lint run is a list of passes over one load of the tree:
+   per-expression rules confined to a unit at a time (L1-L6), and the
+   interprocedural pass (L7-L9) that needs the whole call graph at
+   once.  Each expression pass carries its own unit filter so the
+   repo policy can hold different parts of the tree to different
+   rules; the interprocedural config carries its policy inside. *)
+type pass =
+  | Expr of { rules : Diag.rule list; select : Loader.unit_ -> bool }
+  | Interprocedural of Effect_rules.config
+
+let is_ipa_rule = function Diag.L7 | Diag.L8 | Diag.L9 -> true | _ -> false
 
 let check_units ~rules units =
   List.concat_map
@@ -28,50 +40,127 @@ let check_units ~rules units =
       | Loader.Intf s -> Rules.check_intf ~rules ~source:u.source s)
     units
 
+let run_pass units = function
+  | Expr { rules = []; _ } -> []
+  | Expr { rules; select } -> check_units ~rules (List.filter select units)
+  | Interprocedural cfg
+    when cfg.Effect_rules.l7 || cfg.Effect_rules.l8 || cfg.Effect_rules.l9 ->
+      let graph = Callgraph.build units in
+      let summaries = Summary.compute graph in
+      Effect_rules.check cfg graph summaries
+  | Interprocedural _ -> []
+
+(* Diagnostics are sorted by (file, line, col, rule) and deduplicated
+   before the allowlist partitions them, so output is byte-stable no
+   matter in which order the [.cmt] files were discovered or the
+   passes emitted. *)
+let finalize ~allowlist diags =
+  let diags = List.sort_uniq Diag.order diags in
+  let kept, suppressed = Allowlist.filter allowlist diags in
+  let stale = Allowlist.stale allowlist diags in
+  (kept, suppressed, stale)
+
+let run_passes ~allowlist units passes =
+  let diagnostics, suppressed, stale =
+    finalize ~allowlist (List.concat_map (run_pass units) passes)
+  in
+  (diagnostics, suppressed, stale)
+
 let run ?(allowlist = Allowlist.empty) ~rules roots =
   let units, errors = Loader.load_roots roots in
-  let diagnostics, suppressed = finalize ~allowlist (check_units ~rules units) in
-  { diagnostics; suppressed; errors; units_checked = List.length units }
+  let expr_rules = List.filter (fun r -> not (is_ipa_rule r)) rules in
+  let on r = List.mem r rules in
+  let cfg =
+    {
+      Effect_rules.generic with
+      Effect_rules.l7 = on Diag.L7;
+      l8 = on Diag.L8;
+      l9 = on Diag.L9;
+    }
+  in
+  let passes =
+    [
+      Expr { rules = expr_rules; select = (fun _ -> true) };
+      Interprocedural cfg;
+    ]
+  in
+  let diagnostics, suppressed, stale = run_passes ~allowlist units passes in
+  { diagnostics; suppressed; stale; errors; units_checked = List.length units }
 
 (* ---------------- repo policy ---------------- *)
 
 let lib_rules = [ Diag.L1; Diag.L2; Diag.L3; Diag.L5; Diag.L6 ]
 let exe_rules = [ Diag.L1; Diag.L3 ]
 
+(* match the directory anywhere in the path so it works from any
+   build root *)
+let in_dir d source =
+  let ld = String.length d and ls = String.length source in
+  let rec at i =
+    i + ld <= ls && (String.equal (String.sub source i ld) d || at (i + 1))
+  in
+  at 0
+
 let unit_labelled_dirs =
   [ "lib/geo/"; "lib/rf/"; "lib/terrain/"; "lib/fiber/"; "lib/design/" ]
 
-let in_unit_labelled_dir source =
-  List.exists
-    (fun d ->
-      (* match anywhere in the path so it works from any build root *)
-      let ld = String.length d and ls = String.length source in
-      let rec at i = i + ld <= ls && (String.equal (String.sub source i ld) d || at (i + 1)) in
-      at 0)
-    unit_labelled_dirs
+let in_unit_labelled_dir source = List.exists (fun d -> in_dir d source) unit_labelled_dirs
+let in_lib source = in_dir "lib/" source
+
+(* L9 reachability is seeded at the design pipeline: everything the
+   end-to-end topology/capacity/weather run can call must draw its
+   randomness from the seeded [Cisp_util.Rng]. *)
+let pipeline_prefixes =
+  [
+    "Cisp.";
+    "Cisp_design.";
+    "Cisp_towers.";
+    "Cisp_graph.";
+    "Cisp_weather.";
+    "Cisp_fiber.";
+  ]
+
+let repo_ipa_config =
+  {
+    Effect_rules.l7 = true;
+    l8 = true;
+    l9 = true;
+    (* hold library code to the conventions; executables may catch and
+       report however they like *)
+    l8_unit_ok = in_lib;
+    l9_root =
+      (fun (n : Callgraph.node) ->
+        List.exists
+          (fun p -> String.starts_with ~prefix:p n.Callgraph.name)
+          pipeline_prefixes);
+    l9_site_ok = in_lib;
+    l9_exempt = Effect_rules.default_l9_exempt;
+  }
 
 let run_repo ?(allowlist = Allowlist.empty) ~root () =
   let ( / ) = Filename.concat in
   let existing dirs = List.filter Sys.file_exists dirs in
-  let lib_units, lib_errors = Loader.load_roots (existing [ root / "lib" ]) in
-  let exe_units, exe_errors =
-    Loader.load_roots (existing [ root / "bin"; root / "bench"; root / "examples" ])
+  let units, errors =
+    Loader.load_roots
+      (existing [ root / "lib"; root / "bin"; root / "bench"; root / "examples" ])
   in
-  let impl_diags = check_units ~rules:lib_rules lib_units in
-  let l4_diags =
-    check_units ~rules:[ Diag.L4 ]
-      (List.filter (fun (u : Loader.unit_) -> in_unit_labelled_dir u.source) lib_units)
+  let passes =
+    [
+      Expr { rules = lib_rules; select = (fun u -> in_lib u.Loader.source) };
+      Expr
+        {
+          rules = [ Diag.L4 ];
+          select = (fun u -> in_unit_labelled_dir u.Loader.source);
+        };
+      Expr
+        { rules = exe_rules; select = (fun u -> not (in_lib u.Loader.source)) };
+      (* the interprocedural pass sees the whole tree at once:
+         executables feed closures to the same pool as the library *)
+      Interprocedural repo_ipa_config;
+    ]
   in
-  let exe_diags = check_units ~rules:exe_rules exe_units in
-  let diagnostics, suppressed =
-    finalize ~allowlist (impl_diags @ l4_diags @ exe_diags)
-  in
-  {
-    diagnostics;
-    suppressed;
-    errors = lib_errors @ exe_errors;
-    units_checked = List.length lib_units + List.length exe_units;
-  }
+  let diagnostics, suppressed, stale = run_passes ~allowlist units passes in
+  { diagnostics; suppressed; stale; errors; units_checked = List.length units }
 
 let exit_code report =
   if report.diagnostics <> [] then 1

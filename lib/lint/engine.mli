@@ -1,30 +1,50 @@
-(** Orchestration: load annotation files, run rules, apply the
-    allowlist, decide the exit code. *)
+(** Orchestration: load annotation files, run the pass list, apply
+    the allowlist, decide the exit code.
+
+    A run is a list of {!pass}es over one load of the tree: the
+    per-expression rules L1-L6 (a unit at a time, each pass with its
+    own unit filter) and the interprocedural pass L7-L9 (call graph +
+    effect summaries over every loaded unit at once, see
+    {!Callgraph}/{!Summary}/{!Effect_rules}). *)
 
 type report = {
-  diagnostics : Diag.t list;  (** violations, sorted, allowlist applied *)
-  suppressed : Diag.t list;   (** matched by the allowlist *)
-  errors : string list;       (** unreadable annotation files etc. *)
+  diagnostics : Diag.t list;
+      (** violations, sorted by (file, line, col, rule) and
+          deduplicated — byte-stable regardless of [.cmt] discovery
+          order — with the allowlist applied *)
+  suppressed : Diag.t list;  (** matched by the allowlist *)
+  stale : Allowlist.entry list;
+      (** allowlist entries that matched no diagnostic this run *)
+  errors : string list;  (** unreadable annotation files etc. *)
   units_checked : int;
 }
 
 val empty_report : report
 val merge : report -> report -> report
 
+type pass =
+  | Expr of { rules : Diag.rule list; select : Loader.unit_ -> bool }
+  | Interprocedural of Effect_rules.config
+
+val run_pass : Loader.unit_ list -> pass -> Diag.t list
+(** One pass, unsorted diagnostics; exposed for tests. *)
+
 val run :
   ?allowlist:Allowlist.t -> rules:Diag.rule list -> string list -> report
 (** [run ~rules roots] lints every [.cmt]/[.cmti] under [roots] with
-    the given rules (expression rules apply to implementations, L4 to
-    interfaces). *)
+    the given rules: expression rules on implementations, L4 on
+    interfaces, and — when any of L7/L8/L9 is requested — the
+    interprocedural pass with the permissive {!Effect_rules.generic}
+    policy (every node an L9 root). *)
 
 val run_repo : ?allowlist:Allowlist.t -> root:string -> unit -> report
 (** The checked-in repo policy, relative to [root]:
-    L1/L2/L3/L5 on [lib/] implementations; L4 on the interfaces of the
-    unit-heavy sublibraries ([lib/geo], [lib/rf], [lib/terrain],
+    L1/L2/L3/L5/L6 on [lib/] implementations; L4 on the interfaces of
+    the unit-heavy sublibraries ([lib/geo], [lib/rf], [lib/terrain],
     [lib/fiber], [lib/design]); L1/L3 on [bin/], [bench/] and
-    [examples/] (executables may print and may use partial functions
-    at the top level, but must not corrupt units or duplicate
-    constants). *)
+    [examples/]; the interprocedural pass over the whole tree with
+    L7 everywhere, L8 on library units, and L9 seeded at the design
+    pipeline entry points with reads flagged in library sources. *)
 
 val exit_code : report -> int
 (** 0 clean, 1 violations, 2 no violations but load errors. *)

@@ -5,6 +5,7 @@ type kind =
 type unit_ = {
   source : string;
   cmt_path : string;
+  modname : string;
   kind : kind;
 }
 
@@ -49,9 +50,12 @@ let load_file cmt_path =
         | Some s -> s
         | None -> cmt_path
       in
+      let modname = infos.Cmt_format.cmt_modname in
       match infos.Cmt_format.cmt_annots with
-      | Cmt_format.Implementation s -> Ok (Some { source; cmt_path; kind = Impl s })
-      | Cmt_format.Interface s -> Ok (Some { source; cmt_path; kind = Intf s })
+      | Cmt_format.Implementation s ->
+          Ok (Some { source; cmt_path; modname; kind = Impl s })
+      | Cmt_format.Interface s ->
+          Ok (Some { source; cmt_path; modname; kind = Intf s })
       | _ -> Ok None)
   | exception Cmt_format.Error (Cmt_format.Not_a_typedtree msg) ->
       Error (Printf.sprintf "%s: not a typedtree: %s" cmt_path msg)

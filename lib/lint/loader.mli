@@ -11,6 +11,9 @@ type kind =
 type unit_ = {
   source : string;    (** source path recorded at compile time *)
   cmt_path : string;
+  modname : string;
+      (** compilation-unit module name, already mangled by dune's
+          wrapping ([Cisp_geo__Grid] for [lib/geo/grid.ml]) *)
   kind : kind;
 }
 

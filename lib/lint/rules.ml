@@ -186,15 +186,17 @@ let check_impl ~rules ~source structure =
   let has r = List.mem r rules in
   let check_ident (e : Typedtree.expression) path =
     let name = normalize_ident path in
-    (if has Diag.L1 && List.mem_assoc name poly_compare_fns then
-       match first_arrow_arg e.exp_type with
-       | Some arg when contains_float arg ->
-           emit Diag.L1 e.exp_loc
-             (Printf.sprintf
-                "polymorphic `%s' instantiated at float-bearing type `%s'; use %s"
-                name (type_to_string arg)
-                (List.assoc name poly_compare_fns))
-       | _ -> ());
+    (if has Diag.L1 then
+       match List.assoc_opt name poly_compare_fns with
+       | None -> ()
+       | Some replacement -> (
+           match first_arrow_arg e.exp_type with
+           | Some arg when contains_float arg ->
+               emit Diag.L1 e.exp_loc
+                 (Printf.sprintf
+                    "polymorphic `%s' instantiated at float-bearing type `%s'; use %s"
+                    name (type_to_string arg) replacement)
+           | _ -> ()));
     (if has Diag.L2 then
        match List.assoc_opt name partial_fns with
        | Some hint ->

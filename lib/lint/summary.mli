@@ -1,0 +1,23 @@
+(** Phase 1b: per-node effect summaries, propagated over the call
+    graph to a fixpoint.
+
+    Monotone round-robin sweeps over a finite lattice: terminates on
+    any graph (cyclic call chains included) with an order-independent
+    result.  Two documented damping conventions (DESIGN.md §7c):
+    a node that takes a mutex directly drops the mutations it
+    performs or inherits ({e lock-owner damping}), and a lambda
+    handed to a lock-taking callee does not leak its mutations into
+    the function that merely creates it ({e guard damping}). *)
+
+type result = {
+  summaries : Effects.t array;  (** indexed by {!Callgraph.node} id *)
+  rounds : int;  (** sweeps until stable (>= 1); exposed for tests *)
+}
+
+val propagate : Callgraph.node -> Callgraph.edge -> Effects.t -> Effects.t
+(** Effects the caller inherits from one callee summary through one
+    edge: raises filtered by the edge's handler mask, parameter
+    mutations translated through the argument classification, free
+    captures kept only while they stay free.  Exposed for tests. *)
+
+val compute : Callgraph.t -> result

@@ -31,8 +31,13 @@ let apply ?(config = default_config) towers =
       | None -> Hashtbl.add cells (ci, cj) (ref [ t ]))
     eligible;
   let rng = Rng.create config.sample_seed in
+  (* Cells must be visited in a fixed order: [rng] is consumed as we
+     go, so hash-order iteration would tie the surviving towers to the
+     table's insertion history. *)
   let out =
-    Hashtbl.fold
+    Cisp_util.Tbl.fold_sorted
+      ~compare:(fun (ai, aj) (bi, bj) ->
+        match Int.compare ai bi with 0 -> Int.compare aj bj | c -> c)
       (fun _ bucket acc ->
         let ts = Array.of_list !bucket in
         if Array.length ts <= config.max_per_cell then Array.to_list ts @ acc

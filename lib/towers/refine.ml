@@ -57,7 +57,9 @@ let create ~hops ~src ~dst ~model =
   Array.iteri (fun k reg -> Hashtbl.replace node_of (Hops.tower_node hops reg) (k + 2)) sub_tower;
   (* Pull the relevant edges out of the full hop graph once. *)
   let edges = ref [] in
-  Hashtbl.iter
+  (* fixed node order so the subgraph's edge order (and any
+     equal-length tie-breaks downstream) is reproducible *)
+  Cisp_util.Tbl.iter_sorted ~compare:Int.compare
     (fun old_node sub_node ->
       Graph.iter_succ hops.Hops.graph old_node (fun e ->
           match Hashtbl.find_opt node_of e.Graph.dst with
@@ -135,8 +137,10 @@ let sample_paths ?(samples = 200) t =
       | Some d' when d' <= d -> ()
       | _ -> Hashtbl.replace found path d)
   done;
-  Hashtbl.fold (fun path d acc -> (d, path) :: acc) found []
-  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+  (* equal-length paths tie-break on the path itself, not table order *)
+  Cisp_util.Tbl.sorted_bindings found
+  |> List.map (fun (path, d) -> (d, path))
+  |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
 
 type stats = {
   viability : float;

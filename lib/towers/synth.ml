@@ -133,7 +133,12 @@ let generate ?(config = default_config) ~dem ~sites () =
         Hashtbl.replace wanted key ()
       done
     done;
-    Hashtbl.fold
+    (* [rng] is consumed per corridor, so corridors must come in a
+       fixed order — hash order would tie tower placement to the
+       table's insertion history. *)
+    Cisp_util.Tbl.fold_sorted
+      ~compare:(fun (ai, aj) (bi, bj) ->
+        match Int.compare ai bi with 0 -> Int.compare aj bj | c -> c)
       (fun (i, j) () acc -> corridor_towers config rng dem cities.(i) cities.(j) :: acc)
       wanted []
     |> List.concat

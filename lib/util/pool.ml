@@ -217,6 +217,11 @@ let env_jobs () =
     | Some k when k >= 1 -> Some k
     | Some _ | None -> None)
 
+(* The default pool is process-global state, and [get] is reachable
+   from inside worker closures (nested parallelism, e.g.
+   [Topology.distances_incremental]), so creation/resize must not race
+   a concurrent [get] in another domain. *)
+let default_lock = Mutex.create ()
 let override = ref None
 let instance = ref None
 
@@ -228,26 +233,29 @@ let default_jobs () =
     | Some k -> k
     | None -> max 1 (Domain.recommended_domain_count ()))
 
-let set_default_jobs k = override := Some (max 1 k)
+let set_default_jobs k =
+  Mutex.protect default_lock (fun () -> override := Some (max 1 k))
 
 let get () =
-  let want = default_jobs () in
-  match !instance with
-  | Some pool when pool.width = want && not pool.stopped -> pool
-  | Some pool ->
-    shutdown pool;
-    let fresh = create ~jobs:want in
-    instance := Some fresh;
-    fresh
-  | None ->
-    let fresh = create ~jobs:want in
-    instance := Some fresh;
-    fresh
+  Mutex.protect default_lock (fun () ->
+      let want = default_jobs () in
+      match !instance with
+      | Some pool when pool.width = want && not pool.stopped -> pool
+      | Some pool ->
+        shutdown pool;
+        let fresh = create ~jobs:want in
+        instance := Some fresh;
+        fresh
+      | None ->
+        let fresh = create ~jobs:want in
+        instance := Some fresh;
+        fresh)
 
 let with_default_jobs k f =
-  let saved = !override in
+  let saved = Mutex.protect default_lock (fun () -> !override) in
   set_default_jobs k;
-  Fun.protect ~finally:(fun () -> override := saved) f
+  Fun.protect ~finally:(fun () ->
+      Mutex.protect default_lock (fun () -> override := saved)) f
 
 (* Worker domains block on [work] between jobs; join them at exit so
    the runtime shuts down cleanly. *)

@@ -1,0 +1,20 @@
+(* Deterministic views of hash tables.
+
+   [Hashtbl] iteration order is a function of hashing and insertion
+   history, not of the data — it shifts whenever a table resizes or an
+   insertion is reordered, and the lint's L9 rule forbids it from
+   reaching pipeline results.  This module is the one sanctioned
+   traversal: the raw fold below is order-erased by the sort before
+   anything escapes (see lint.allowlist). *)
+
+let sorted_bindings ?(compare = Stdlib.compare) tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+
+let sorted_keys ?compare tbl = List.map fst (sorted_bindings ?compare tbl)
+
+let iter_sorted ?compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare tbl)
+
+let fold_sorted ?compare f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ?compare tbl)

@@ -1,0 +1,30 @@
+(** Deterministic views of hash tables.
+
+    [Hashtbl]'s own iteration order depends on hashing and insertion
+    history, so it may not feed pipeline results (lint rule L9).
+    These traversals visit bindings in ascending key order instead;
+    they are the sanctioned way to walk a table whose contents
+    escape.
+
+    [compare] defaults to the polymorphic {!Stdlib.compare} — pass an
+    explicit comparison for keys where that is wrong (floats, cyclic
+    or functional keys).
+
+    With duplicate keys (tables built with [Hashtbl.add] rather than
+    [replace]) all bindings are visited; duplicates of a key keep
+    their most-recent-first [Hashtbl] order. *)
+
+val sorted_bindings :
+  ?compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+
+val sorted_keys : ?compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+
+val iter_sorted :
+  ?compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+
+val fold_sorted :
+  ?compare:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc

@@ -1,0 +1,16 @@
+(* L7: closures handed to the pool must not mutate shared state. *)
+let total = ref 0
+
+let direct pool =
+  Cisp_util.Pool.parallel_for pool ~n:8 (fun i -> total := !total + i)
+
+let indirect pool =
+  Cisp_util.Pool.parallel_for pool ~n:8 (fun i -> Bad_l7_helper.record i)
+
+let captured pool =
+  let acc = ref 0 in
+  Cisp_util.Pool.parallel_for pool ~n:8 (fun i -> acc := !acc + i);
+  !acc
+
+let clean pool arr =
+  Cisp_util.Pool.parallel_map_array pool (fun x -> (x * 2 : int)) arr

@@ -1,0 +1,3 @@
+(* Cross-module leg of the bad_l7 fixture. *)
+let hits = ref 0
+let record n = hits := !hits + n

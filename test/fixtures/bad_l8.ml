@@ -1,0 +1,5 @@
+(* L8: public functions may raise only Invalid_argument. *)
+let lookup tbl k = List.assoc k tbl
+let boom () = if true then failwith "boom" else 0
+let checked n = if n < 0 then invalid_arg "checked" else n
+let caught tbl k = try List.assoc k tbl with Not_found -> 0

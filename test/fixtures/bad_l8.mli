@@ -1,0 +1,4 @@
+val lookup : (string * int) list -> string -> int
+val boom : unit -> int
+val checked : int -> int
+val caught : (string * int) list -> string -> int

@@ -1,0 +1,6 @@
+(* L9: ambient nondeterminism reads, one per class. *)
+let wall_clock () = Unix.gettimeofday ()
+let entropy () = Random.bits ()
+let from_env () = Sys.getenv_opt "CISP_FIXTURE"
+let table_order tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+let pure x = x + 1

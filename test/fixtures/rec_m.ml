@@ -1,0 +1,16 @@
+(* Call-graph shape fixture: mutually recursive modules and a
+   let-rec cycle, exercised by the fixpoint tests. *)
+module rec Even : sig
+  val check : int -> bool
+end = struct
+  let check n = if n = 0 then true else Odd.check (n - 1)
+end
+
+and Odd : sig
+  val check : int -> bool
+end = struct
+  let check n = if n = 0 then failwith "odd zero" else Even.check (n - 1)
+end
+
+let rec ping n = if n <= 0 then 0 else pong (n - 1)
+and pong n = if n <= 0 then 1 else ping (n - 1)

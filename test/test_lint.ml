@@ -174,6 +174,161 @@ let test_protected_constants () =
   Alcotest.(check bool) "other literals pass" false (protected 300000.0);
   Alcotest.(check bool) "units.ml is exempt" true (Rules.is_units_source "lib/util/units.ml")
 
+(* ---------------- interprocedural: L7-L9 ---------------- *)
+
+module Callgraph = Cisp_linter.Callgraph
+module Summary = Cisp_linter.Summary
+module Effects = Cisp_linter.Effects
+module Loader = Cisp_linter.Loader
+
+let contains s sub =
+  let ls = String.length s and lu = String.length sub in
+  let rec at i =
+    i + lu <= ls && (String.equal (String.sub s i lu) sub || at (i + 1))
+  in
+  at 0
+
+let message ~rule ~file ~line =
+  match
+    List.find_opt
+      (fun (d : Diag.t) -> d.rule = rule && in_file file d && d.line = line)
+      (diags ())
+  with
+  | Some d -> d.Diag.message
+  | None -> "<missing>"
+
+let test_l7_positive () =
+  (* direct global, cross-module global, captured local *)
+  check_hit ~rule:Diag.L7 ~file:"bad_l7.ml" ~line:5;
+  check_hit ~rule:Diag.L7 ~file:"bad_l7.ml" ~line:8;
+  check_hit ~rule:Diag.L7 ~file:"bad_l7.ml" ~line:12;
+  (* the indirect case must name the helper's state and its write
+     site: one level of cross-module indirection *)
+  let m = message ~rule:Diag.L7 ~file:"bad_l7.ml" ~line:8 in
+  Alcotest.(check bool) "names the helper ref" true
+    (contains m "Bad_l7_helper.hits");
+  Alcotest.(check bool) "points at the write site" true
+    (contains m "bad_l7_helper.ml:3");
+  let m' = message ~rule:Diag.L7 ~file:"bad_l7.ml" ~line:12 in
+  Alcotest.(check bool) "captured local named" true (contains m' "acc")
+
+let test_l7_negative () =
+  Alcotest.(check int) "exactly the three seeded hits" 3
+    (count ~rule:Diag.L7 ~file:"bad_l7.ml");
+  Alcotest.(check int) "pure map closure is silent" 0
+    (count ~rule:Diag.L7 ~file:"good.ml")
+
+let test_l8_positive () =
+  check_hit ~rule:Diag.L8 ~file:"bad_l8.ml" ~line:2;
+  check_hit ~rule:Diag.L8 ~file:"bad_l8.ml" ~line:3;
+  Alcotest.(check bool) "names the escaping exception" true
+    (contains (message ~rule:Diag.L8 ~file:"bad_l8.ml" ~line:2) "Not_found")
+
+let test_l8_negative () =
+  (* [checked] raises Invalid_argument (the sanctioned convention) and
+     [caught] handles its Not_found: both silent *)
+  Alcotest.(check int) "two L8 hits" 2 (count ~rule:Diag.L8 ~file:"bad_l8.ml");
+  (* bad_l2.ml has no interface, so nothing there is public *)
+  Alcotest.(check int) "no-mli unit is exempt" 0
+    (count ~rule:Diag.L8 ~file:"bad_l2.ml")
+
+let test_l9_positive () =
+  List.iter
+    (fun line -> check_hit ~rule:Diag.L9 ~file:"bad_l9.ml" ~line)
+    [ 2; 3; 4; 5 ]
+
+let test_l9_negative () =
+  Alcotest.(check int) "four L9 hits" 4 (count ~rule:Diag.L9 ~file:"bad_l9.ml");
+  Alcotest.(check int) "no L9 in good.ml" 0 (count ~rule:Diag.L9 ~file:"good.ml")
+
+let graph_and_sums =
+  lazy
+    (let units, _errors = Loader.load_roots [ fixtures_root ] in
+     let g = Callgraph.build units in
+     (g, Summary.compute g))
+
+let node_exn g name =
+  match Callgraph.find g name with
+  | Some n -> n
+  | None -> Alcotest.fail ("missing call-graph node " ^ name)
+
+let calls (a : Callgraph.node) (b : Callgraph.node) =
+  List.exists
+    (fun (e : Callgraph.edge) ->
+      e.Callgraph.callee = Callgraph.Internal b.Callgraph.id)
+    a.Callgraph.edges
+
+let test_callgraph_recursive () =
+  let g, _ = Lazy.force graph_and_sums in
+  (* mutually recursive modules: sibling references resolve *)
+  let even = node_exn g "Lint_fixtures.Rec_m.Even.check" in
+  let odd = node_exn g "Lint_fixtures.Rec_m.Odd.check" in
+  Alcotest.(check bool) "Even.check -> Odd.check" true (calls even odd);
+  Alcotest.(check bool) "Odd.check -> Even.check" true (calls odd even);
+  (* and a plain let-rec cycle *)
+  let ping = node_exn g "Lint_fixtures.Rec_m.ping" in
+  let pong = node_exn g "Lint_fixtures.Rec_m.pong" in
+  Alcotest.(check bool) "ping -> pong" true (calls ping pong);
+  Alcotest.(check bool) "pong -> ping" true (calls pong ping)
+
+let test_fixpoint_convergence () =
+  let g, r = Lazy.force graph_and_sums in
+  (* the cyclic graph converged (compute returned) and needed more
+     than the initial sweep to do it *)
+  Alcotest.(check bool) "second sweep required" true (r.Summary.rounds >= 2);
+  (* Odd.check's failwith propagates around the module cycle *)
+  let even = node_exn g "Lint_fixtures.Rec_m.Even.check" in
+  Alcotest.(check bool) "Failure reaches Even.check" true
+    (Effects.SM.mem "Failure"
+       r.Summary.summaries.(even.Callgraph.id).Effects.raises)
+
+let test_ordering_stable () =
+  let strings (r : Engine.report) = List.map Diag.to_string r.Engine.diagnostics in
+  let r1 = Engine.run ~rules:Diag.all_rules [ fixtures_root ] in
+  let r2 = Engine.run ~rules:Diag.all_rules [ fixtures_root ] in
+  Alcotest.(check (list string)) "two runs byte-identical" (strings r1) (strings r2);
+  Alcotest.(check (list string)) "sorted by (file, line, col, rule)"
+    (List.map Diag.to_string (List.sort Diag.order r1.Engine.diagnostics))
+    (strings r1)
+
+let test_json_format () =
+  let d =
+    Diag.make ~rule:Diag.L9 ~symbol:"f" ~message:"says \"hi\"\there"
+      (Effects.loc_of_site { Effects.file = "a.ml"; line = 3; col = 7 })
+  in
+  Alcotest.(check string) "escaped single-line object"
+    {|{"file":"a.ml","line":3,"col":7,"rule":"L9","symbol":"f","message":"says \"hi\"\there"}|}
+    (Diag.to_json d)
+
+let test_allowlist_stale () =
+  let allowlist =
+    parse_allowlist "L2 bad_l2.ml *  # live\nL5 no_such_file.ml *  # stale\n"
+  in
+  let r = Engine.run ~allowlist ~rules:Diag.all_rules [ fixtures_root ] in
+  match r.Engine.stale with
+  | [ e ] ->
+      Alcotest.(check string) "stale file" "no_such_file.ml" e.Allowlist.file;
+      Alcotest.(check int) "stale lineno" 2 e.Allowlist.lineno
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 stale entry, got %d" (List.length l))
+
+let test_allowlist_prune () =
+  let path = "cisp_lint_prune_test.allowlist" in
+  let text =
+    "# header comment\nL2 bad_l2.ml *  # live\n\nL5 no_such_file.ml *  # stale\n"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+  let allowlist =
+    match Allowlist.load path with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  let r = Engine.run ~allowlist ~rules:Diag.all_rules [ fixtures_root ] in
+  (match Allowlist.prune ~path r.Engine.stale with
+  | Ok n -> Alcotest.(check int) "one line pruned" 1 n
+  | Error e -> Alcotest.fail e);
+  let kept = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  Alcotest.(check string) "live entries and comments survive"
+    "# header comment\nL2 bad_l2.ml *  # live\n\n" kept
+
 let suites =
   [
     ( "lint.rules",
@@ -201,6 +356,21 @@ let suites =
         Alcotest.test_case "symbol entry" `Quick test_allowlist_symbol;
         Alcotest.test_case "bad entry rejected" `Quick test_allowlist_reject;
         Alcotest.test_case "exit codes" `Quick test_exit_codes;
+      ] );
+    ( "lint.effects",
+      [
+        Alcotest.test_case "L7 positive" `Quick test_l7_positive;
+        Alcotest.test_case "L7 negative" `Quick test_l7_negative;
+        Alcotest.test_case "L8 positive" `Quick test_l8_positive;
+        Alcotest.test_case "L8 negative" `Quick test_l8_negative;
+        Alcotest.test_case "L9 positive" `Quick test_l9_positive;
+        Alcotest.test_case "L9 negative" `Quick test_l9_negative;
+        Alcotest.test_case "recursive call graph" `Quick test_callgraph_recursive;
+        Alcotest.test_case "fixpoint converges" `Quick test_fixpoint_convergence;
+        Alcotest.test_case "stable ordering" `Quick test_ordering_stable;
+        Alcotest.test_case "JSON output" `Quick test_json_format;
+        Alcotest.test_case "stale allowlist entries" `Quick test_allowlist_stale;
+        Alcotest.test_case "allowlist pruning" `Quick test_allowlist_prune;
       ] );
     ( "lint.vocabulary",
       [
