@@ -13,14 +13,35 @@ module Year = Cisp_weather.Year
 
 let bench_json_path = "BENCH.json"
 
-let record ~kernel ~jobs ~seq_s ~par_s =
+(* With CISP_BENCH_ENFORCE=1 (the CI bench-smoke job), kernels that
+   declare a minimum speedup fail the run when they miss it.  The gate
+   needs real cores: on a single-core host parallel speedup > 1 is
+   physically impossible (domains time-slice one CPU), so enforcement
+   disarms itself rather than report scheduler noise. *)
+let enforcing =
+  (match Sys.getenv_opt "CISP_BENCH_ENFORCE" with Some "1" -> true | _ -> false)
+  && Domain.recommended_domain_count () >= 2
+
+let violations : string list ref = ref []
+
+let record ~kernel ~jobs ~seq_s ~par_s ~min_speedup =
   let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_json_path in
   Printf.fprintf oc
-    {|{"bench":"par","kernel":"%s","jobs":%d,"seq_s":%.6f,"par_s":%.6f,"speedup":%.3f}|}
+    {|{"bench":"par","kernel":"%s","jobs":%d,"seq_s":%.6f,"par_s":%.6f,"speedup":%.3f|}
     kernel jobs seq_s par_s speedup;
+  (match min_speedup with
+  | Some m -> Printf.fprintf oc {|,"min_speedup":%.3f}|} m
+  | None -> output_string oc "}");
   output_char oc '\n';
-  close_out oc
+  close_out oc;
+  match min_speedup with
+  | Some m when enforcing && speedup < m ->
+    violations :=
+      Printf.sprintf "%s: speedup %.2fx at %d domains, required >= %.2fx" kernel speedup
+        jobs m
+      :: !violations
+  | _ -> ()
 
 (* Result of the first run, fastest wall-clock of [reps] runs. *)
 let timed reps f =
@@ -32,8 +53,10 @@ let timed reps f =
   done;
   (r, !best)
 
-let kernel ctx ~name ~jobs ~equal run =
-  let reps = if ctx.Ctx.quick then 1 else 2 in
+let kernel ?min_speedup ctx ~name ~jobs ~equal run =
+  (* Under enforcement, best-of-2 even in quick mode: a single noisy
+     rep must not fail CI. *)
+  let reps = if ctx.Ctx.quick && not enforcing then 1 else 2 in
   let seq_r, seq_s = Pool.with_default_jobs 1 (fun () -> timed reps run) in
   let par_r, par_s = Pool.with_default_jobs jobs (fun () -> timed reps run) in
   if not (equal seq_r par_r) then
@@ -41,7 +64,7 @@ let kernel ctx ~name ~jobs ~equal run =
   Ctx.note "%-24s seq %8.3fs   %d-domain %8.3fs   speedup %.2fx   (bit-identical)" name seq_s
     jobs par_s
     (if par_s > 0.0 then seq_s /. par_s else 0.0);
-  record ~kernel:name ~jobs ~seq_s ~par_s
+  record ~kernel:name ~jobs ~seq_s ~par_s ~min_speedup
 
 let scores_equal a b =
   Array.length a = Array.length b
@@ -109,8 +132,10 @@ let run ctx =
   kernel ctx ~name:"apsp_mw_links" ~jobs ~equal:links_equal (fun () ->
       Hops.all_links a.Cisp_design.Scenario.hops);
   (* 3. LOS + Fresnel hop-feasibility sweep (tower graph build), on a
-     cold DEM cache each run so domains share the miss work. *)
-  kernel ctx ~name:"los_sweep" ~jobs
+     cold DEM cache each run so domains share the miss work.  The hit
+     path is lock-free, so adding a domain must never cost throughput:
+     gate at parity. *)
+  kernel ctx ~name:"los_sweep" ~jobs ~min_speedup:1.0
     ~equal:(fun (x : int) y -> x = y)
     (fun () ->
       let cache = Cisp_terrain.Dem_cache.create a.Cisp_design.Scenario.dem in
@@ -127,4 +152,8 @@ let run ctx =
   kernel ctx ~name:"weather_year" ~jobs ~equal:year_equal (fun () ->
       Year.run ~intervals ~climate:Cisp_weather.Rainfield.us_climate
         ~hops:a.Cisp_design.Scenario.hops inputs topo);
-  Ctx.note "wall-clock records appended to %s" bench_json_path
+  Ctx.note "wall-clock records appended to %s" bench_json_path;
+  if !violations <> [] then
+    failwith
+      ("par bench: speedup thresholds violated:\n  "
+      ^ String.concat "\n  " (List.rev !violations))

@@ -121,6 +121,7 @@ let spare_from_registry =
       | None ->
         let g = Cisp_geo.Grid.create ~cell_deg:0.25 in
         Array.iteri (fun k (tw : Cisp_towers.Tower.t) -> Cisp_geo.Grid.add g tw.position k) h.Hops.towers;
+        Cisp_geo.Grid.freeze g;
         Hashtbl.add grids key g;
         g
     in

@@ -6,6 +6,11 @@ val make : lat:float -> lon:float -> t
 (** [make ~lat ~lon] validates lat in \[-90, 90\] and normalizes lon to
     (-180, 180\].  Raises [Invalid_argument] on out-of-range latitude. *)
 
+val normalize_lon : float -> float
+(** The longitude normalization [make] applies, exposed for callers
+    that work on raw scalar lat/lon (profile sampling, grid cell
+    wrapping) and must agree bit-for-bit with [make]. *)
+
 val lat : t -> float
 val lon : t -> float
 

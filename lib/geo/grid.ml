@@ -1,23 +1,38 @@
+(* Cell keys pack the two signed cell indices into one immediate int:
+   no tuple allocation per probe, and the frozen fast path below can
+   hash ints instead of pairs.  23-bit fields hold any index reachable
+   with cell_deg >= 0.001 (|ci| <= 90/cell_deg, plus clamped query
+   windows). *)
+let pack ci cj = ((ci + 0x400000) lsl 23) lor ((cj + 0x400000) land 0x7FFFFF)
+
+let unpack key = ((key asr 23) - 0x400000, (key land 0x7FFFFF) - 0x400000)
+
 type 'a t = {
   cell_deg : float;
-  cells : (int * int, (Coord.t * 'a) list ref) Hashtbl.t;
+  cells : (int, (Coord.t * 'a) list ref) Hashtbl.t;
   mutable count : int;
+  (* Flat per-cell arrays in the buckets' iteration order, built by
+     [freeze]; probed instead of [cells] once present.  [add]
+     invalidates it. *)
+  mutable frozen : (int, (Coord.t * 'a) array) Hashtbl.t option;
 }
 
 let create ~cell_deg =
-  if cell_deg <= 0.0 then invalid_arg "Grid.create: cell_deg <= 0";
-  { cell_deg; cells = Hashtbl.create 4096; count = 0 }
+  if cell_deg < 0.001 then invalid_arg "Grid.create: cell_deg < 0.001";
+  { cell_deg; cells = Hashtbl.create 4096; count = 0; frozen = None }
 
 let cell_of t p =
   ( int_of_float (Float.floor (Coord.lat p /. t.cell_deg)),
     int_of_float (Float.floor (Coord.lon p /. t.cell_deg)) )
 
 let add t p v =
-  let key = cell_of t p in
+  let ci, cj = cell_of t p in
+  let key = pack ci cj in
   (match Hashtbl.find_opt t.cells key with
   | Some bucket -> bucket := (p, v) :: !bucket
   | None -> Hashtbl.add t.cells key (ref [ (p, v) ]));
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  t.frozen <- None
 
 let of_list ~cell_deg pairs =
   let t = create ~cell_deg in
@@ -26,28 +41,90 @@ let of_list ~cell_deg pairs =
 
 let length t = t.count
 
+let freeze t =
+  match t.frozen with
+  | Some _ -> ()
+  | None ->
+    let packed = Hashtbl.create (max 16 (Hashtbl.length t.cells)) in
+    (* Arrays keep each bucket's most-recent-first list order, so
+       frozen and unfrozen grids visit points identically; sorted
+       traversal keeps the build itself order-independent (L9). *)
+    Cisp_util.Tbl.iter_sorted
+      (fun key bucket -> Hashtbl.add packed key (Array.of_list !bucket))
+      t.cells;
+    t.frozen <- Some packed
+
 (* Degrees of longitude spanned by [radius_km] at latitude [lat]. *)
 let lon_span_deg ~radius_km ~lat =
-  let km_per_deg = 111.19 *. Float.max 0.05 (cos (Cisp_util.Units.deg_to_rad lat)) in
+  let km_per_deg =
+    Cisp_util.Units.km_per_deg_lat *. Float.max 0.05 (cos (Cisp_util.Units.deg_to_rad lat))
+  in
   radius_km /. km_per_deg
 
 let iter_nearby t p ~radius_km f =
-  let lat_span = radius_km /. 111.19 in
+  let cd = t.cell_deg in
+  let lat_span = radius_km /. Cisp_util.Units.km_per_deg_lat in
   let lon_span = lon_span_deg ~radius_km ~lat:(Coord.lat p) in
-  let ci_lo = int_of_float (Float.floor ((Coord.lat p -. lat_span) /. t.cell_deg)) in
-  let ci_hi = int_of_float (Float.floor ((Coord.lat p +. lat_span) /. t.cell_deg)) in
-  let cj_lo = int_of_float (Float.floor ((Coord.lon p -. lon_span) /. t.cell_deg)) in
-  let cj_hi = int_of_float (Float.floor ((Coord.lon p +. lon_span) /. t.cell_deg)) in
-  for ci = ci_lo to ci_hi do
-    for cj = cj_lo to cj_hi do
-      match Hashtbl.find_opt t.cells (ci, cj) with
-      | None -> ()
-      | Some bucket ->
-        List.iter
-          (fun (q, v) -> if Geodesy.distance_km p q <= radius_km then f q v)
-          !bucket
+  let col x = int_of_float (Float.floor (x /. cd)) in
+  (* Rows cannot wrap; clamp to the populated band so every scanned
+     key stays inside the packed-field range. *)
+  let ci_min = col (-90.0) and ci_max = col 90.0 in
+  let ci_lo = max ci_min (col (Coord.lat p -. lat_span)) in
+  let ci_hi = min ci_max (col (Coord.lat p +. lat_span)) in
+  (* Columns wrap at the antimeridian.  Stored longitudes lie in
+     [-180, 180), i.e. columns [cj_min, cj_max]; a window crossing
+     +/-180 is scanned as two column ranges, its overflow wrapped by
+     360 degrees.  If the wrapped range would meet the main one (the
+     window nearly circles the globe) fall back to one full scan so no
+     cell is visited twice. *)
+  let cj_min = col (-180.0) in
+  let cj_max = int_of_float (Float.ceil (180.0 /. cd)) - 1 in
+  let lon_lo = Coord.lon p -. lon_span and lon_hi = Coord.lon p +. lon_span in
+  let clamp (a, b) = (max a cj_min, min b cj_max) in
+  let col_ranges =
+    if lon_hi -. lon_lo >= 360.0 then [ (cj_min, cj_max) ]
+    else if lon_lo < -180.0 then begin
+      let wrapped_lo = col (lon_lo +. 360.0) in
+      let main_hi = col lon_hi in
+      if wrapped_lo <= main_hi then [ (cj_min, cj_max) ]
+      else [ clamp (cj_min, main_hi); clamp (wrapped_lo, cj_max) ]
+    end
+    else if lon_hi >= 180.0 then begin
+      let wrapped_hi = col (lon_hi -. 360.0) in
+      let main_lo = col lon_lo in
+      if wrapped_hi >= main_lo then [ (cj_min, cj_max) ]
+      else [ clamp (main_lo, cj_max); clamp (cj_min, wrapped_hi) ]
+    end
+    else [ clamp (col lon_lo, col lon_hi) ]
+  in
+  let visit_filtered q v = if Geodesy.distance_km p q <= radius_km then f q v in
+  match t.frozen with
+  | Some packed ->
+    for ci = ci_lo to ci_hi do
+      List.iter
+        (fun (cj_lo, cj_hi) ->
+          for cj = cj_lo to cj_hi do
+            match Hashtbl.find_opt packed (pack ci cj) with
+            | None -> ()
+            | Some arr ->
+              for k = 0 to Array.length arr - 1 do
+                let q, v = Array.unsafe_get arr k in
+                visit_filtered q v
+              done
+          done)
+        col_ranges
     done
-  done
+  | None ->
+    for ci = ci_lo to ci_hi do
+      List.iter
+        (fun (cj_lo, cj_hi) ->
+          for cj = cj_lo to cj_hi do
+            match Hashtbl.find_opt t.cells (pack ci cj) with
+            | None -> ()
+            | Some bucket -> List.iter (fun (q, v) -> visit_filtered q v) !bucket
+          done)
+        col_ranges
+    done
 
 let nearby t p ~radius_km =
   let acc = ref [] in
@@ -61,5 +138,7 @@ let fold t ~init ~f =
 
 let cell_population t =
   let pop = Hashtbl.create (Hashtbl.length t.cells) in
-  Hashtbl.iter (fun key bucket -> Hashtbl.replace pop key (List.length !bucket)) t.cells;
+  Hashtbl.iter
+    (fun key bucket -> Hashtbl.replace pop (unpack key) (List.length !bucket))
+    t.cells;
   pop

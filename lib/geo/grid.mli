@@ -3,15 +3,28 @@
     Buckets points into fixed-size degree cells so that
     "all points within [radius] km of here" queries — the inner loop of
     tower-pair feasibility testing — run in time proportional to the
-    local density instead of the registry size. *)
+    local density instead of the registry size.  Query windows wrap
+    across the +/-180 antimeridian, so clusters straddling it see each
+    other.  Cell keys are packed ints (no per-probe allocation), and a
+    built index can be {!freeze}-d into flat per-cell arrays for the
+    read-only query phase. *)
 
 type 'a t
 
 val create : cell_deg:float -> 'a t
 (** [create ~cell_deg] makes an empty index with square cells of
-    [cell_deg] degrees on a side. *)
+    [cell_deg] degrees on a side.  Raises [Invalid_argument] if
+    [cell_deg < 0.001] (packed cell keys need bounded indices). *)
 
 val add : 'a t -> Coord.t -> 'a -> unit
+(** Adding to a frozen grid is allowed; it drops the frozen view
+    (re-{!freeze} when the build phase is over). *)
+
+val freeze : 'a t -> unit
+(** Snapshot every bucket into a flat array: queries then probe an
+    int-keyed table of arrays instead of walking cons lists.  Purely a
+    representation change — frozen and unfrozen grids visit the same
+    points in the same order.  Idempotent. *)
 
 val of_list : cell_deg:float -> (Coord.t * 'a) list -> 'a t
 

@@ -22,3 +22,16 @@ let midpoint_fresnel_m ?(f_ghz = default_f_ghz) ~d_km () =
 
 let required_clearance_m ?(k = default_k) ?(f_ghz = default_f_ghz) ~d1_km ~d2_km () =
   earth_bulge_m ~k ~d1_km ~d2_km () +. fresnel_radius_m ~f_ghz ~d1_km ~d2_km ()
+
+(* With d1 = t·D and d2 = (1−t)·D, both clearance terms factor through
+   u = t(1−t): bulge = (D² 1000 / 2kR)·u and the Fresnel radius =
+   sqrt(lambda·1000·D)·sqrt(u).  Hoisting the pair-constant factors
+   out lets a profile walk price each sample with one multiply-add and
+   one sqrt. *)
+let pair_coeffs ?(k = default_k) ?(f_ghz = default_f_ghz) ~d_km () =
+  let bulge_c =
+    d_km *. d_km *. 1000.0 /. (2.0 *. k *. Cisp_util.Units.earth_radius_km)
+  in
+  let lambda_m = Cisp_util.Units.c_vacuum_km_s /. (f_ghz *. 1e6) in
+  let fresnel_c = if d_km <= 0.0 then 0.0 else sqrt (lambda_m *. 1000.0 *. d_km) in
+  (bulge_c, fresnel_c)

@@ -31,3 +31,10 @@ val required_clearance_m :
   ?k:float -> ?f_ghz:float -> d1_km:float -> d2_km:float -> unit -> float
 (** Bulge plus full first-Fresnel radius: the height above the terrain
     surface that the direct ray must attain at this point. *)
+
+val pair_coeffs : ?k:float -> ?f_ghz:float -> d_km:float -> unit -> float * float
+(** [(bulge_c, fresnel_c)] for a hop of length [d_km]: at the point a
+    fraction [t] along the path, with [u = t *. (1. -. t)],
+    [required_clearance_m] equals [bulge_c *. u +. fresnel_c *. sqrt u]
+    (same algebra, hoisted so a profile walk pays one multiply-add and
+    one sqrt per sample). *)

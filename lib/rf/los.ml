@@ -1,6 +1,8 @@
 module Coord = Cisp_geo.Coord
 module Geodesy = Cisp_geo.Geodesy
 module Dem = Cisp_terrain.Dem
+module Dem_cache = Cisp_terrain.Dem_cache
+module Units = Cisp_util.Units
 
 type params = {
   max_range_km : float;
@@ -23,43 +25,151 @@ type verdict =
 let endpoint_of_tower ~dem position ~antenna_m =
   { position; ground_m = Dem.elevation_m dem position; antenna_m }
 
-let check ?(params = default_params) ~surface a b =
+(* Per-domain profile buffers: sample positions as scalar lat/lon and
+   the sampled surface heights, reused across every pair the domain
+   checks, plus a one-float accumulator so the margin walk never has
+   to box a running minimum.  Domain-private (Pool.Scratch), and only
+   ever an input to the computation — contents are overwritten for the
+   sample range before each read — so reuse cannot leak state between
+   pairs or domains. *)
+type scratch = {
+  mutable lats : Float.Array.t;
+  mutable lons : Float.Array.t;
+  mutable surf : Float.Array.t;
+  acc : Float.Array.t;
+}
+
+let scratch_key =
+  Cisp_util.Pool.Scratch.create (fun () ->
+      {
+        lats = Float.Array.create 256;
+        lons = Float.Array.create 256;
+        surf = Float.Array.create 256;
+        acc = Float.Array.create 1;
+      })
+
+let ensure sc n =
+  if Float.Array.length sc.lats < n then begin
+    let cap = max n (2 * Float.Array.length sc.lats) in
+    sc.lats <- Float.Array.create cap;
+    sc.lons <- Float.Array.create cap;
+    sc.surf <- Float.Array.create cap
+  end
+
+(* Fill [lats]/[lons] for sample indices [lo..hi] of an [n]-step walk
+   from [pa] to [pb]: the great-circle slerp of [Geodesy.interpolate]
+   with the pair-constant trigonometry hoisted out of the loop and the
+   per-sample [Coord.t] flattened into the two scalar buffers.  The
+   per-sample expressions keep the exact operation order of
+   [Geodesy.interpolate], so the positions are bit-identical to what
+   the closure-based sampler saw. *)
+let fill_positions sc pa pb ~total ~n ~lo ~hi =
+  let lats = sc.lats and lons = sc.lons in
+  let d = total /. Units.earth_radius_km in
+  if d < 1e-12 then
+    for i = lo to hi do
+      Float.Array.set lats i (Coord.lat pa);
+      Float.Array.set lons i (Coord.lon pa)
+    done
+  else begin
+    let phi1 = Units.deg_to_rad (Coord.lat pa)
+    and lam1 = Units.deg_to_rad (Coord.lon pa)
+    and phi2 = Units.deg_to_rad (Coord.lat pb)
+    and lam2 = Units.deg_to_rad (Coord.lon pb) in
+    let cp1 = cos phi1 and sp1 = sin phi1 and cl1 = cos lam1 and sl1 = sin lam1 in
+    let cp2 = cos phi2 and sp2 = sin phi2 and cl2 = cos lam2 and sl2 = sin lam2 in
+    let sind = sin d in
+    let fn = float_of_int n in
+    for i = lo to hi do
+      let t = float_of_int i /. fn in
+      let sa = sin ((1.0 -. t) *. d) /. sind in
+      let sb = sin (t *. d) /. sind in
+      let x = (sa *. cp1 *. cl1) +. (sb *. cp2 *. cl2) in
+      let y = (sa *. cp1 *. sl1) +. (sb *. cp2 *. sl2) in
+      let z = (sa *. sp1) +. (sb *. sp2) in
+      Float.Array.set lats i (atan2 z (sqrt ((x *. x) +. (y *. y))) *. 180.0 /. Float.pi);
+      Float.Array.set lons i (Coord.normalize_lon (atan2 y x *. 180.0 /. Float.pi))
+    done
+  end
+
+(* The common profile engine.  [sample sc ~lo ~hi] must fill
+   [sc.surf.(lo..hi)] with the obstruction heights at the positions in
+   [sc.lats]/[sc.lons]; the two entry points below differ only in that
+   callback.  The clearance requirement uses the hoisted pair
+   coefficients ({!Fresnel.pair_coeffs}): with [u = t (1 - t)] the per
+   sample cost is one multiply-add and one sqrt, no allocation. *)
+let profile_verdict ~params ~sample a b =
   let total = Geodesy.distance_km a.position b.position in
   if total > params.max_range_km || total < params.min_range_km then Out_of_range
   else begin
     let ha = a.ground_m +. a.antenna_m in
     let hb = b.ground_m +. b.antenna_m in
     let n = max 2 (int_of_float (Float.ceil (total /. params.step_km))) in
-    let margin_at i =
-      let t = float_of_int i /. float_of_int n in
-      let p = Geodesy.interpolate a.position b.position ~frac:t in
-      let d1 = total *. t and d2 = total *. (1.0 -. t) in
-      let ray = ha +. (t *. (hb -. ha)) in
-      let need =
-        Fresnel.required_clearance_m ~k:params.k_factor ~f_ghz:params.f_ghz
-          ~d1_km:d1 ~d2_km:d2 ()
-      in
-      (d1, ray -. (surface p +. need))
+    let sc = Cisp_util.Pool.Scratch.get scratch_key in
+    ensure sc (n + 1);
+    let bulge_c, fres_c =
+      Fresnel.pair_coeffs ~k:params.k_factor ~f_ghz:params.f_ghz ~d_km:total ()
     in
+    let fn = float_of_int n and dh = hb -. ha in
     (* Cheap rejection: the midpoint has the deepest curvature bulge
-       and is the likeliest blockage; test it before the full walk. *)
-    let _, mid_margin = margin_at (n / 2) in
-    if mid_margin < 0.0 then begin
-      let at_km, m = margin_at (n / 2) in
-      Blocked { at_km; deficit_m = -.m }
-    end
+       and is the likeliest blockage; position and sample it alone
+       before paying for the full profile. *)
+    let mid = n / 2 in
+    fill_positions sc a.position b.position ~total ~n ~lo:mid ~hi:mid;
+    sample sc ~lo:mid ~hi:mid;
+    let surf = sc.surf in
+    let tm = float_of_int mid /. fn in
+    let um = tm *. (1.0 -. tm) in
+    let mid_m =
+      ha +. (tm *. dh)
+      -. (Float.Array.get surf mid +. ((bulge_c *. um) +. (fres_c *. sqrt um)))
+    in
+    if mid_m < 0.0 then Blocked { at_km = total *. tm; deficit_m = -.mid_m }
     else begin
-      let rec walk i best =
-        if i >= n then Clear best
+      (* Position and sample the profile in chunks so a blockage early
+         in the walk stops the sweep before paying for the rest of the
+         path — most of the sweep's terrain evaluations are on paths
+         that fail within a few samples.  Chunking changes no result
+         (every computed value is a pure function of its index). *)
+      let acc = sc.acc in
+      Float.Array.set acc 0 infinity;
+      let chunk = 8 in
+      let rec scan lo =
+        if lo >= n then Clear (Float.Array.get acc 0)
         else begin
-          let at_km, m = margin_at i in
-          if m < 0.0 then Blocked { at_km; deficit_m = -.m }
-          else walk (i + 1) (Float.min best m)
+          let hi = min (n - 1) (lo + chunk - 1) in
+          fill_positions sc a.position b.position ~total ~n ~lo ~hi;
+          sample sc ~lo ~hi;
+          let rec walk i =
+            if i > hi then scan (hi + 1)
+            else begin
+              let t = float_of_int i /. fn in
+              let u = t *. (1.0 -. t) in
+              let m =
+                ha +. (t *. dh)
+                -. (Float.Array.get surf i +. ((bulge_c *. u) +. (fres_c *. sqrt u)))
+              in
+              if m < 0.0 then Blocked { at_km = total *. t; deficit_m = -.m }
+              else begin
+                Float.Array.set acc 0 (Float.min (Float.Array.get acc 0) m);
+                walk (i + 1)
+              end
+            end
+          in
+          walk lo
         end
       in
-      walk 1 infinity
+      scan 1
     end
   end
+
+let check ?(params = default_params) ~surface a b =
+  profile_verdict ~params a b ~sample:(fun sc ~lo ~hi ->
+      for i = lo to hi do
+        Float.Array.set sc.surf i
+          (surface
+             (Coord.make ~lat:(Float.Array.get sc.lats i) ~lon:(Float.Array.get sc.lons i)))
+      done)
 
 let feasible ?params ~surface a b =
   match check ?params ~surface a b with
@@ -67,3 +177,12 @@ let feasible ?params ~surface a b =
   | Out_of_range | Blocked _ -> false
 
 let check_dem ?params ~dem a b = check ?params ~surface:(Dem.surface_m dem) a b
+
+let check_cached ?(params = default_params) ~cache a b =
+  profile_verdict ~params a b ~sample:(fun sc ~lo ~hi ->
+      Dem_cache.surface_samples cache ~lats:sc.lats ~lons:sc.lons ~out:sc.surf ~lo ~hi)
+
+let feasible_cached ?params ~cache a b =
+  match check_cached ?params ~cache a b with
+  | Clear _ -> true
+  | Out_of_range | Blocked _ -> false

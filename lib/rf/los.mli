@@ -8,7 +8,19 @@
 
     The terrain is abstracted as a surface function so callers can
     plug in a raw {!Cisp_terrain.Dem}, a memoizing
-    {!Cisp_terrain.Dem_cache}, or a test fixture. *)
+    {!Cisp_terrain.Dem_cache}, or a test fixture.  The sweep hot path
+    should use {!check_cached}/{!feasible_cached}, which sample the
+    profile into per-domain scratch buffers in bulk — no per-sample
+    closure call, coordinate allocation, or lock.
+
+    All entry points share one profile engine: great-circle positions
+    are interpolated with pair-constant trigonometry hoisted out of
+    the sample loop, the Fresnel + bulge clearance requirement is
+    priced per sample from two hoisted pair coefficients
+    ({!Fresnel.pair_coeffs}), and the midpoint — the likeliest
+    blockage — is tested before the full profile is sampled.
+    [check ~surface:f] and [check_cached ~cache] agree bit-for-bit
+    when [f] is that cache's [surface_m]. *)
 
 type params = {
   max_range_km : float;   (** paper: 100 km baseline, 60-100 swept in Fig 10 *)
@@ -46,6 +58,17 @@ val feasible :
 val check_dem :
   ?params:params -> dem:Cisp_terrain.Dem.t -> endpoint -> endpoint -> verdict
 (** Convenience wrapper querying the DEM directly (uncached). *)
+
+val check_cached :
+  ?params:params -> cache:Cisp_terrain.Dem_cache.t -> endpoint -> endpoint -> verdict
+(** [check] with the profile sampled in bulk through
+    {!Cisp_terrain.Dem_cache.surface_samples}: the allocation-free,
+    lock-free-on-hit entry used by the tower LOS sweep.  Verdicts are
+    bit-identical to [check ~surface:(Dem_cache.surface_m cache)]. *)
+
+val feasible_cached :
+  ?params:params -> cache:Cisp_terrain.Dem_cache.t -> endpoint -> endpoint -> bool
+(** [true] iff [check_cached] returns [Clear _]. *)
 
 val endpoint_of_tower :
   dem:Cisp_terrain.Dem.t -> Cisp_geo.Coord.t -> antenna_m:float -> endpoint

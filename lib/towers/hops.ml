@@ -40,7 +40,6 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
   let n_sites = Array.length sites in
   let n = n_sites + Array.length towers in
   let graph = Graph.create n in
-  let surface = Dem_cache.surface_m cache in
   let endpoint_of_tower (tw : Tower.t) =
     {
       Los.position = tw.position;
@@ -55,9 +54,14 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
       antenna_m = config.site_antenna_m;
     }
   in
-  (* Index towers spatially for range queries. *)
+  (* Index towers spatially for range queries; freeze once built so
+     the sweeps probe flat arrays. *)
   let grid = Grid.create ~cell_deg:0.5 in
   Array.iteri (fun k (tw : Tower.t) -> Grid.add grid tw.position k) towers;
+  Grid.freeze grid;
+  (* Endpoints are pair-invariant: build them once per tower, O(towers),
+     instead of once per tested pair, O(pairs). *)
+  let tower_eps = Array.map endpoint_of_tower towers in
   let pool = Cisp_util.Pool.get () in
   (* Tower-tower hops: each unordered pair within range tested once.
      The LOS + Fresnel walks are pure (the DEM cache is domain-safe),
@@ -71,15 +75,15 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
   Cisp_util.Telemetry.with_span "hops.tower_los" (fun () ->
       Cisp_util.Pool.parallel_for pool ~n:n_towers (fun k ->
           let tw = towers.(k) in
-          let ep_k = endpoint_of_tower tw in
+          let ep_k = tower_eps.(k) in
           let acc = ref [] in
           Grid.iter_nearby grid tw.position ~radius_km:config.los_params.Los.max_range_km
             (fun _ k' ->
               if k' > k then begin
                 if Cisp_util.Telemetry.enabled () then
                   Cisp_util.Telemetry.incr "hops.los_tests";
-                let ep_k' = endpoint_of_tower towers.(k') in
-                if Los.feasible ~params:config.los_params ~surface ep_k ep_k' then begin
+                if Los.feasible_cached ~params:config.los_params ~cache ep_k tower_eps.(k')
+                then begin
                   let d = Geodesy.distance_km tw.position towers.(k').position in
                   acc := (k', d) :: !acc
                 end
@@ -100,18 +104,17 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
      still counted via the edge length.  Same parallel-test /
      sequential-insert split as above. *)
   let site_edges = Array.make n_sites [] in
+  let relaxed = { config.los_params with Los.min_range_km = 0.05 } in
   Cisp_util.Telemetry.with_span "hops.site_attach" (fun () ->
       Cisp_util.Pool.parallel_for pool ~n:n_sites (fun i ->
           let c = sites.(i) in
           let ep_site = endpoint_of_site c in
-          let relaxed = { config.los_params with Los.min_range_km = 0.05 } in
           let acc = ref [] in
           Grid.iter_nearby grid c.coord ~radius_km:config.site_attach_radius_km
             (fun _ k ->
               if Cisp_util.Telemetry.enabled () then
                 Cisp_util.Telemetry.incr "hops.los_tests";
-              let ep_t = endpoint_of_tower towers.(k) in
-              if Los.feasible ~params:relaxed ~surface ep_site ep_t then begin
+              if Los.feasible_cached ~params:relaxed ~cache ep_site tower_eps.(k) then begin
                 let d = Geodesy.distance_km c.coord towers.(k).position in
                 acc := (k, d) :: !acc
               end);

@@ -207,6 +207,15 @@ let reduce pool ~map ~merge ~init arr =
     merge init !src.(0)
   end
 
+(* ---------- per-domain scratch ---------- *)
+
+module Scratch = struct
+  type 'a t = 'a Domain.DLS.key
+
+  let create init = Domain.DLS.new_key init
+  let get t = Domain.DLS.get t
+end
+
 (* ---------- default pool ---------- *)
 
 let env_jobs () =

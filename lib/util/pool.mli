@@ -32,6 +32,32 @@ val shutdown : t -> unit
 (** Join all worker domains.  Idempotent.  Using the pool afterwards
     degrades to sequential execution. *)
 
+(** {2 Per-domain scratch}
+
+    Hot paths that need reusable mutable state per worker (profile
+    sample buffers, L1 caches) allocate it through a {!Scratch.t}
+    instead of capturing shared state in the task closure: each domain
+    lazily builds its own instance on first use, so tasks touch only
+    domain-private memory and stay within the pool's determinism
+    contract (rule L7).  The contract is on the user: scratch contents
+    must never feed results — only the work computed {e into} them
+    may. *)
+
+module Scratch : sig
+  type 'a t
+  (** A per-domain slot: one lazily-created ['a] per domain. *)
+
+  val create : (unit -> 'a) -> 'a t
+  (** [create init] makes a new slot; [init] runs once per domain, on
+      that domain's first {!get}.  Call it at module level — each call
+      claims a fresh slot in every domain's local storage. *)
+
+  val get : 'a t -> 'a
+  (** This domain's instance (created on first use).  The returned
+      value is domain-private: using it requires no synchronization,
+      and it must never escape to another domain. *)
+end
+
 (** {2 Default pool}
 
     Library hot paths share one process-wide pool sized by (in

@@ -13,6 +13,13 @@ val fiber_latency_factor : float
 val earth_radius_km : float
 (** Mean Earth radius, km. *)
 
+val km_per_deg_lat : float
+(** Kilometres per degree of latitude (and per degree of longitude at
+    the equator): the great-circle span of one degree, ~111.19 km.
+    Slightly below the exact [pi *. earth_radius_km /. 180.] so that
+    spans derived from it over-estimate degree windows (safe for
+    bounding-box style searches). *)
+
 val towers_per_100k : float
 (** Paper §4 tower-density prior: synthesized city clusters hold 1.5
     towers per 100,000 inhabitants.  Lives here (not in the tower

@@ -109,10 +109,11 @@ let test_telemetry_bit_identity () =
         [ "hops.all_links"; "apsp"; "greedy.score"; "greedy.design" ])
 
 let test_los_sweep_width_invariant () =
-  (* Rebuild the tower hop graph on a cold DEM cache at both widths:
-     covers the LOS + Fresnel sweep and the snapped-cell-center cache
-     semantics (cache contents must not depend on which domain touched
-     a cell first). *)
+  (* Rebuild the tower hop graph on a cold DEM cache at several pool
+     widths: covers the LOS + Fresnel sweep and the snapped-cell-center
+     cache semantics.  Both the sweep's outputs AND the cache's
+     shared-store contents (every cell key and its height, bitwise)
+     must not depend on which domain touched a cell first. *)
   let a = Lazy.force artifacts in
   let build w =
     Pool.with_default_jobs w (fun () ->
@@ -123,12 +124,21 @@ let test_los_sweep_width_invariant () =
             ~towers:(Array.to_list a.Scenario.hops.Hops.towers)
             ()
         in
-        (h.Hops.feasible_hops, Hops.all_links h))
+        ( h.Hops.feasible_hops,
+          Hops.all_links h,
+          Cisp_terrain.Dem_cache.surface_cells cache,
+          Cisp_terrain.Dem_cache.ground_cells cache ))
   in
-  let f1, l1 = build 1 in
-  let f4, l4 = build 4 in
-  Alcotest.(check int) "feasible hop count identical" f1 f4;
-  Alcotest.(check bool) "resulting MW links identical" true (l1 = l4)
+  let f1, l1, s1, g1 = build 1 in
+  Alcotest.(check bool) "sequential sweep populated the cache" true (s1 <> [] && g1 <> []);
+  List.iter
+    (fun w ->
+      let fw, lw, sw, gw = build w in
+      Alcotest.(check int) (Printf.sprintf "feasible hops, jobs=1 vs %d" w) f1 fw;
+      Alcotest.(check bool) (Printf.sprintf "MW links, jobs=1 vs %d" w) true (l1 = lw);
+      Alcotest.(check bool) (Printf.sprintf "surface cells, jobs=1 vs %d" w) true (s1 = sw);
+      Alcotest.(check bool) (Printf.sprintf "ground cells, jobs=1 vs %d" w) true (g1 = gw))
+    [ 2; 8 ]
 
 let suites =
   [

@@ -102,6 +102,53 @@ let test_grid_fold () =
   let sum = Grid.fold g ~init:0 ~f:(fun acc _ v -> acc + v) in
   Alcotest.(check int) "fold sum" 6 sum
 
+let test_grid_antimeridian () =
+  (* Neighbours straddling the +/-180 meridian: the query window wraps
+     and must find towers on both sides (regression — the unwrapped
+     column range [179.9 - w, 179.9 + w] never reached cells stored
+     near lon = -179.9). *)
+  let g = Grid.create ~cell_deg:0.5 in
+  let east = coord ~lat:10.0 ~lon:179.9 in
+  let west = coord ~lat:10.0 ~lon:(-179.9) in
+  Grid.add g east "east";
+  Grid.add g west "west";
+  let from_east = Grid.nearby g east ~radius_km:100.0 in
+  Alcotest.(check int) "east sees both" 2 (List.length from_east);
+  let from_west = Grid.nearby g west ~radius_km:100.0 in
+  Alcotest.(check int) "west sees both" 2 (List.length from_west);
+  (* A window that covers the wrap plus the stored cells exactly once:
+     no duplicates from the two column ranges overlapping. *)
+  let wide = Grid.nearby g east ~radius_km:3000.0 in
+  Alcotest.(check int) "no duplicates in wrapped window" 2 (List.length wide);
+  (* Frozen and unfrozen traversals agree across the seam. *)
+  Grid.freeze g;
+  Alcotest.(check int) "frozen east sees both" 2 (List.length (Grid.nearby g east ~radius_km:100.0))
+
+let test_grid_freeze_equivalence () =
+  let rng = Cisp_util.Rng.create 77 in
+  let pts =
+    List.init 200 (fun i ->
+        ( coord
+            ~lat:(Cisp_util.Rng.uniform rng 20.0 55.0)
+            ~lon:(Cisp_util.Rng.uniform rng (-130.0) (-60.0)),
+          i ))
+  in
+  let g = Grid.of_list ~cell_deg:0.5 pts in
+  let probe () =
+    List.map
+      (fun (p, _) -> List.sort compare (List.map snd (Grid.nearby g p ~radius_km:150.0)))
+      pts
+  in
+  let before = probe () in
+  Grid.freeze g;
+  let after = probe () in
+  Alcotest.(check bool) "freeze changes no query result" true (before = after);
+  (* Adding after freeze invalidates the frozen index transparently. *)
+  let extra = coord ~lat:40.0 ~lon:(-100.0) in
+  Grid.add g extra 999;
+  Alcotest.(check bool) "member visible after post-freeze add" true
+    (List.exists (fun (_, v) -> v = 999) (Grid.nearby g extra ~radius_km:10.0))
+
 let test_grid_radius_exact () =
   (* Points right at the radius boundary must not be missed by the
      cell-range computation. *)
@@ -194,6 +241,8 @@ let suites =
       [
         Alcotest.test_case "nearby" `Quick test_grid_nearby;
         Alcotest.test_case "fold" `Quick test_grid_fold;
+        Alcotest.test_case "antimeridian wrap" `Quick test_grid_antimeridian;
+        Alcotest.test_case "freeze equivalence" `Quick test_grid_freeze_equivalence;
         Alcotest.test_case "radius boundary" `Quick test_grid_radius_exact;
       ] );
   ]

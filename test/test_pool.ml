@@ -123,6 +123,42 @@ let test_with_default_jobs_restores () =
    with Failure _ -> ());
   Alcotest.(check int) "restored after an exception" before (Pool.default_jobs ())
 
+(* ---------- Scratch ---------- *)
+
+let test_scratch_per_domain () =
+  let counter = Atomic.make 0 in
+  let key = Pool.Scratch.create (fun () -> Atomic.fetch_and_add counter 1) in
+  let a = Pool.Scratch.get key in
+  Alcotest.(check int) "same domain reuses its instance" a (Pool.Scratch.get key);
+  with_pool 3 (fun pool ->
+      let n = 64 in
+      let tags = Array.make n (-1) in
+      let doms = Array.make n (-1) in
+      Pool.parallel_for pool ~n (fun i ->
+          tags.(i) <- Pool.Scratch.get key;
+          doms.(i) <- (Domain.self () :> int));
+      (* Within a domain the instance is stable... *)
+      let by_dom = Hashtbl.create 8 in
+      Array.iteri
+        (fun i d ->
+          match Hashtbl.find_opt by_dom d with
+          | None -> Hashtbl.add by_dom d tags.(i)
+          | Some t -> Alcotest.(check int) "stable within a domain" t tags.(i))
+        doms;
+      (* ...and no two domains share one (init ran once per domain). *)
+      let distinct =
+        List.sort_uniq Int.compare (Hashtbl.fold (fun _ t acc -> t :: acc) by_dom [])
+      in
+      Alcotest.(check int) "one instance per domain"
+        (Hashtbl.length by_dom) (List.length distinct))
+
+let test_scratch_keys_independent () =
+  let k1 = Pool.Scratch.create (fun () -> ref 1) in
+  let k2 = Pool.Scratch.create (fun () -> ref 2) in
+  Alcotest.(check bool) "separate slots" true (Pool.Scratch.get k1 != Pool.Scratch.get k2);
+  Pool.Scratch.get k1 := 10;
+  Alcotest.(check int) "no cross-talk" 2 !(Pool.Scratch.get k2)
+
 (* QCheck: width-invariance of the float-sum reduce over random input
    sizes (covers the odd-element carry in the pairwise collapse). *)
 let prop_reduce_width_invariant =
@@ -149,6 +185,8 @@ let suites =
         Alcotest.test_case "reduce: bit-identical across widths" `Quick
           test_reduce_bit_identical_across_widths;
         Alcotest.test_case "with_default_jobs restores" `Quick test_with_default_jobs_restores;
+        Alcotest.test_case "scratch: one instance per domain" `Quick test_scratch_per_domain;
+        Alcotest.test_case "scratch: keys independent" `Quick test_scratch_keys_independent;
         QCheck_alcotest.to_alcotest prop_reduce_width_invariant;
       ] );
   ]

@@ -37,6 +37,26 @@ let test_clearance_monotone_in_distance () =
   let c d = Fresnel.required_clearance_m ~d1_km:(d /. 2.) ~d2_km:(d /. 2.) () in
   Alcotest.(check bool) "monotone" true (c 20.0 < c 50.0 && c 50.0 < c 100.0)
 
+let test_pair_coeffs_match_clearance () =
+  (* The hoisted per-pair form [bulge_c u + fresnel_c sqrt u] is the
+     same algebra as the pointwise clearance; agreement to float
+     rounding across distances and positions. *)
+  List.iter
+    (fun d_km ->
+      let bulge_c, fres_c = Fresnel.pair_coeffs ~d_km () in
+      for i = 0 to 20 do
+        let t = float_of_int i /. 20.0 in
+        let u = t *. (1.0 -. t) in
+        let hoisted = (bulge_c *. u) +. (fres_c *. sqrt u) in
+        let pointwise =
+          Fresnel.required_clearance_m ~d1_km:(t *. d_km) ~d2_km:((1.0 -. t) *. d_km) ()
+        in
+        check_float (1e-9 *. (1.0 +. pointwise))
+          (Printf.sprintf "D=%.0f t=%.2f" d_km t)
+          pointwise hoisted
+      done)
+    [ 1.0; 30.0; 100.0 ]
+
 (* ---------- Line of sight ---------- *)
 
 let flat_dem = Cisp_terrain.Dem.create ~seed:1 Cisp_terrain.Dem.Flat
@@ -100,6 +120,54 @@ let test_los_mountain_blocks () =
     Alcotest.(check bool) "blocked mid-path" true (at_km > 10.0 && at_km < 80.0);
     Alcotest.(check bool) "large deficit" true (deficit_m > 100.0)
   | _ -> Alcotest.fail "expected blocked by mountain"
+
+let test_check_cached_matches_check () =
+  (* The cached entry point and the closure-based one share the
+     profile engine; sampling the same memoized surface they must
+     produce bit-identical verdicts, floats included. *)
+  let dem = Cisp_terrain.Dem.create Cisp_terrain.Dem.Us_continental in
+  let cache = Cisp_terrain.Dem_cache.create dem in
+  let rng = Cisp_util.Rng.create 41 in
+  let verdict = function
+    | Los.Clear m -> ("clear", Int64.bits_of_float m, 0L)
+    | Los.Out_of_range -> ("oor", 0L, 0L)
+    | Los.Blocked { at_km; deficit_m } ->
+      ("blocked", Int64.bits_of_float at_km, Int64.bits_of_float deficit_m)
+  in
+  for _ = 1 to 100 do
+    let lat = Cisp_util.Rng.uniform rng 32.0 44.0 in
+    let lon = Cisp_util.Rng.uniform rng (-108.0) (-82.0) in
+    let lat2 = lat +. Cisp_util.Rng.uniform rng (-0.8) 0.8 in
+    let lon2 = lon +. Cisp_util.Rng.uniform rng (-0.8) 0.8 in
+    let a =
+      Los.endpoint_of_tower ~dem (Cisp_geo.Coord.make ~lat ~lon) ~antenna_m:60.0
+    in
+    let b =
+      Los.endpoint_of_tower ~dem (Cisp_geo.Coord.make ~lat:lat2 ~lon:lon2) ~antenna_m:60.0
+    in
+    let via_closure = Los.check ~surface:(Cisp_terrain.Dem_cache.surface_m cache) a b in
+    let via_cache = Los.check_cached ~cache a b in
+    Alcotest.(check (triple string int64 int64))
+      "identical verdict" (verdict via_closure) (verdict via_cache)
+  done
+
+let test_blocked_midpoint_samples_once () =
+  (* A path whose midpoint is obstructed must be rejected after a
+     single terrain sample (regression: the blocked branch used to
+     evaluate the midpoint margin twice). *)
+  let calls = ref 0 in
+  let wall p =
+    incr calls;
+    (* Sheer obstacle everywhere except the endpoints' cells. *)
+    if Float.abs (Cisp_geo.Coord.lon p +. 99.5) < 0.4 then 10_000.0 else 0.0
+  in
+  let a = { Los.position = Cisp_geo.Coord.make ~lat:40.0 ~lon:(-100.0); ground_m = 0.0; antenna_m = 100.0 } in
+  let b = { Los.position = Cisp_geo.Coord.make ~lat:40.0 ~lon:(-99.0); ground_m = 0.0; antenna_m = 100.0 } in
+  (match Los.check ~surface:wall a b with
+  | Los.Blocked { deficit_m; _ } ->
+    Alcotest.(check bool) "deficit reflects the wall" true (deficit_m > 9000.0)
+  | _ -> Alcotest.fail "expected blocked");
+  Alcotest.(check int) "one terrain sample" 1 !calls
 
 (* ---------- Attenuation (ITU-R P.838) ---------- *)
 
@@ -193,6 +261,7 @@ let suites =
         Alcotest.test_case "100km bulge" `Quick test_bulge_100km_value;
         Alcotest.test_case "symmetry and endpoints" `Quick test_fresnel_symmetric_and_zero_at_ends;
         Alcotest.test_case "clearance monotone" `Quick test_clearance_monotone_in_distance;
+        Alcotest.test_case "pair coeffs match clearance" `Quick test_pair_coeffs_match_clearance;
       ] );
     ( "rf.los",
       [
@@ -202,6 +271,8 @@ let suites =
         Alcotest.test_case "min range" `Quick test_los_min_range;
         Alcotest.test_case "taller towers help" `Quick test_los_taller_towers_help;
         Alcotest.test_case "mountain blocks" `Quick test_los_mountain_blocks;
+        Alcotest.test_case "cached matches closure" `Quick test_check_cached_matches_check;
+        Alcotest.test_case "blocked midpoint samples once" `Quick test_blocked_midpoint_samples_once;
       ] );
     ( "rf.attenuation",
       [

@@ -34,6 +34,32 @@ let test_noise_continuity () =
   let b = Noise.value ~seed:7 10.0001 10.0 in
   Alcotest.(check bool) "continuous" true (Float.abs (a -. b) < 0.01)
 
+let test_fbm_matches_value_spec () =
+  (* [Noise.fbm] hand-inlines the lattice hash and bilinear blend for
+     speed; [Noise.value] remains the single-octave specification.
+     The two must agree bit-for-bit. *)
+  let spec ~seed ~octaves ~lacunarity ~gain x y =
+    let rec loop i freq amp sum norm =
+      if i >= octaves then sum /. norm
+      else begin
+        let v = Noise.value ~seed:(seed + i) (x *. freq) (y *. freq) in
+        loop (i + 1) (freq *. lacunarity) (amp *. gain) (sum +. (amp *. v)) (norm +. amp)
+      end
+    in
+    loop 0 1.0 1.0 0.0 0.0
+  in
+  let rng = Cisp_util.Rng.create 21 in
+  for _ = 1 to 500 do
+    let x = Cisp_util.Rng.uniform rng (-400.0) 400.0 in
+    let y = Cisp_util.Rng.uniform rng (-200.0) 200.0 in
+    let octaves = 1 + Cisp_util.Rng.int rng 6 in
+    let fast = Noise.fbm ~seed:9 ~octaves ~lacunarity:2.1 ~gain:0.5 x y in
+    let slow = spec ~seed:9 ~octaves ~lacunarity:2.1 ~gain:0.5 x y in
+    Alcotest.(check int64)
+      (Printf.sprintf "fbm(%g, %g) octaves=%d" x y octaves)
+      (Int64.bits_of_float slow) (Int64.bits_of_float fast)
+  done
+
 (* ---------- Dem ---------- *)
 
 let us = Dem.create Dem.Us_continental
@@ -138,6 +164,85 @@ let test_cache_ground_vs_surface () =
   Alcotest.(check bool) "surface >= ground" true
     (Dem_cache.surface_m cache p >= Dem_cache.elevation_m cache p)
 
+let random_point rng =
+  coord
+    ~lat:(Cisp_util.Rng.uniform rng 30.0 45.0)
+    ~lon:(Cisp_util.Rng.uniform rng (-110.0) (-80.0))
+
+let test_cache_hit_miss_counters () =
+  let cache = Dem_cache.create us in
+  (* 0.1 degrees apart >> the ~0.0036 degree cell, so all distinct. *)
+  let pts = List.init 50 (fun i -> coord ~lat:(32.0 +. (0.1 *. float_of_int i)) ~lon:(-101.3)) in
+  List.iter (fun p -> ignore (Dem_cache.surface_m cache p)) pts;
+  Alcotest.(check (pair int int)) "first pass all misses" (0, 50) (Dem_cache.stats cache);
+  List.iter (fun p -> ignore (Dem_cache.surface_m cache p)) pts;
+  Alcotest.(check (pair int int)) "second pass all hits" (50, 50) (Dem_cache.stats cache);
+  (* A different raw query landing in an already-computed cell is a hit. *)
+  ignore (Dem_cache.surface_m cache (coord ~lat:32.0001 ~lon:(-101.3001)));
+  Alcotest.(check (pair int int)) "same cell, different point" (51, 50) (Dem_cache.stats cache)
+
+let test_cache_cell_center_purity () =
+  (* Every value the cache returns is the DEM evaluated at the cell's
+     own center ([snap]), never at the query point that happened to
+     touch the cell first. *)
+  let cache = Dem_cache.create us in
+  let rng = Cisp_util.Rng.create 32 in
+  for _ = 1 to 200 do
+    let p = random_point rng in
+    let c = Dem_cache.snap p in
+    Alcotest.(check int64) "surface = surface at cell center"
+      (Int64.bits_of_float (Dem.surface_m us c))
+      (Int64.bits_of_float (Dem_cache.surface_m cache p));
+    Alcotest.(check int64) "ground = elevation at cell center"
+      (Int64.bits_of_float (Dem.elevation_m us c))
+      (Int64.bits_of_float (Dem_cache.elevation_m cache p))
+  done
+
+let test_cache_order_independence () =
+  (* Shared-store contents are a pure function of the set of cells
+     touched — query order must not matter. *)
+  let rng = Cisp_util.Rng.create 33 in
+  let pts = List.init 300 (fun _ -> random_point rng) in
+  let fill order =
+    let cache = Dem_cache.create us in
+    List.iter (fun p -> ignore (Dem_cache.surface_m cache p)) order;
+    Dem_cache.surface_cells cache
+  in
+  Alcotest.(check bool) "forward and reverse fills agree" true
+    (fill pts = fill (List.rev pts))
+
+let test_cache_width_invariance () =
+  (* The tentpole determinism claim at the cache level: a parallel
+     sweep leaves bit-identical shared-store contents at any domain
+     count.  Each width gets a fresh cache; slight overlap between
+     indices makes domains race on common cells. *)
+  let sweep jobs =
+    let pool = Cisp_util.Pool.create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> Cisp_util.Pool.shutdown pool)
+      (fun () ->
+        let cache = Dem_cache.create us in
+        Cisp_util.Pool.parallel_for pool ~n:2000 (fun i ->
+            let f = float_of_int (i mod 1900) /. 1900.0 in
+            let lat = 30.0 +. (15.0 *. f) in
+            let lon = -110.0 +. (30.0 *. Float.rem (f *. 37.0) 1.0) in
+            ignore (Dem_cache.surface_m_ll cache ~lat ~lon);
+            ignore (Dem_cache.elevation_m_ll cache ~lat ~lon));
+        (Dem_cache.surface_cells cache, Dem_cache.ground_cells cache))
+  in
+  let s1, g1 = sweep 1 in
+  Alcotest.(check bool) "cells non-empty" true (s1 <> []);
+  List.iter
+    (fun jobs ->
+      let sw, gw = sweep jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "surface cells identical, jobs=1 vs %d" jobs)
+        true (s1 = sw);
+      Alcotest.(check bool)
+        (Printf.sprintf "ground cells identical, jobs=1 vs %d" jobs)
+        true (g1 = gw))
+    [ 2; 8 ]
+
 let suites =
   [
     ( "terrain.noise",
@@ -146,6 +251,7 @@ let suites =
         Alcotest.test_case "seed sensitivity" `Quick test_noise_seed_sensitivity;
         Alcotest.test_case "range" `Quick test_noise_range;
         Alcotest.test_case "continuity" `Quick test_noise_continuity;
+        Alcotest.test_case "fbm matches value spec" `Quick test_fbm_matches_value_spec;
       ] );
     ( "terrain.dem",
       [
@@ -162,5 +268,9 @@ let suites =
         Alcotest.test_case "consistency" `Quick test_cache_consistency;
         Alcotest.test_case "accuracy" `Quick test_cache_accuracy;
         Alcotest.test_case "ground vs surface" `Quick test_cache_ground_vs_surface;
+        Alcotest.test_case "hit/miss counters" `Quick test_cache_hit_miss_counters;
+        Alcotest.test_case "cell-center purity" `Quick test_cache_cell_center_purity;
+        Alcotest.test_case "order independence" `Quick test_cache_order_independence;
+        Alcotest.test_case "width invariance" `Slow test_cache_width_invariance;
       ] );
   ]
