@@ -1,8 +1,8 @@
 (* cisp_lint: typed-AST static analysis for the cISP tree.
 
    Walks the .cmt/.cmti files dune already produces and enforces the
-   repo's unit-safety, partiality and effect rules (L1-L9, see
-   lib/lint).  L1-L6 are per-expression; L7-L9 consume the
+   repo's unit-safety, partiality and effect rules (L1-L12, see
+   lib/lint).  L1-L6 are per-expression; L7-L12 consume the
    interprocedural call graph and effect summaries.  Normally driven
    by `dune build @lint`, which runs it from the build root after
    everything is compiled. *)
@@ -10,6 +10,7 @@
 module Diag = Cisp_linter.Diag
 module Allowlist = Cisp_linter.Allowlist
 module Engine = Cisp_linter.Engine
+module Hotpaths = Cisp_linter.Hotpaths
 
 let usage =
   "cisp_lint [options] [ROOT...]\n\n\
@@ -22,7 +23,8 @@ let usage =
 
 let () =
   let allowlist_path = ref "" in
-  let rules_csv = ref "L1,L2,L3,L4,L5,L6,L7,L8,L9" in
+  let hotpaths_path = ref "" in
+  let rules_csv = ref "L1,L2,L3,L4,L5,L6,L7,L8,L9,L10,L11,L12" in
   let verbose = ref false in
   let list_rules = ref false in
   let json = ref false in
@@ -32,6 +34,7 @@ let () =
   let spec =
     [
       ("--allowlist", Arg.Set_string allowlist_path, "FILE suppression list (RULE FILE SYMBOL per line)");
+      ("--hotpaths", Arg.Set_string hotpaths_path, "FILE zero-alloc registry (canonical NAME per line); default: ./lint.hotpaths in repo mode");
       ("--rules", Arg.Set_string rules_csv, "CSV rules to apply in explicit-ROOT mode (default: all)");
       ("--verbose", Arg.Set verbose, " also report suppressed diagnostics");
       ("--json", Arg.Set json, " print diagnostics as JSON Lines (one object per finding)");
@@ -69,6 +72,15 @@ let () =
                  Printf.eprintf "cisp_lint: unknown rule %S\n" s;
                  exit 2)
   in
+  let hotpaths =
+    if String.equal !hotpaths_path "" then None
+    else
+      match Hotpaths.load !hotpaths_path with
+      | Ok entries -> Some (Hotpaths.names entries)
+      | Error msg ->
+          Printf.eprintf "cisp_lint: bad hotpaths registry: %s\n" msg;
+          exit 2
+  in
   let report =
     match List.rev !roots with
     | [] ->
@@ -77,8 +89,8 @@ let () =
             "cisp_lint: no ROOT given and no lib/ here; run from the build root or pass directories\n";
           exit 2
         end;
-        Engine.run_repo ~allowlist ~root:"." ()
-    | roots -> Engine.run ~allowlist ~rules roots
+        Engine.run_repo ~allowlist ?hotpaths ~root:"." ()
+    | roots -> Engine.run ~allowlist ?hotpaths ~rules roots
   in
   List.iter (fun e -> Printf.eprintf "cisp_lint: warning: %s\n" e) report.Engine.errors;
   let emit = if !json then fun d -> print_endline (Diag.to_json d)

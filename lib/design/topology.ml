@@ -2,10 +2,17 @@ type t = { inputs : Inputs.t; built : (int * int) list; cost : int }
 
 let norm (i, j) = if i < j then (i, j) else (j, i)
 
+(* Monomorphic lexicographic order on link pairs: same order as the
+   polymorphic [compare] it replaces, without the runtime structural
+   walk (L12). *)
+let compare_pair (a, b) (c, d) =
+  let c0 = Int.compare a c in
+  if c0 <> 0 then c0 else Int.compare b d
+
 let link_cost (inputs : Inputs.t) i j = inputs.mw_cost.(i).(j)
 
 let of_links inputs pairs =
-  let pairs = List.sort_uniq compare (List.map norm pairs) in
+  let pairs = List.sort_uniq compare_pair (List.map norm pairs) in
   List.iter
     (fun (i, j) ->
       if Float.equal inputs.Inputs.mw_km.(i).(j) infinity then

@@ -29,6 +29,13 @@ let geodesic_matrix sites =
   done;
   d
 
+(* Monomorphic lexicographic order on candidate edges: same order as
+   the polymorphic [compare] it replaces, without the runtime
+   structural walk (L12). *)
+let compare_edge (a, b) (c, d) =
+  let c0 = Int.compare a c in
+  if c0 <> 0 then c0 else Int.compare b d
+
 (* Gabriel graph: edge (i,j) iff no third site lies inside the circle
    with diameter ij.  On geographic points we use the distance-based
    characterization d_ik^2 + d_jk^2 >= d_ij^2 for all k. *)
@@ -62,7 +69,7 @@ let knn_edges geodesic n ~k =
       edges := (min i j, max i j) :: !edges
     done
   done;
-  List.sort_uniq compare !edges
+  List.sort_uniq compare_edge !edges
 
 let build ?(mode = default_mode) ~sites () =
   let sites = Array.of_list sites in
@@ -77,7 +84,7 @@ let build ?(mode = default_mode) ~sites () =
   | Synthetic { seed; circuitousness_lo; circuitousness_hi } ->
     let rng = Rng.create seed in
     let pairs =
-      List.sort_uniq compare (gabriel_edges geodesic n @ knn_edges geodesic n ~k:3)
+      List.sort_uniq compare_edge (gabriel_edges geodesic n @ knn_edges geodesic n ~k:3)
     in
     let edge_list =
       List.map

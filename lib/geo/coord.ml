@@ -1,6 +1,9 @@
 type t = { lat : float; lon : float }
 
-let normalize_lon lon =
+(* [@inline] on the float-returning accessors below: without flambda a
+   cross-module call boxes its float result, and these run per sample
+   inside the zero-alloc LOS walk. *)
+let[@inline] [@cisp.zero_alloc] normalize_lon lon =
   let l = Float.rem (lon +. 180.0) 360.0 in
   let l = if l < 0.0 then l +. 360.0 else l in
   l -. 180.0
@@ -10,8 +13,8 @@ let make ~lat ~lon =
     invalid_arg (Printf.sprintf "Coord.make: latitude %f out of range" lat);
   { lat; lon = normalize_lon lon }
 
-let lat t = t.lat
-let lon t = t.lon
+let[@inline] lat t = t.lat
+let[@inline] lon t = t.lon
 let equal a b = Float.equal a.lat b.lat && Float.equal a.lon b.lon
 
 let compare a b =

@@ -1,14 +1,23 @@
 let r = Cisp_util.Units.earth_radius_km
-let rad = Cisp_util.Units.deg_to_rad
-let deg = Cisp_util.Units.rad_to_deg
 
-let distance_km (a : Coord.t) (b : Coord.t) =
+(* Eta-expanded so calls compile as direct (inlinable) applications,
+   not calls through a closure value: a closure call would box its
+   float argument and result, and [distance_km] runs per probed point
+   inside the zero-alloc LOS and grid walks. *)
+let[@inline] rad d = Cisp_util.Units.deg_to_rad d
+let[@inline] deg r = Cisp_util.Units.rad_to_deg r
+
+let[@inline] [@cisp.zero_alloc] distance_km (a : Coord.t) (b : Coord.t) =
   let phi1 = rad (Coord.lat a) and phi2 = rad (Coord.lat b) in
   let dphi = rad (Coord.lat b -. Coord.lat a) in
   let dlam = rad (Coord.lon b -. Coord.lon a) in
   let s1 = sin (dphi /. 2.0) and s2 = sin (dlam /. 2.0) in
   let h = (s1 *. s1) +. (cos phi1 *. cos phi2 *. s2 *. s2) in
-  2.0 *. r *. asin (Float.min 1.0 (sqrt h))
+  (* [if]-form of [Float.min 1.0 s]: same value for the s >= 0 the
+     haversine produces, and no out-of-line stdlib call to box the
+     result. *)
+  let s = sqrt h in
+  2.0 *. r *. asin (if s > 1.0 then 1.0 else s)
 
 let c_latency_ms a b = Cisp_util.Units.ms_of_km_at_c (distance_km a b)
 

@@ -61,70 +61,104 @@ let lon_span_deg ~radius_km ~lat =
   in
   radius_km /. km_per_deg
 
-let iter_nearby t p ~radius_km f =
+(* Column index of coordinate [x] under cell size [cd].  Top-level
+   with [cd] as an argument — the old capturing local was one closure
+   per query, inside the hop sweeps' per-iteration allocation budget
+   (L11). *)
+let[@inline] col cd x = int_of_float (Float.floor (x /. cd))
+
+(* The query path below is deliberately closure- and allocation-free
+   ([@cisp.zero_alloc] on [iter_nearby]): the LOS sweeps call it once
+   per tower from pool workers.  Column ranges travel as four scalars
+   (an empty second range is [lo > hi]), buckets are walked by
+   top-level recursion, and the candidate filter is inlined at both
+   probe sites.  [Hashtbl.find]-with-[Not_found] rather than
+   [find_opt]: the option would allocate per probed cell (L2 allowlist
+   entry). *)
+let scan_cols_frozen packed f p radius_km ci cj_lo cj_hi =
+  for cj = cj_lo to cj_hi do
+    match Hashtbl.find packed (pack ci cj) with
+    | exception Not_found -> ()
+    | arr ->
+      for k = 0 to Array.length arr - 1 do
+        let q, v = Array.unsafe_get arr k in
+        if Geodesy.distance_km p q <= radius_km then f q v
+      done
+  done
+
+let rec visit_bucket f p radius_km = function
+  | [] -> ()
+  | (q, v) :: rest ->
+    if Geodesy.distance_km p q <= radius_km then f q v;
+    visit_bucket f p radius_km rest
+
+let scan_cols_live cells f p radius_km ci cj_lo cj_hi =
+  for cj = cj_lo to cj_hi do
+    match Hashtbl.find cells (pack ci cj) with
+    | exception Not_found -> ()
+    | bucket -> visit_bucket f p radius_km !bucket
+  done
+
+let scan_ranges t f p radius_km ~ci_lo ~ci_hi ~r1_lo ~r1_hi ~r2_lo ~r2_hi =
+  match t.frozen with
+  | Some packed ->
+    for ci = ci_lo to ci_hi do
+      scan_cols_frozen packed f p radius_km ci r1_lo r1_hi;
+      scan_cols_frozen packed f p radius_km ci r2_lo r2_hi
+    done
+  | None ->
+    for ci = ci_lo to ci_hi do
+      scan_cols_live t.cells f p radius_km ci r1_lo r1_hi;
+      scan_cols_live t.cells f p radius_km ci r2_lo r2_hi
+    done
+
+let[@cisp.zero_alloc] iter_nearby t p ~radius_km f =
   let cd = t.cell_deg in
   let lat_span = radius_km /. Cisp_util.Units.km_per_deg_lat in
   let lon_span = lon_span_deg ~radius_km ~lat:(Coord.lat p) in
-  let col x = int_of_float (Float.floor (x /. cd)) in
   (* Rows cannot wrap; clamp to the populated band so every scanned
      key stays inside the packed-field range. *)
-  let ci_min = col (-90.0) and ci_max = col 90.0 in
-  let ci_lo = max ci_min (col (Coord.lat p -. lat_span)) in
-  let ci_hi = min ci_max (col (Coord.lat p +. lat_span)) in
+  let ci_min = col cd (-90.0) and ci_max = col cd 90.0 in
+  let ci_lo = max ci_min (col cd (Coord.lat p -. lat_span)) in
+  let ci_hi = min ci_max (col cd (Coord.lat p +. lat_span)) in
   (* Columns wrap at the antimeridian.  Stored longitudes lie in
      [-180, 180), i.e. columns [cj_min, cj_max]; a window crossing
      +/-180 is scanned as two column ranges, its overflow wrapped by
      360 degrees.  If the wrapped range would meet the main one (the
      window nearly circles the globe) fall back to one full scan so no
      cell is visited twice. *)
-  let cj_min = col (-180.0) in
+  let cj_min = col cd (-180.0) in
   let cj_max = int_of_float (Float.ceil (180.0 /. cd)) - 1 in
   let lon_lo = Coord.lon p -. lon_span and lon_hi = Coord.lon p +. lon_span in
-  let clamp (a, b) = (max a cj_min, min b cj_max) in
-  let col_ranges =
-    if lon_hi -. lon_lo >= 360.0 then [ (cj_min, cj_max) ]
-    else if lon_lo < -180.0 then begin
-      let wrapped_lo = col (lon_lo +. 360.0) in
-      let main_hi = col lon_hi in
-      if wrapped_lo <= main_hi then [ (cj_min, cj_max) ]
-      else [ clamp (cj_min, main_hi); clamp (wrapped_lo, cj_max) ]
-    end
-    else if lon_hi >= 180.0 then begin
-      let wrapped_hi = col (lon_hi -. 360.0) in
-      let main_lo = col lon_lo in
-      if wrapped_hi >= main_lo then [ (cj_min, cj_max) ]
-      else [ clamp (main_lo, cj_max); clamp (cj_min, wrapped_hi) ]
-    end
-    else [ clamp (col lon_lo, col lon_hi) ]
-  in
-  let visit_filtered q v = if Geodesy.distance_km p q <= radius_km then f q v in
-  match t.frozen with
-  | Some packed ->
-    for ci = ci_lo to ci_hi do
-      List.iter
-        (fun (cj_lo, cj_hi) ->
-          for cj = cj_lo to cj_hi do
-            match Hashtbl.find_opt packed (pack ci cj) with
-            | None -> ()
-            | Some arr ->
-              for k = 0 to Array.length arr - 1 do
-                let q, v = Array.unsafe_get arr k in
-                visit_filtered q v
-              done
-          done)
-        col_ranges
-    done
-  | None ->
-    for ci = ci_lo to ci_hi do
-      List.iter
-        (fun (cj_lo, cj_hi) ->
-          for cj = cj_lo to cj_hi do
-            match Hashtbl.find_opt t.cells (pack ci cj) with
-            | None -> ()
-            | Some bucket -> List.iter (fun (q, v) -> visit_filtered q v) !bucket
-          done)
-        col_ranges
-    done
+  (* Fully applied at every branch: binding a partially applied
+     [scan_ranges] would allocate the very closure this path exists to
+     avoid. *)
+  if lon_hi -. lon_lo >= 360.0 then
+    scan_ranges t f p radius_km ~ci_lo ~ci_hi ~r1_lo:cj_min ~r1_hi:cj_max
+      ~r2_lo:0 ~r2_hi:(-1)
+  else if lon_lo < -180.0 then begin
+    let wrapped_lo = col cd (lon_lo +. 360.0) in
+    let main_hi = col cd lon_hi in
+    if wrapped_lo <= main_hi then
+      scan_ranges t f p radius_km ~ci_lo ~ci_hi ~r1_lo:cj_min ~r1_hi:cj_max
+        ~r2_lo:0 ~r2_hi:(-1)
+    else
+      scan_ranges t f p radius_km ~ci_lo ~ci_hi ~r1_lo:cj_min
+        ~r1_hi:(min main_hi cj_max) ~r2_lo:(max wrapped_lo cj_min) ~r2_hi:cj_max
+  end
+  else if lon_hi >= 180.0 then begin
+    let wrapped_hi = col cd (lon_hi -. 360.0) in
+    let main_lo = col cd lon_lo in
+    if wrapped_hi >= main_lo then
+      scan_ranges t f p radius_km ~ci_lo ~ci_hi ~r1_lo:cj_min ~r1_hi:cj_max
+        ~r2_lo:0 ~r2_hi:(-1)
+    else
+      scan_ranges t f p radius_km ~ci_lo ~ci_hi ~r1_lo:(max main_lo cj_min)
+        ~r1_hi:cj_max ~r2_lo:cj_min ~r2_hi:(min wrapped_hi cj_max)
+  end
+  else
+    scan_ranges t f p radius_km ~ci_lo ~ci_hi ~r1_lo:(max (col cd lon_lo) cj_min)
+      ~r1_hi:(min (col cd lon_hi) cj_max) ~r2_lo:0 ~r2_hi:(-1)
 
 let nearby t p ~radius_km =
   let acc = ref [] in

@@ -1,5 +1,24 @@
 type result = { dist : float array; prev : int array }
 
+(* Relax every edge out of the settled node [u] at distance [d]:
+   structural recursion over the adjacency list rather than
+   [Graph.iter_succ], so the relaxation sweep builds no closure — the
+   APSP rows run inside pool workers under a per-iteration allocation
+   budget (L11). *)
+let rec relax heap dist prev d u = function
+  | [] -> ()
+  | (e : Graph.edge) :: rest ->
+    let nd = d +. e.Graph.weight in
+    if nd < dist.(e.Graph.dst) then begin
+      dist.(e.Graph.dst) <- nd;
+      prev.(e.Graph.dst) <- u;
+      Heap.push heap nd e.Graph.dst
+    end;
+    relax heap dist prev d u rest
+
+(* [stop_at] is a node index, or -1 for a full single-source run: the
+   option wrapper the loop used to re-test per pop is gone along with
+   the allocating [Heap.pop]. *)
 let run_internal g ~src ~stop_at =
   let n = Graph.node_count g in
   let dist = Array.make n infinity in
@@ -8,30 +27,20 @@ let run_internal g ~src ~stop_at =
   let heap = Heap.create () in
   dist.(src) <- 0.0;
   Heap.push heap 0.0 src;
-  let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (d, u) ->
-      if settled.(u) then loop ()
-      else begin
-        settled.(u) <- true;
-        if Some u <> stop_at then begin
-          Graph.iter_succ g u (fun e ->
-              let nd = d +. e.Graph.weight in
-              if nd < dist.(e.Graph.dst) then begin
-                dist.(e.Graph.dst) <- nd;
-                prev.(e.Graph.dst) <- u;
-                Heap.push heap nd e.Graph.dst
-              end);
-          loop ()
-        end
-      end
-  in
-  loop ();
+  let finished = ref false in
+  while (not !finished) && Heap.length heap > 0 do
+    let d = Heap.min_key heap in
+    let u = Heap.pop_min heap in
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      if u = stop_at then finished := true
+      else relax heap dist prev d u (Graph.succ g u)
+    end
+  done;
   { dist; prev }
 
-let run g ~src = run_internal g ~src ~stop_at:None
-let run_to g ~src ~dst = run_internal g ~src ~stop_at:(Some dst)
+let run g ~src = run_internal g ~src ~stop_at:(-1)
+let run_to g ~src ~dst = run_internal g ~src ~stop_at:dst
 
 let path r ~dst =
   if Float.equal r.dist.(dst) infinity then []

@@ -4,7 +4,11 @@ type 'a t = {
   mutable size : int;
 }
 
-let create ?(capacity = 64) () =
+(* [?capacity] without default sugar: a `?(capacity = 64)` default is
+   desugared to a let binding between the parameter lambdas, so every
+   call would allocate a closure for the remaining `()` parameter. *)
+let create ?capacity () =
+  let capacity = match capacity with Some c -> c | None -> 64 in
   { keys = Array.make capacity 0.0; vals = Array.make capacity None; size = 0 }
 
 let length h = h.size
@@ -38,12 +42,13 @@ let rec sift_up h i =
 
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
-  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap h i !smallest;
-    sift_down h !smallest
+  let smallest = if l < h.size && h.keys.(l) < h.keys.(i) then l else i in
+  let smallest =
+    if r < h.size && h.keys.(r) < h.keys.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
   end
 
 let push h key v =
@@ -53,19 +58,31 @@ let push h key v =
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
+let[@inline] min_key h =
+  if h.size = 0 then invalid_arg "Heap.min_key: empty heap";
+  h.keys.(0)
+
+(* Allocation-free pop: callers that must not allocate read the key
+   with [min_key] first, then take the payload here — no option, no
+   key/payload pair. *)
+let pop_min h =
+  if h.size = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let v = h.vals.(0) in
+  h.size <- h.size - 1;
+  h.keys.(0) <- h.keys.(h.size);
+  h.vals.(0) <- h.vals.(h.size);
+  h.vals.(h.size) <- None;
+  if h.size > 0 then sift_down h 0;
+  match v with
+  | Some x -> x
+  | None -> assert false
+
 let pop h =
   if h.size = 0 then None
   else begin
     let key = h.keys.(0) in
-    let v = h.vals.(0) in
-    h.size <- h.size - 1;
-    h.keys.(0) <- h.keys.(h.size);
-    h.vals.(0) <- h.vals.(h.size);
-    h.vals.(h.size) <- None;
-    if h.size > 0 then sift_down h 0;
-    match v with
-    | Some x -> Some (key, x)
-    | None -> assert false
+    let v = pop_min h in
+    Some (key, v)
   end
 
 let peek h =

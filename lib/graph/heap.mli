@@ -15,6 +15,16 @@ val push : 'a t -> float -> 'a -> unit
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element. *)
 
+val min_key : 'a t -> float
+(** Priority of the minimum element.  Raises [Invalid_argument] on an
+    empty heap. *)
+
+val pop_min : 'a t -> 'a
+(** Remove the minimum element and return its payload alone.  Combined
+    with {!min_key} this is the allocation-free form of {!pop}: no
+    option, no key/payload pair.  Raises [Invalid_argument] on an
+    empty heap. *)
+
 val peek : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit

@@ -55,6 +55,9 @@ type node = {
   is_fun : bool;
   mutable params_idx : int SM.t;  (* Ident.unique_name -> 0-based index *)
   mutable binders : SS.t;  (* Ident.unique_names bound inside *)
+  mutable captures : bool;  (* references a free local of an enclosing scope *)
+  mutable zero_alloc : bool;  (* [@cisp.zero_alloc] on the definition *)
+  mutable alloc_ok : bool;  (* [@cisp.alloc_ok]: damp allocs at this node *)
   mutable direct : Effects.t;
   mutable edges : edge list;
 }
@@ -154,6 +157,9 @@ let mk_node b ~source ~name ~symbol ~kind ~is_fun def_site =
       is_fun;
       params_idx = SM.empty;
       binders = SS.empty;
+      captures = false;
+      zero_alloc = false;
+      alloc_ok = false;
       direct = Effects.bottom;
       edges = [];
     }
@@ -215,6 +221,35 @@ let add_mut_free ctx key name site =
           d.Effects.mut_free;
     }
 
+let add_alloc_n (n : node) kind site =
+  let d = n.direct in
+  n.direct <-
+    { d with Effects.allocs = SM.update kind (min_w site) d.Effects.allocs }
+
+let add_alloc ctx kind site = add_alloc_n ctx.cur kind site
+
+let add_poly ctx what site =
+  let d = ctx.cur.direct in
+  ctx.cur.direct <-
+    { d with Effects.poly_cmp = Effects.RS.add (what, site) d.Effects.poly_cmp }
+
+(* [@cisp.zero_alloc] / [@cisp.alloc_ok "reason"] on a value binding.
+   Namespaced attributes are exempt from warning 53, so annotating a
+   kernel costs nothing under [-w +a -warn-error +a]. *)
+let contract_of_attrs attrs =
+  List.fold_left
+    (fun (za, ok) (a : Parsetree.attribute) ->
+      match a.Parsetree.attr_name.Asttypes.txt with
+      | "cisp.zero_alloc" -> (true, ok)
+      | "cisp.alloc_ok" -> (za, true)
+      | _ -> (za, ok))
+    (false, false) attrs
+
+let apply_contract node attrs =
+  let za, ok = contract_of_attrs attrs in
+  if za then node.zero_alloc <- true;
+  if ok then node.alloc_ok <- true
+
 (* ------------------------------------------------------------------ *)
 (* Classification                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -238,7 +273,13 @@ let classify_path ctx p =
           | Some canon -> AGlobal canon
           | None ->
               if SS.mem k ctx.cur.binders then ALocal
-              else AFreeLocal (k, Ident.name id)))
+              else begin
+                (* referencing an enclosing scope's local: this node,
+                   if it is a closure, needs an environment — so its
+                   creation is a heap allocation in the parent *)
+                ctx.cur.captures <- true;
+                AFreeLocal (k, Ident.name id)
+              end))
   | _ -> AGlobal (canonical_of_path ctx p)
 
 let classify_arg ctx (e : expression) =
@@ -283,6 +324,45 @@ let mask_of_comp_cases cases =
 
 let is_arrow ty =
   match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Type shapes (structural, no env expansion: a [type m = float]      *)
+(* abbreviation is seen through links but a nominal record is opaque)  *)
+(* ------------------------------------------------------------------ *)
+
+let is_float_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let is_exn_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_exn
+  | _ -> false
+
+(* Does the type syntactically mention [float]?  Bounded depth keeps
+   recursive types finite; [Coord.t]-style nominal records are opaque
+   here, which under-approximates — acceptable for L12's site list. *)
+let rec contains_float depth ty =
+  depth > 0
+  &&
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+      Path.same p Predef.path_float
+      || List.exists (contains_float (depth - 1)) args
+  | Types.Ttuple tys -> List.exists (contains_float (depth - 1)) tys
+  | _ -> false
+
+let contains_float ty = contains_float 4 ty
+
+(* First argument type of an arrow, through optional-arg sugar. *)
+let arrow_arg_ty ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, targ, _, _) -> Some targ
+  | _ -> None
+
+let is_tvar ty =
+  match Types.get_desc ty with Types.Tvar _ -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* The walk                                                            *)
@@ -377,6 +457,12 @@ let process_impl b (u : Loader.unit_) (str : structure) =
         damp_mut = false;
       };
     in_node node (fun () -> walk_fn_body 0 e);
+    (* A capturing lambda needs an environment block at every execution
+       of the surrounding code; a captureless one is statically
+       allocated.  Only per-call contexts are charged: a closure built
+       once at module init is not an allocation on anyone's hot path. *)
+    if node.captures && parent.is_fun then
+      add_alloc_n parent "closure" (Effects.site_of_loc e.exp_loc);
     node
   in
   (* Resolve an identifier to a node known in this unit (same-file
@@ -402,12 +488,31 @@ let process_impl b (u : Loader.unit_) (str : structure) =
     | None -> ());
     if Effects.ext_io name then set_io ctx
   in
+  (* A polymorphic compare/hash primitive escaping as a first-class
+     value at a concrete instantiation: the consumer calls it through
+     the generic runtime walker, never the specialized code the
+     compiler emits for direct applications. *)
+  let note_poly_value p ty site =
+    match p with
+    | Path.Pident _ -> ()
+    | _ ->
+        let name = canonical_of_path ctx p in
+        if Effects.ext_poly_cmp name then
+          match arrow_arg_ty ty with
+          | Some t when not (is_tvar t) ->
+              add_poly ctx
+                (Printf.sprintf "polymorphic `%s' used as a first-class comparator" name)
+                site
+          | _ -> ()
+  in
   (* Walk one argument; returns the callee to use as a closure target
      when the argument is function-valued. *)
   let walk_arg guard (a : expression) : callee option =
     match a.exp_desc with
     | Texp_function _ -> Some (Internal (lambda_node guard a).id)
     | Texp_ident (p, _, _) when is_arrow a.exp_type -> (
+        ignore (classify_path ctx p);
+        note_poly_value p a.exp_type (Effects.site_of_loc a.exp_loc);
         let site = Effects.site_of_loc a.exp_loc in
         match callee_of_path p with
         | Internal id as c ->
@@ -435,7 +540,9 @@ let process_impl b (u : Loader.unit_) (str : structure) =
                     damp_mut = false;
                   };
                 Some c))
-    | Texp_ident _ -> None
+    | Texp_ident (p, _, _) ->
+        ignore (classify_path ctx p);
+        None
     | Texp_apply _ ->
         walk a;
         (* partial application: target the head function's node *)
@@ -455,6 +562,7 @@ let process_impl b (u : Loader.unit_) (str : structure) =
     let argexprs = List.filter_map snd args in
     match fn.exp_desc with
     | Texp_ident (p, _, _) ->
+        ignore (classify_path ctx p);
         let callee = callee_of_path p in
         let name =
           match callee with
@@ -489,8 +597,51 @@ let process_impl b (u : Loader.unit_) (str : structure) =
             | Some what -> add_nondet ctx what site
             | None -> ());
             if Effects.ext_locks name then set_locks ctx;
-            if Effects.ext_io name then set_io ctx
+            if Effects.ext_io name then set_io ctx;
+            (match Effects.ext_alloc name with
+            | Some kind -> add_alloc ctx kind site
+            | None -> ());
+            (match Effects.ext_boxes_float_arg name with
+            | Some i -> (
+                match List.nth_opt argexprs i with
+                | Some a when is_float_ty a.exp_type ->
+                    add_alloc ctx "boxed float" site
+                | _ -> ())
+            | None -> ());
+            (* Direct application of a structural primitive at a
+               float-bearing aggregate: the generic runtime comparator
+               walks (and on flat float blocks, boxes) every element.
+               Bare [float] arguments are excluded — the compiler
+               specializes those. *)
+            (if Effects.ext_poly_cmp name && not (is_arrow e.exp_type) then
+               match argexprs with
+               | a :: _
+                 when contains_float a.exp_type && not (is_float_ty a.exp_type)
+                 ->
+                   add_poly ctx
+                     (Printf.sprintf
+                        "polymorphic `%s' on a float-bearing type" name)
+                     site
+               | _ -> ());
+            (match name with
+            | "Hashtbl.find" | "Hashtbl.find_opt" | "Hashtbl.mem"
+            | "Hashtbl.add" | "Hashtbl.replace" | "Hashtbl.remove"
+            | "Hashtbl.find_all" -> (
+                match argexprs with
+                | t :: _ -> (
+                    match Types.get_desc t.exp_type with
+                    | Types.Tconstr (_, [ k; _ ], _) when contains_float k ->
+                        add_poly ctx
+                          (Printf.sprintf
+                             "%s on a float-keyed table (polymorphic \
+                              hash/equality)"
+                             name)
+                          site
+                    | _ -> ())
+                | [] -> ())
+            | _ -> ())
         | Internal _ -> ());
+        if is_arrow e.exp_type then add_alloc ctx "partial application" site;
         (match name with
         | "raise" | "raise_notrace" | "Printexc.raise_with_backtrace" -> (
             match argexprs with
@@ -521,12 +672,66 @@ let process_impl b (u : Loader.unit_) (str : structure) =
             :: b.bpool
     | _ ->
         walk fn;
-        List.iter (fun a -> ignore (walk_arg None a)) argexprs
+        List.iter (fun a -> ignore (walk_arg None a)) argexprs;
+        if is_arrow e.exp_type then add_alloc ctx "partial application" site
   in
   let expr sub (e : expression) =
     match e.exp_desc with
     | Texp_function _ -> ignore (lambda_node None e)
     | Texp_apply (fn, args) -> handle_apply e fn args
+    | Texp_ident (p, _, _) ->
+        ignore (classify_path ctx p);
+        if is_arrow e.exp_type then
+          note_poly_value p e.exp_type (Effects.site_of_loc e.exp_loc)
+    | Texp_tuple es ->
+        let site = Effects.site_of_loc e.exp_loc in
+        add_alloc ctx "tuple" site;
+        if List.exists (fun (x : expression) -> is_float_ty x.exp_type) es
+        then add_alloc ctx "boxed float" site;
+        List.iter walk es
+    | Texp_construct (_, cd, args) when args <> [] && not (is_exn_ty e.exp_type)
+      ->
+        (* exception payloads live on the raise path, which zero-alloc
+           contracts deliberately exempt *)
+        let site = Effects.site_of_loc e.exp_loc in
+        add_alloc ctx
+          (if String.equal cd.Types.cstr_name "::" then "list"
+           else "variant block")
+          site;
+        if List.exists (fun (x : expression) -> is_float_ty x.exp_type) args
+        then add_alloc ctx "boxed float" site;
+        List.iter walk args
+    | Texp_record { fields; representation; extended_expression } ->
+        let site = Effects.site_of_loc e.exp_loc in
+        (match representation with
+        | Types.Record_unboxed _ -> () (* erased at runtime *)
+        | _ ->
+            add_alloc ctx "record" site;
+            (* mixed records box each float field; all-float records
+               are flat, all-immediate ones have nothing to box *)
+            let total = Array.length fields in
+            let floats =
+              Array.fold_left
+                (fun acc ((ld : Types.label_description), _) ->
+                  if is_float_ty ld.Types.lbl_arg then acc + 1 else acc)
+                0 fields
+            in
+            if floats > 0 && floats < total then
+              add_alloc ctx "boxed float" site);
+        Option.iter walk extended_expression;
+        Array.iter
+          (fun (_, def) ->
+            match def with Kept _ -> () | Overridden (_, x) -> walk x)
+          fields
+    | Texp_array es ->
+        add_alloc ctx "array" (Effects.site_of_loc e.exp_loc);
+        List.iter walk es
+    | Texp_variant (_, Some x) ->
+        add_alloc ctx "variant block" (Effects.site_of_loc e.exp_loc);
+        walk x
+    | Texp_lazy x ->
+        add_alloc ctx "lazy" (Effects.site_of_loc e.exp_loc);
+        walk x
     | Texp_setfield (target, _, _, rhs) ->
         record_mut ctx (Effects.site_of_loc e.exp_loc) target;
         walk target;
@@ -572,6 +777,7 @@ let process_impl b (u : Loader.unit_) (str : structure) =
                   ~symbol:ctx.cur.symbol ~kind:Local ~is_fun:true
                   vb.vb_expr.exp_loc
               in
+              apply_contract node vb.vb_attributes;
               ctx.stamp_nodes <-
                 SM.add (Ident.unique_name id) node.id ctx.stamp_nodes;
               (vb, Some node)
@@ -581,7 +787,13 @@ let process_impl b (u : Loader.unit_) (str : structure) =
     List.iter
       (fun ((vb : value_binding), node) ->
         match node with
-        | Some node -> in_node node (fun () -> walk_fn_body 0 vb.vb_expr)
+        | Some node ->
+            in_node node (fun () -> walk_fn_body 0 vb.vb_expr);
+            (* a capturing local function costs its enclosing function
+               one environment block per call; captureless ones are
+               compiled to static closures *)
+            if node.captures && ctx.cur.is_fun then
+              add_alloc_n ctx.cur "closure" node.def_site
         | None ->
             Tast_iterator.default_iterator.Tast_iterator.value_binding sub vb)
       prepared
@@ -609,6 +821,7 @@ let process_impl b (u : Loader.unit_) (str : structure) =
                 new_node ctx ~name:canon ~symbol ~kind:Top ~is_fun
                   vb.vb_expr.exp_loc
               in
+              apply_contract node vb.vb_attributes;
               List.iter
                 (fun id ->
                   let k = Ident.unique_name id in

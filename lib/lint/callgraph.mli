@@ -53,6 +53,13 @@ type node = {
   is_fun : bool;
   mutable params_idx : int SM.t;
   mutable binders : SS.t;
+  mutable captures : bool;
+      (** references a free local of an enclosing scope, so creating
+          this node's closure heap-allocates an environment *)
+  mutable zero_alloc : bool;  (** [@cisp.zero_alloc] on the definition *)
+  mutable alloc_ok : bool;
+      (** [@cisp.alloc_ok "reason"]: the summary drops allocations at
+          this node — the justified cold-path escape hatch *)
   mutable direct : Effects.t;
   mutable edges : edge list;
 }

@@ -1,6 +1,6 @@
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
 
-let all_rules = [ L1; L2; L3; L4; L5; L6; L7; L8; L9 ]
+let all_rules = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12 ]
 
 let rule_id = function
   | L1 -> "L1"
@@ -12,6 +12,9 @@ let rule_id = function
   | L7 -> "L7"
   | L8 -> "L8"
   | L9 -> "L9"
+  | L10 -> "L10"
+  | L11 -> "L11"
+  | L12 -> "L12"
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -24,6 +27,9 @@ let rule_of_string s =
   | "L7" -> Some L7
   | "L8" -> Some L8
   | "L9" -> Some L9
+  | "L10" -> Some L10
+  | "L11" -> Some L11
+  | "L12" -> Some L12
   | _ -> None
 
 let rule_doc = function
@@ -36,6 +42,9 @@ let rule_doc = function
   | L7 -> "closure handed to the domain pool transitively mutates unsynchronized shared state"
   | L8 -> "public API can raise an exception outside the Invalid_argument convention"
   | L9 -> "ambient nondeterminism read reachable from the design pipeline"
+  | L10 -> "allocation reachable from a [@cisp.zero_alloc] contract"
+  | L11 -> "per-call allocation (closure/boxed float) inside a domain-pool worker body"
+  | L12 -> "polymorphic compare/hash reachable from the design pipeline where a monomorphic comparison exists"
 
 type t = {
   rule : rule;

@@ -27,9 +27,23 @@
     - L9: no reads of ambient nondeterminism ([Random], [Sys.time],
       [Unix.gettimeofday], hash-table iteration order, environment
       variables) reachable from the design pipeline outside
-      [Cisp_util.Rng]. *)
+      [Cisp_util.Rng].
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
+    The allocation-discipline family (also interprocedural):
+
+    - L10: a [@cisp.zero_alloc] contract (attribute, or an entry in
+      the [lint.hotpaths] registry) must not reach any heap
+      allocation in its transitive call graph; blamed at the
+      allocation's origin site, like L8.
+    - L11: a closure handed to a [Cisp_util.Pool] combinator must not
+      allocate a closure, box a float, or build a partial application
+      per call — the per-iteration garbage that kills multicore
+      scaling.
+    - L12: no polymorphic [compare]/[Hashtbl.hash] reachable from the
+      design pipeline where a monomorphic float/int comparison
+      exists. *)
+
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
 
 val all_rules : rule list
 val rule_id : rule -> string

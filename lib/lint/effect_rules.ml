@@ -15,7 +15,17 @@
    - L9 nondeterminism-taint: no ambient-nondeterminism read
      (wall clocks, [Random], environment, hash-table iteration order)
      may be reachable from the design pipeline outside the seeded
-     [Cisp_util.Rng]. *)
+     [Cisp_util.Rng].
+   - L10 zero-alloc contracts: a function carrying [@cisp.zero_alloc]
+     (or registered in [lint.hotpaths]) must not reach any heap
+     allocation in its transitive call graph; the diagnostic lands at
+     the allocation's origin site, like L8's blame-at-origin.
+   - L11 pool-body allocation: a closure handed to a [Cisp_util.Pool]
+     combinator must not allocate a closure, box a float or build a
+     partial application per call.
+   - L12 polymorphic-comparison taint: no polymorphic compare/hash at
+     a monomorphizable type reachable from the design pipeline; same
+     BFS as L9. *)
 
 module SM = Effects.SM
 module SS = Effects.SS
@@ -24,11 +34,19 @@ type config = {
   l7 : bool;
   l8 : bool;
   l9 : bool;
+  l10 : bool;
+  l11 : bool;
+  l12 : bool;
   l8_unit_ok : string -> bool;
       (* is this source file held to the public-raise convention? *)
-  l9_root : Callgraph.node -> bool;  (* pipeline entry points *)
+  l9_root : Callgraph.node -> bool;
+      (* pipeline entry points; L12 reachability uses the same roots *)
   l9_site_ok : string -> bool;  (* source files where L9 reads are flagged *)
   l9_exempt : string -> bool;  (* canonical node names allowed to read *)
+  l10_hotpaths : string list;
+      (* canonical names held to the zero-alloc contract without an
+         attribute (the [lint.hotpaths] registry) *)
+  l12_site_ok : string -> bool;  (* source files where L12 sites are flagged *)
 }
 
 let default_l9_exempt name =
@@ -41,10 +59,15 @@ let generic =
     l7 = true;
     l8 = true;
     l9 = true;
+    l10 = true;
+    l11 = true;
+    l12 = true;
     l8_unit_ok = (fun _ -> true);
     l9_root = (fun _ -> true);
     l9_site_ok = (fun _ -> true);
     l9_exempt = default_l9_exempt;
+    l10_hotpaths = [];
+    l12_site_ok = (fun _ -> true);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -119,12 +142,14 @@ let check_l8 cfg (g : Callgraph.t) (sums : Effects.t array) =
                  :: acc)
              sums.(node.Callgraph.id).Effects.raises [])
 
-let check_l9 cfg (g : Callgraph.t) =
+(* Multi-source BFS from the pipeline entry points, roots seeded in
+   name order so the "reachable from" witness is deterministic.
+   Shared by L9 and L12; [via.(i)] is the root that first reached
+   node [i]. *)
+let pipeline_reachability cfg (g : Callgraph.t) =
   let n = Array.length g.Callgraph.nodes in
   let via = Array.make n None in
   let q = Queue.create () in
-  (* multi-source BFS, roots seeded in name order so the "reachable
-     from" witness is deterministic *)
   Array.to_list g.Callgraph.nodes
   |> List.filter cfg.l9_root
   |> List.sort (fun (a : Callgraph.node) b ->
@@ -151,6 +176,10 @@ let check_l9 cfg (g : Callgraph.t) =
         drain ()
   in
   drain ();
+  via
+
+let check_l9 cfg (g : Callgraph.t) =
+  let via = pipeline_reachability cfg g in
   Array.to_list g.Callgraph.nodes
   |> List.concat_map (fun (node : Callgraph.node) ->
          match via.(node.Callgraph.id) with
@@ -171,8 +200,95 @@ let check_l9 cfg (g : Callgraph.t) =
                                   what root)
                              (Effects.loc_of_site site))))
 
+(* The kinds of per-call garbage that serialize a parallel worker on
+   the minor allocator: environment blocks, float boxes, and the
+   closures [Texp_apply] builds for unsaturated calls.  Plain data
+   allocation in a worker (filling an output list, say) is L7/L10
+   territory, not L11's. *)
+let l11_kinds = [ "closure"; "boxed float"; "partial application" ]
+
+let check_l10 cfg (g : Callgraph.t) (sums : Effects.t array) =
+  let registry = SS.of_list cfg.l10_hotpaths in
+  Array.to_list g.Callgraph.nodes
+  |> List.concat_map (fun (node : Callgraph.node) ->
+         let contracted =
+           node.Callgraph.zero_alloc
+           || SS.mem node.Callgraph.name registry
+              (* under shadowing only the last binding of the name is
+                 the one callers see; [by_name] keeps exactly that *)
+              && SM.find_opt node.Callgraph.name g.Callgraph.by_name
+                 = Some node.Callgraph.id
+         in
+         if not contracted then []
+         else
+           SM.fold
+             (fun kind site acc ->
+               (* blame at the origin: the diagnostic lands on the
+                  allocation site, wherever the call chain put it *)
+               Diag.make ~rule:Diag.L10 ~symbol:node.Callgraph.symbol
+                 ~message:
+                   (Printf.sprintf
+                      "zero-alloc contract on `%s' violated: %s allocation"
+                      node.Callgraph.name kind)
+                 (Effects.loc_of_site site)
+               :: acc)
+             sums.(node.Callgraph.id).Effects.allocs [])
+
+let check_l11 (g : Callgraph.t) (sums : Effects.t array) =
+  List.concat_map
+    (fun (ps : Callgraph.pool_site) ->
+      let caller = g.Callgraph.nodes.(ps.Callgraph.ps_caller) in
+      let combinator =
+        match String.index_opt ps.Callgraph.ps_combinator '.' with
+        | Some i ->
+            String.sub ps.Callgraph.ps_combinator (i + 1)
+              (String.length ps.Callgraph.ps_combinator - i - 1)
+        | None -> ps.Callgraph.ps_combinator
+      in
+      List.concat_map
+        (fun tid ->
+          SM.fold
+            (fun kind site acc ->
+              if not (List.mem kind l11_kinds) then acc
+              else
+                Diag.make ~rule:Diag.L11 ~symbol:caller.Callgraph.symbol
+                  ~message:
+                    (Printf.sprintf
+                       "closure passed to %s allocates per call: %s at %s"
+                       combinator kind
+                       (Effects.site_to_string site))
+                  (Effects.loc_of_site ps.Callgraph.ps_site)
+                :: acc)
+            sums.(tid).Effects.allocs [])
+        ps.Callgraph.ps_targets)
+    g.Callgraph.pool_sites
+
+let check_l12 cfg (g : Callgraph.t) =
+  let via = pipeline_reachability cfg g in
+  Array.to_list g.Callgraph.nodes
+  |> List.concat_map (fun (node : Callgraph.node) ->
+         match via.(node.Callgraph.id) with
+         | None -> []
+         | Some root ->
+             Effects.RS.elements node.Callgraph.direct.Effects.poly_cmp
+             |> List.filter_map (fun (what, site) ->
+                    if not (cfg.l12_site_ok site.Effects.file) then None
+                    else
+                      Some
+                        (Diag.make ~rule:Diag.L12
+                           ~symbol:node.Callgraph.symbol
+                           ~message:
+                             (Printf.sprintf
+                                "%s; reachable from pipeline entry `%s' — \
+                                 use a monomorphic comparison"
+                                what root)
+                           (Effects.loc_of_site site))))
+
 let check cfg (g : Callgraph.t) (r : Summary.result) =
   let sums = r.Summary.summaries in
   (if cfg.l7 then check_l7 g sums else [])
   @ (if cfg.l8 then check_l8 cfg g sums else [])
-  @ if cfg.l9 then check_l9 cfg g else []
+  @ (if cfg.l9 then check_l9 cfg g else [])
+  @ (if cfg.l10 then check_l10 cfg g sums else [])
+  @ (if cfg.l11 then check_l11 g sums else [])
+  @ if cfg.l12 then check_l12 cfg g else []

@@ -1,22 +1,33 @@
 (** Phase 2: the summary-consuming rules L7 (domain-safety), L8
-    (exception-escape) and L9 (nondeterminism-taint).
+    (exception-escape), L9 (nondeterminism-taint), L10 (zero-alloc
+    contracts), L11 (pool-body allocation) and L12
+    (polymorphic-comparison taint).
 
     Policies are injected through {!config}; {!generic} checks
     everything everywhere (the fixture/test mode), while
-    {!Engine.run_repo} narrows L8/L9 to library sources and seeds L9
+    {!Engine.run_repo} narrows L8/L9/L12 to library sources and seeds
     reachability at the design-pipeline entry points. *)
 
 type config = {
   l7 : bool;
   l8 : bool;
   l9 : bool;
+  l10 : bool;
+  l11 : bool;
+  l12 : bool;
   l8_unit_ok : string -> bool;
       (** is this source file held to the public-raise convention? *)
-  l9_root : Callgraph.node -> bool;  (** pipeline entry points *)
+  l9_root : Callgraph.node -> bool;
+      (** pipeline entry points; L12 reachability uses the same roots *)
   l9_site_ok : string -> bool;
       (** source files where L9 reads are flagged *)
   l9_exempt : string -> bool;
       (** canonical node names allowed to read nondeterminism *)
+  l10_hotpaths : string list;
+      (** canonical names held to the zero-alloc contract without an
+          attribute (the [lint.hotpaths] registry) *)
+  l12_site_ok : string -> bool;
+      (** source files where L12 sites are flagged *)
 }
 
 val default_l9_exempt : string -> bool

@@ -91,6 +91,16 @@ type t = {
   mut_free : (string * site) SM.t;
       (* free local captured from an enclosing scope, keyed by
          [Ident.unique_name] -> (display name, witness) *)
+  allocs : site SM.t;
+      (* heap-allocation kind tag ("closure", "boxed float", "tuple",
+         "list", ...) -> smallest witness site.  Models NATIVE-code
+         behaviour: float/Int64 arithmetic held in registers, constants
+         statically allocated, and raise paths are all exempt (see the
+         tables below and DESIGN.md §7d). *)
+  poly_cmp : RS.t;
+      (* polymorphic compare/hash uses that have a monomorphic
+         replacement: (description, site).  Consumed by L12 via
+         pipeline reachability, like [nondet]/L9. *)
 }
 
 let bottom =
@@ -102,6 +112,8 @@ let bottom =
     mut_global = SM.empty;
     mut_param = IM.empty;
     mut_free = SM.empty;
+    allocs = SM.empty;
+    poly_cmp = RS.empty;
   }
 
 let min_w _ a b = Some (min_site a b)
@@ -118,6 +130,8 @@ let union a b =
       SM.union
         (fun _ (na, xa) (_, xb) -> Some (na, min_site xa xb))
         a.mut_free b.mut_free;
+    allocs = SM.union min_w a.allocs b.allocs;
+    poly_cmp = RS.union a.poly_cmp b.poly_cmp;
   }
 
 let site_eq a b = compare_site a b = 0
@@ -131,12 +145,16 @@ let equal a b =
   && SM.equal
        (fun (na, xa) (nb, xb) -> String.equal na nb && site_eq xa xb)
        a.mut_free b.mut_free
+  && SM.equal site_eq a.allocs b.allocs
+  && RS.equal a.poly_cmp b.poly_cmp
 
 let has_mut t =
   not (SM.is_empty t.mut_global && IM.is_empty t.mut_param && SM.is_empty t.mut_free)
 
 let drop_mut t =
   { t with mut_global = SM.empty; mut_param = IM.empty; mut_free = SM.empty }
+
+let drop_allocs t = { t with allocs = SM.empty }
 
 (* ------------------------------------------------------------------ *)
 (* External effect tables                                              *)
@@ -201,6 +219,92 @@ let ext_nondet name =
 
 let ext_locks = function
   | "Mutex.lock" | "Mutex.try_lock" | "Mutex.protect" -> true
+  | _ -> false
+
+(* Heap allocation performed by a stdlib call, as a short kind tag.
+   Tuned for NATIVE code: float returns/arguments of direct calls stay
+   in registers, Int64/Int32 intermediates in straight-line code stay
+   unboxed, captureless closures and constants are statically
+   allocated — so none of those appear here.  Failure paths
+   ([failwith], [invalid_arg], [raise]) are deliberately exempt: a
+   zero-alloc contract speaks about the non-raising path.  Unknown
+   externals contribute nothing (optimistic, like the other tables). *)
+let ends_with_opt name =
+  String.length name > 4 && String.ends_with ~suffix:"_opt" name
+
+let ext_alloc name =
+  let pre p = String.starts_with ~prefix:p name in
+  if
+    pre "List.map" || pre "List.filter" || pre "List.concat"
+    || pre "List.sort" || pre "List.rev" || pre "List.of_seq"
+    || pre "List.init" || pre "List.append" || pre "List.split"
+    || pre "List.combine" || pre "List.flatten" || pre "List.merge"
+  then Some "list"
+  else if
+    pre "Array.make" || pre "Array.create" || pre "Array.init"
+    || pre "Array.append" || pre "Array.concat" || pre "Array.sub"
+    || pre "Array.copy" || pre "Array.of_" || pre "Array.to_list"
+    || pre "Array.map" || pre "Array.split" || pre "Array.combine"
+    || pre "Float.Array.create" || pre "Float.Array.make"
+    || pre "Float.Array.init" || pre "Float.Array.append"
+    || pre "Float.Array.concat" || pre "Float.Array.sub"
+    || pre "Float.Array.copy" || pre "Float.Array.of_"
+    || pre "Float.Array.map"
+  then Some "array"
+  else if
+    pre "String.make" || pre "String.init" || pre "String.sub"
+    || pre "String.concat" || pre "String.cat" || pre "String.map"
+    || pre "String.split" || pre "String.trim" || pre "String.escaped"
+    || pre "String.uppercase" || pre "String.lowercase"
+    || pre "Bytes.make" || pre "Bytes.create" || pre "Bytes.sub"
+    || pre "Bytes.copy" || pre "Bytes.of_" || pre "Bytes.to_"
+    || pre "Printf.sprintf" || pre "Format.asprintf"
+    || pre "string_of_" || pre "Buffer.contents" || pre "Buffer.sub"
+    || pre "Buffer.to_bytes"
+  then Some "string building"
+  else if
+    pre "Hashtbl.create" || pre "Hashtbl.copy" || pre "Hashtbl.of_seq"
+    || pre "Hashtbl.add" || pre "Hashtbl.replace" || pre "Queue.create"
+    || pre "Queue.copy" || pre "Queue.add" || pre "Queue.push"
+    || pre "Stack.create" || pre "Stack.push" || pre "Buffer.create"
+    || pre "Buffer.add" || pre "Atomic.make" || pre "Mutex.create"
+    || pre "Condition.create" || pre "Semaphore." || pre "Domain.spawn"
+    || pre "Dynarray."
+  then Some "container"
+  else if
+    pre "Option.map" || pre "Option.bind" || pre "Option.some"
+    || pre "Option.join" || pre "Option.to_list" || pre "Sys.getenv_opt"
+    || pre "int_of_string_opt" || pre "float_of_string_opt"
+    || pre "bool_of_string_opt"
+    || (pre "List." && ends_with_opt name)
+    || (pre "Array." && ends_with_opt name)
+    || (pre "Hashtbl." && ends_with_opt name)
+    || (pre "String." && ends_with_opt name)
+    || (pre "Float.Array." && ends_with_opt name)
+  then Some "option"
+  else if name = "ref" then Some "ref"
+  else if name = "^" then Some "string building"
+  else if name = "@" then Some "list"
+  else if pre "Seq." then Some "container"
+  else None
+
+(* Calls whose Nth argument gets boxed when instantiated at [float]
+   (the argument is stored into a non-flat heap slot). *)
+let ext_boxes_float_arg = function
+  | "ref" | "Atomic.make" | "Option.some" -> Some 0
+  | ":=" | "Atomic.set" | "Queue.add" | "Queue.push" | "Stack.push" -> Some 1
+  | "Hashtbl.add" | "Hashtbl.replace" -> Some 2
+  | _ -> None
+
+(* Polymorphic structural comparison / hashing primitives.  Their
+   *direct, fully-applied* uses at immediate types are specialized by
+   the compiler; what L12 cares about is the primitive passed as a
+   first-class value (e.g. to [List.sort]) or applied at a float-heavy
+   type, where the runtime walks tags byte by byte. *)
+let ext_poly_cmp = function
+  | "compare" | "min" | "max" | "=" | "<>" | "<" | ">" | "<=" | ">="
+  | "Hashtbl.hash" | "Hashtbl.seeded_hash" ->
+      true
   | _ -> false
 
 let ext_io name =

@@ -59,6 +59,13 @@ type t = {
   mut_free : (string * site) SM.t;
       (** mutated free local captured from an enclosing scope, keyed
           by [Ident.unique_name] -> (display name, witness) *)
+  allocs : site SM.t;
+      (** heap-allocation kind tag ("closure", "boxed float", "tuple",
+          "record", ...) -> smallest witness site.  Models native-code
+          behaviour; raise paths are exempt (see DESIGN.md §7d). *)
+  poly_cmp : RS.t;
+      (** polymorphic compare/hash uses with a monomorphic
+          replacement: (description, site).  Consumed by L12. *)
 }
 
 val bottom : t
@@ -66,6 +73,7 @@ val union : t -> t -> t
 val equal : t -> t -> bool
 val has_mut : t -> bool
 val drop_mut : t -> t
+val drop_allocs : t -> t
 
 (** {2 External effect tables}
 
@@ -83,3 +91,17 @@ val ext_nondet : string -> string option
 
 val ext_locks : string -> bool
 val ext_io : string -> bool
+
+val ext_alloc : string -> string option
+(** [Some kind] when the call heap-allocates on its success path in
+    native code.  Float/Int64 register arithmetic, captureless
+    closures, constants, and failure paths are deliberately absent. *)
+
+val ext_boxes_float_arg : string -> int option
+(** Positional argument that gets boxed when instantiated at [float]
+    (stored into a non-flat heap slot). *)
+
+val ext_poly_cmp : string -> bool
+(** Polymorphic structural compare/hash primitives ([compare],
+    [Hashtbl.hash], ...) that L12 flags when passed as first-class
+    values or applied at float-heavy types. *)

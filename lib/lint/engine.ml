@@ -30,7 +30,9 @@ type pass =
   | Expr of { rules : Diag.rule list; select : Loader.unit_ -> bool }
   | Interprocedural of Effect_rules.config
 
-let is_ipa_rule = function Diag.L7 | Diag.L8 | Diag.L9 -> true | _ -> false
+let is_ipa_rule = function
+  | Diag.L7 | Diag.L8 | Diag.L9 | Diag.L10 | Diag.L11 | Diag.L12 -> true
+  | _ -> false
 
 let check_units ~rules units =
   List.concat_map
@@ -44,7 +46,9 @@ let run_pass units = function
   | Expr { rules = []; _ } -> []
   | Expr { rules; select } -> check_units ~rules (List.filter select units)
   | Interprocedural cfg
-    when cfg.Effect_rules.l7 || cfg.Effect_rules.l8 || cfg.Effect_rules.l9 ->
+    when cfg.Effect_rules.l7 || cfg.Effect_rules.l8 || cfg.Effect_rules.l9
+         || cfg.Effect_rules.l10 || cfg.Effect_rules.l11
+         || cfg.Effect_rules.l12 ->
       let graph = Callgraph.build units in
       let summaries = Summary.compute graph in
       Effect_rules.check cfg graph summaries
@@ -66,7 +70,7 @@ let run_passes ~allowlist units passes =
   in
   (diagnostics, suppressed, stale)
 
-let run ?(allowlist = Allowlist.empty) ~rules roots =
+let run ?(allowlist = Allowlist.empty) ?(hotpaths = []) ~rules roots =
   let units, errors = Loader.load_roots roots in
   let expr_rules = List.filter (fun r -> not (is_ipa_rule r)) rules in
   let on r = List.mem r rules in
@@ -76,6 +80,10 @@ let run ?(allowlist = Allowlist.empty) ~rules roots =
       Effect_rules.l7 = on Diag.L7;
       l8 = on Diag.L8;
       l9 = on Diag.L9;
+      l10 = on Diag.L10;
+      l11 = on Diag.L11;
+      l12 = on Diag.L12;
+      l10_hotpaths = hotpaths;
     }
   in
   let passes =
@@ -120,11 +128,14 @@ let pipeline_prefixes =
     "Cisp_fiber.";
   ]
 
-let repo_ipa_config =
+let repo_ipa_config ~hotpaths =
   {
     Effect_rules.l7 = true;
     l8 = true;
     l9 = true;
+    l10 = true;
+    l11 = true;
+    l12 = true;
     (* hold library code to the conventions; executables may catch and
        report however they like *)
     l8_unit_ok = in_lib;
@@ -135,15 +146,32 @@ let repo_ipa_config =
           pipeline_prefixes);
     l9_site_ok = in_lib;
     l9_exempt = Effect_rules.default_l9_exempt;
+    l10_hotpaths = hotpaths;
+    (* L12, like L9, polices library sources only: a bench harness
+       sorting results with polymorphic compare is fine *)
+    l12_site_ok = in_lib;
   }
 
-let run_repo ?(allowlist = Allowlist.empty) ~root () =
+let run_repo ?(allowlist = Allowlist.empty) ?hotpaths ~root () =
   let ( / ) = Filename.concat in
   let existing dirs = List.filter Sys.file_exists dirs in
+  (* default registry: <root>/lint.hotpaths, when present *)
+  let hotpaths, hp_errors =
+    match hotpaths with
+    | Some names -> (names, [])
+    | None -> (
+        let file = root / "lint.hotpaths" in
+        if not (Sys.file_exists file) then ([], [])
+        else
+          match Hotpaths.load file with
+          | Ok entries -> (List.map (fun e -> e.Hotpaths.name) entries, [])
+          | Error msg -> ([], [ msg ]))
+  in
   let units, errors =
     Loader.load_roots
       (existing [ root / "lib"; root / "bin"; root / "bench"; root / "examples" ])
   in
+  let errors = hp_errors @ errors in
   let passes =
     [
       Expr { rules = lib_rules; select = (fun u -> in_lib u.Loader.source) };
@@ -156,7 +184,7 @@ let run_repo ?(allowlist = Allowlist.empty) ~root () =
         { rules = exe_rules; select = (fun u -> not (in_lib u.Loader.source)) };
       (* the interprocedural pass sees the whole tree at once:
          executables feed closures to the same pool as the library *)
-      Interprocedural repo_ipa_config;
+      Interprocedural (repo_ipa_config ~hotpaths);
     ]
   in
   let diagnostics, suppressed, stale = run_passes ~allowlist units passes in

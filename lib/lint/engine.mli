@@ -3,7 +3,7 @@
 
     A run is a list of {!pass}es over one load of the tree: the
     per-expression rules L1-L6 (a unit at a time, each pass with its
-    own unit filter) and the interprocedural pass L7-L9 (call graph +
+    own unit filter) and the interprocedural pass L7-L12 (call graph +
     effect summaries over every loaded unit at once, see
     {!Callgraph}/{!Summary}/{!Effect_rules}). *)
 
@@ -30,21 +30,29 @@ val run_pass : Loader.unit_ list -> pass -> Diag.t list
 (** One pass, unsorted diagnostics; exposed for tests. *)
 
 val run :
-  ?allowlist:Allowlist.t -> rules:Diag.rule list -> string list -> report
+  ?allowlist:Allowlist.t ->
+  ?hotpaths:string list ->
+  rules:Diag.rule list ->
+  string list ->
+  report
 (** [run ~rules roots] lints every [.cmt]/[.cmti] under [roots] with
     the given rules: expression rules on implementations, L4 on
-    interfaces, and — when any of L7/L8/L9 is requested — the
+    interfaces, and — when any of L7-L12 is requested — the
     interprocedural pass with the permissive {!Effect_rules.generic}
-    policy (every node an L9 root). *)
+    policy (every node an L9/L12 root).  [hotpaths] adds canonical
+    names to the L10 contract set (see {!Hotpaths}). *)
 
-val run_repo : ?allowlist:Allowlist.t -> root:string -> unit -> report
+val run_repo :
+  ?allowlist:Allowlist.t -> ?hotpaths:string list -> root:string -> unit -> report
 (** The checked-in repo policy, relative to [root]:
     L1/L2/L3/L5/L6 on [lib/] implementations; L4 on the interfaces of
     the unit-heavy sublibraries ([lib/geo], [lib/rf], [lib/terrain],
     [lib/fiber], [lib/design]); L1/L3 on [bin/], [bench/] and
     [examples/]; the interprocedural pass over the whole tree with
-    L7 everywhere, L8 on library units, and L9 seeded at the design
-    pipeline entry points with reads flagged in library sources. *)
+    L7/L10/L11 everywhere, L8 on library units, and L9/L12 seeded at
+    the design pipeline entry points with sites flagged in library
+    sources.  When [hotpaths] is absent, [<root>/lint.hotpaths] is
+    loaded if it exists (a load error is reported in [errors]). *)
 
 val exit_code : report -> int
 (** 0 clean, 1 violations, 2 no violations but load errors. *)

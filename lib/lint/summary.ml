@@ -32,6 +32,8 @@ let propagate (caller : Callgraph.node) (edge : Callgraph.edge)
       nondet = s.Effects.nondet;
       io = s.Effects.io;
       (* [locks] means "takes a mutex directly" and never propagates *)
+      allocs = s.Effects.allocs;
+      poly_cmp = s.Effects.poly_cmp;
     }
   in
   if edge.Callgraph.damp_mut then base
@@ -111,14 +113,21 @@ let propagate (caller : Callgraph.node) (edge : Callgraph.edge)
     in
     acc
 
-(* lock-owner damping; [locks] is a direct-only bit, so checking the
-   accumulated summary is the same as checking the node *)
-let finalize s = if s.Effects.locks then Effects.drop_mut s else s
+(* Lock-owner damping ([locks] is a direct-only bit, so checking the
+   accumulated summary is the same as checking the node), plus
+   allocation damping at [@cisp.alloc_ok] nodes: a justified cold path
+   stops the allocation evidence there instead of poisoning every
+   transitive caller's zero-alloc contract. *)
+let finalize (node : Callgraph.node) s =
+  let s = if s.Effects.locks then Effects.drop_mut s else s in
+  if node.Callgraph.alloc_ok then Effects.drop_allocs s else s
 
 let compute (g : Callgraph.t) =
   let n = Array.length g.Callgraph.nodes in
   let summaries =
-    Array.init n (fun i -> finalize g.Callgraph.nodes.(i).Callgraph.direct)
+    Array.init n (fun i ->
+        let node = g.Callgraph.nodes.(i) in
+        finalize node node.Callgraph.direct)
   in
   let rounds = ref 0 in
   let changed = ref true in
@@ -136,7 +145,7 @@ let compute (g : Callgraph.t) =
                 Effects.union acc (propagate node e summaries.(j)))
           node.Callgraph.direct node.Callgraph.edges
       in
-      let s = finalize s in
+      let s = finalize node s in
       if not (Effects.equal s summaries.(i)) then begin
         summaries.(i) <- s;
         changed := true

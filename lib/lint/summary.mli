@@ -3,11 +3,14 @@
 
     Monotone round-robin sweeps over a finite lattice: terminates on
     any graph (cyclic call chains included) with an order-independent
-    result.  Two documented damping conventions (DESIGN.md §7c):
+    result.  Three documented damping conventions (DESIGN.md §7c-7d):
     a node that takes a mutex directly drops the mutations it
-    performs or inherits ({e lock-owner damping}), and a lambda
-    handed to a lock-taking callee does not leak its mutations into
-    the function that merely creates it ({e guard damping}). *)
+    performs or inherits ({e lock-owner damping}), a lambda handed to
+    a lock-taking callee does not leak its mutations into the
+    function that merely creates it ({e guard damping}), and a
+    [@cisp.alloc_ok] node drops its allocation evidence so a
+    justified cold path does not poison transitive zero-alloc
+    contracts ({e allocation damping}). *)
 
 type result = {
   summaries : Effects.t array;  (** indexed by {!Callgraph.node} id *)

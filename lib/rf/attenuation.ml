@@ -16,38 +16,68 @@ let table =
     (20.0, 0.09164, 1.0568, 0.09611, 0.9847);
   |]
 
+(* Scalar anchor accessors and a top-level bracket search:
+   [specific_attenuation_db_per_km] runs per hop per weather interval
+   inside pool workers, and the old tuple-returning [coefficients]
+   (plus its capturing [rec find]) allocated on every call (L11). *)
+let[@inline] anchor_f i =
+  let f, _, _, _, _ = table.(i) in
+  f
+
+let[@inline] anchor_k pol i =
+  match pol with
+  | Horizontal ->
+    let _, k, _, _, _ = table.(i) in
+    k
+  | Vertical ->
+    let _, _, _, k, _ = table.(i) in
+    k
+
+let[@inline] anchor_a pol i =
+  match pol with
+  | Horizontal ->
+    let _, _, a, _, _ = table.(i) in
+    a
+  | Vertical ->
+    let _, _, _, _, a = table.(i) in
+    a
+
+let rec bracket f_ghz i = if f_ghz <= anchor_f (i + 1) then i else bracket f_ghz (i + 1)
+
+(* Interpolate between bracketing anchors [i] and [i + 1]: k in
+   log-log, alpha linearly in log frequency (P.838 recommendation). *)
+let[@inline] interp_k ~f_ghz pol i =
+  let f1 = anchor_f i and f2 = anchor_f (i + 1) in
+  let w = (log f_ghz -. log f1) /. (log f2 -. log f1) in
+  let k1 = anchor_k pol i and k2 = anchor_k pol (i + 1) in
+  exp (log k1 +. (w *. (log k2 -. log k1)))
+
+let[@inline] interp_a ~f_ghz pol i =
+  let f1 = anchor_f i and f2 = anchor_f (i + 1) in
+  let w = (log f_ghz -. log f1) /. (log f2 -. log f1) in
+  let a1 = anchor_a pol i and a2 = anchor_a pol (i + 1) in
+  a1 +. (w *. (a2 -. a1))
+
 let coefficients ~f_ghz pol =
   let n = Array.length table in
-  let pick (_, kh, ah, kv, av) =
-    match pol with Horizontal -> (kh, ah) | Vertical -> (kv, av)
-  in
-  let f0, _, _, _, _ = table.(0) in
-  let fn, _, _, _, _ = table.(n - 1) in
-  if f_ghz <= f0 then pick table.(0)
-  else if f_ghz >= fn then pick table.(n - 1)
+  if f_ghz <= anchor_f 0 then (anchor_k pol 0, anchor_a pol 0)
+  else if f_ghz >= anchor_f (n - 1) then (anchor_k pol (n - 1), anchor_a pol (n - 1))
   else begin
-    (* Locate bracketing anchors and interpolate k in log-log,
-       alpha linearly in log frequency (P.838 recommendation). *)
-    let rec find i = if
-      (let f_next, _, _, _, _ = table.(i + 1) in f_ghz <= f_next)
-      then i else find (i + 1)
-    in
-    let i = find 0 in
-    let f1, _, _, _, _ = table.(i) in
-    let f2, _, _, _, _ = table.(i + 1) in
-    let k1, a1 = pick table.(i) in
-    let k2, a2 = pick table.(i + 1) in
-    let w = (log f_ghz -. log f1) /. (log f2 -. log f1) in
-    let k = exp (log k1 +. (w *. (log k2 -. log k1))) in
-    let a = a1 +. (w *. (a2 -. a1)) in
-    (k, a)
+    let i = bracket f_ghz 0 in
+    (interp_k ~f_ghz pol i, interp_a ~f_ghz pol i)
   end
 
-let specific_attenuation_db_per_km ~f_ghz pol ~rain_mm_h =
+let[@cisp.zero_alloc] specific_attenuation_db_per_km ~f_ghz pol ~rain_mm_h =
   if rain_mm_h <= 0.0 then 0.0
   else begin
-    let k, alpha = coefficients ~f_ghz pol in
-    k *. (rain_mm_h ** alpha)
+    let n = Array.length table in
+    if f_ghz <= anchor_f 0 then anchor_k pol 0 *. (rain_mm_h ** anchor_a pol 0)
+    else if f_ghz >= anchor_f (n - 1) then
+      anchor_k pol (n - 1) *. (rain_mm_h ** anchor_a pol (n - 1))
+    else begin
+      let i = bracket f_ghz 0 in
+      interp_k ~f_ghz pol i *. (rain_mm_h ** interp_a ~f_ghz pol i)
+    end
   end
 
 let effective_path_km ~d_km ~rain_mm_h =

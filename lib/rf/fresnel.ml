@@ -35,3 +35,16 @@ let pair_coeffs ?(k = default_k) ?(f_ghz = default_f_ghz) ~d_km () =
   let lambda_m = Cisp_util.Units.c_vacuum_km_s /. (f_ghz *. 1e6) in
   let fresnel_c = if d_km <= 0.0 then 0.0 else sqrt (lambda_m *. 1000.0 *. d_km) in
   (bulge_c, fresnel_c)
+
+(* The allocation-free form of [pair_coeffs] for contracted callers:
+   the coefficients land in [out.(0)]/[out.(1)] instead of a tuple of
+   boxed floats, and every label is required so no call site pays the
+   [Some]-wrapping of the optional-argument form.  [@inline] so the
+   float arguments stay in registers at the (non-flambda) call
+   boundary. *)
+let[@inline] [@cisp.zero_alloc] pair_coeffs_into ~k ~f_ghz ~d_km ~out =
+  Float.Array.set out 0
+    (d_km *. d_km *. 1000.0 /. (2.0 *. k *. Cisp_util.Units.earth_radius_km));
+  let lambda_m = Cisp_util.Units.c_vacuum_km_s /. (f_ghz *. 1e6) in
+  Float.Array.set out 1
+    (if d_km <= 0.0 then 0.0 else sqrt (lambda_m *. 1000.0 *. d_km))

@@ -25,19 +25,55 @@ type verdict =
 let endpoint_of_tower ~dem position ~antenna_m =
   { position; ground_m = Dem.elevation_m dem position; antenna_m }
 
-(* Per-domain profile buffers: sample positions as scalar lat/lon and
-   the sampled surface heights, reused across every pair the domain
-   checks, plus a one-float accumulator so the margin walk never has
-   to box a running minimum.  Domain-private (Pool.Scratch), and only
-   ever an input to the computation — contents are overwritten for the
-   sample range before each read — so reuse cannot leak state between
-   pairs or domains. *)
+(* Per-domain profile buffers: sample positions as scalar lat/lon, the
+   sampled surface heights, plus two small fixed floatarrays — the
+   per-pair constants ([pair], see the p_* slots) and the walk results
+   ([acc], see the a_* slots).  Keeping every per-pair float in
+   unboxed domain-local storage (instead of function arguments or
+   captured locals) is what lets the whole cached engine below run
+   closure-free and allocation-free: floats handed across a
+   non-flambda call boundary are boxed, floats read out of a
+   floatarray stay in registers.  Domain-private (Pool.Scratch), and
+   only ever an input to the computation — contents are overwritten
+   for the sample range before each read — so reuse cannot leak state
+   between pairs or domains. *)
 type scratch = {
   mutable lats : Float.Array.t;
   mutable lons : Float.Array.t;
   mutable surf : Float.Array.t;
+  pair : Float.Array.t;
   acc : Float.Array.t;
 }
+
+(* Slots in [scratch.pair].  0/1 are written by
+   {!Fresnel.pair_coeffs_into}; 6..15 hoist the pair-constant slerp
+   trigonometry out of the fill loop; 16/17 carry the degenerate
+   (near-zero angular distance) endpoint. *)
+let p_bulge = 0
+let p_fres = 1
+let p_total = 2
+let p_fn = 3
+let p_ha = 4
+let p_dh = 5
+let p_d = 6
+let p_sind = 7
+let p_cp1 = 8
+let p_sp1 = 9
+let p_cl1 = 10
+let p_sl1 = 11
+let p_cp2 = 12
+let p_sp2 = 13
+let p_cl2 = 14
+let p_sl2 = 15
+let p_lat1 = 16
+let p_lon1 = 17
+
+(* Slots in [scratch.acc]: the running clearance minimum, and the
+   first blockage's position/deficit guarded by a 0/1 flag. *)
+let a_margin = 0
+let a_at = 1
+let a_deficit = 2
+let a_blocked = 3
 
 let scratch_key =
   Cisp_util.Pool.Scratch.create (fun () ->
@@ -45,10 +81,11 @@ let scratch_key =
         lats = Float.Array.create 256;
         lons = Float.Array.create 256;
         surf = Float.Array.create 256;
-        acc = Float.Array.create 1;
+        pair = Float.Array.create 18;
+        acc = Float.Array.create 4;
       })
 
-let ensure sc n =
+let[@cisp.alloc_ok "amortized: grow-once domain-local sample buffers"] ensure sc n =
   if Float.Array.length sc.lats < n then begin
     let cap = max n (2 * Float.Array.length sc.lats) in
     sc.lats <- Float.Array.create cap;
@@ -56,30 +93,35 @@ let ensure sc n =
     sc.surf <- Float.Array.create cap
   end
 
-(* Fill [lats]/[lons] for sample indices [lo..hi] of an [n]-step walk
-   from [pa] to [pb]: the great-circle slerp of [Geodesy.interpolate]
-   with the pair-constant trigonometry hoisted out of the loop and the
-   per-sample [Coord.t] flattened into the two scalar buffers.  The
-   per-sample expressions keep the exact operation order of
-   [Geodesy.interpolate], so the positions are bit-identical to what
-   the closure-based sampler saw. *)
-let fill_positions sc pa pb ~total ~n ~lo ~hi =
-  let lats = sc.lats and lons = sc.lons in
-  let d = total /. Units.earth_radius_km in
-  if d < 1e-12 then
+(* Fill [lats]/[lons] for sample indices [lo..hi] of the prepared
+   pair's walk: the great-circle slerp of [Geodesy.interpolate], with
+   the pair-constant trigonometry read back out of [sc.pair] (hoisted
+   there once per pair by [begin_profile]) and the per-sample [Coord.t]
+   flattened into the two scalar buffers.  The per-sample expressions
+   keep the exact operation order of [Geodesy.interpolate], so the
+   positions are bit-identical to what the closure-based sampler
+   saw. *)
+let[@cisp.zero_alloc] fill_positions sc ~lo ~hi =
+  let lats = sc.lats and lons = sc.lons and pair = sc.pair in
+  let d = Float.Array.get pair p_d in
+  if d < 1e-12 then begin
+    let lat1 = Float.Array.get pair p_lat1 and lon1 = Float.Array.get pair p_lon1 in
     for i = lo to hi do
-      Float.Array.set lats i (Coord.lat pa);
-      Float.Array.set lons i (Coord.lon pa)
+      Float.Array.set lats i lat1;
+      Float.Array.set lons i lon1
     done
+  end
   else begin
-    let phi1 = Units.deg_to_rad (Coord.lat pa)
-    and lam1 = Units.deg_to_rad (Coord.lon pa)
-    and phi2 = Units.deg_to_rad (Coord.lat pb)
-    and lam2 = Units.deg_to_rad (Coord.lon pb) in
-    let cp1 = cos phi1 and sp1 = sin phi1 and cl1 = cos lam1 and sl1 = sin lam1 in
-    let cp2 = cos phi2 and sp2 = sin phi2 and cl2 = cos lam2 and sl2 = sin lam2 in
-    let sind = sin d in
-    let fn = float_of_int n in
+    let cp1 = Float.Array.get pair p_cp1
+    and sp1 = Float.Array.get pair p_sp1
+    and cl1 = Float.Array.get pair p_cl1
+    and sl1 = Float.Array.get pair p_sl1 in
+    let cp2 = Float.Array.get pair p_cp2
+    and sp2 = Float.Array.get pair p_sp2
+    and cl2 = Float.Array.get pair p_cl2
+    and sl2 = Float.Array.get pair p_sl2 in
+    let sind = Float.Array.get pair p_sind in
+    let fn = Float.Array.get pair p_fn in
     for i = lo to hi do
       let t = float_of_int i /. fn in
       let sa = sin ((1.0 -. t) *. d) /. sind in
@@ -92,71 +134,150 @@ let fill_positions sc pa pb ~total ~n ~lo ~hi =
     done
   end
 
-(* The common profile engine.  [sample sc ~lo ~hi] must fill
-   [sc.surf.(lo..hi)] with the obstruction heights at the positions in
-   [sc.lats]/[sc.lons]; the two entry points below differ only in that
-   callback.  The clearance requirement uses the hoisted pair
-   coefficients ({!Fresnel.pair_coeffs}): with [u = t (1 - t)] the per
-   sample cost is one multiply-add and one sqrt, no allocation. *)
-let profile_verdict ~params ~sample a b =
+(* Price samples [lo..hi] of a filled, sampled chunk against the
+   hoisted clearance coefficients ({!Fresnel.pair_coeffs}): with
+   [u = t (1 - t)] each sample costs one multiply-add and one sqrt.
+   Returns true iff the profile is blocked so far; the first
+   blockage's position/deficit and the running clearance minimum
+   accumulate in [sc.acc].  Samples after the first blockage still
+   fold into the minimum, which is harmless: the margin is only read
+   on fully-clear profiles. *)
+let[@cisp.zero_alloc] walk_chunk sc ~lo ~hi =
+  let pair = sc.pair and surf = sc.surf and acc = sc.acc in
+  let bulge_c = Float.Array.get pair p_bulge
+  and fres_c = Float.Array.get pair p_fres in
+  let total = Float.Array.get pair p_total
+  and fn = Float.Array.get pair p_fn in
+  let ha = Float.Array.get pair p_ha
+  and dh = Float.Array.get pair p_dh in
+  for i = lo to hi do
+    let t = float_of_int i /. fn in
+    let u = t *. (1.0 -. t) in
+    let m =
+      ha +. (t *. dh)
+      -. (Float.Array.get surf i +. ((bulge_c *. u) +. (fres_c *. sqrt u)))
+    in
+    if m < 0.0 then begin
+      (* The blocked flag is exactly 0.0 or 1.0; ordering comparisons
+         stay monomorphic and unboxed where `=` would be polymorphic
+         equality at float (L1). *)
+      if Float.Array.get acc a_blocked < 0.5 then begin
+        Float.Array.set acc a_at (total *. t);
+        Float.Array.set acc a_deficit (-.m);
+        Float.Array.set acc a_blocked 1.0
+      end
+    end
+    else if m < Float.Array.get acc a_margin then Float.Array.set acc a_margin m
+  done;
+  Float.Array.get acc a_blocked > 0.5
+
+(* Compute and store every per-pair constant in [sc.pair], reset
+   [sc.acc], and size the sample buffers.  Returns the step count [n],
+   or 0 when the pair is out of range.  [@inline] keeps the float
+   intermediates in registers across the (non-flambda) call
+   boundary. *)
+let[@inline] [@cisp.zero_alloc] begin_profile sc ~params a b =
   let total = Geodesy.distance_km a.position b.position in
-  if total > params.max_range_km || total < params.min_range_km then Out_of_range
+  if total > params.max_range_km || total < params.min_range_km then 0
   else begin
+    let n = max 2 (int_of_float (Float.ceil (total /. params.step_km))) in
+    ensure sc (n + 1);
+    let pair = sc.pair in
+    Fresnel.pair_coeffs_into ~k:params.k_factor ~f_ghz:params.f_ghz ~d_km:total
+      ~out:pair;
     let ha = a.ground_m +. a.antenna_m in
     let hb = b.ground_m +. b.antenna_m in
-    let n = max 2 (int_of_float (Float.ceil (total /. params.step_km))) in
-    let sc = Cisp_util.Pool.Scratch.get scratch_key in
-    ensure sc (n + 1);
-    let bulge_c, fres_c =
-      Fresnel.pair_coeffs ~k:params.k_factor ~f_ghz:params.f_ghz ~d_km:total ()
-    in
-    let fn = float_of_int n and dh = hb -. ha in
-    (* Cheap rejection: the midpoint has the deepest curvature bulge
-       and is the likeliest blockage; position and sample it alone
-       before paying for the full profile. *)
+    Float.Array.set pair p_total total;
+    Float.Array.set pair p_fn (float_of_int n);
+    Float.Array.set pair p_ha ha;
+    Float.Array.set pair p_dh (hb -. ha);
+    let d = total /. Units.earth_radius_km in
+    Float.Array.set pair p_d d;
+    Float.Array.set pair p_sind (sin d);
+    let phi1 = Units.deg_to_rad (Coord.lat a.position)
+    and lam1 = Units.deg_to_rad (Coord.lon a.position)
+    and phi2 = Units.deg_to_rad (Coord.lat b.position)
+    and lam2 = Units.deg_to_rad (Coord.lon b.position) in
+    Float.Array.set pair p_cp1 (cos phi1);
+    Float.Array.set pair p_sp1 (sin phi1);
+    Float.Array.set pair p_cl1 (cos lam1);
+    Float.Array.set pair p_sl1 (sin lam1);
+    Float.Array.set pair p_cp2 (cos phi2);
+    Float.Array.set pair p_sp2 (sin phi2);
+    Float.Array.set pair p_cl2 (cos lam2);
+    Float.Array.set pair p_sl2 (sin lam2);
+    Float.Array.set pair p_lat1 (Coord.lat a.position);
+    Float.Array.set pair p_lon1 (Coord.lon a.position);
+    Float.Array.set sc.acc a_margin infinity;
+    Float.Array.set sc.acc a_blocked 0.0;
+    n
+  end
+
+(* The closure-free cached profile walk: position and sample in chunks
+   so a blockage early in the walk stops the sweep before paying for
+   the rest of the path — most of a sweep's terrain evaluations are on
+   paths that fail within a few samples.  Chunking changes no result
+   (every computed value is a pure function of its index).  A
+   top-level recursive function, not a local one: a local [rec scan]
+   would capture its environment and allocate a closure per check. *)
+let rec scan_cached cache sc ~n ~lo =
+  if lo >= n then 0
+  else begin
+    let hi = min (n - 1) (lo + 7) in
+    fill_positions sc ~lo ~hi;
+    Dem_cache.surface_samples cache ~lats:sc.lats ~lons:sc.lons ~out:sc.surf ~lo ~hi;
+    if walk_chunk sc ~lo ~hi then 2 else scan_cached cache sc ~n ~lo:(hi + 1)
+  end
+
+(* Status-int engine behind [check_cached]/[feasible_cached]: 0 =
+   clear, 1 = out of range, 2 = blocked, details in the domain
+   scratch's [acc].  This is the zero-allocation core the hop sweeps
+   drive from pool workers; the verdict-shaped wrapper below allocates
+   its constructor, the engine itself allocates nothing once the
+   scratch buffers have grown.  The cheap rejection: the midpoint has
+   the deepest curvature bulge and is the likeliest blockage, so it is
+   positioned and sampled alone before paying for the full profile. *)
+let[@cisp.zero_alloc] profile_status_cached ~params ~cache a b =
+  let sc = Cisp_util.Pool.Scratch.get scratch_key in
+  let n = begin_profile sc ~params a b in
+  if n = 0 then 1
+  else begin
     let mid = n / 2 in
-    fill_positions sc a.position b.position ~total ~n ~lo:mid ~hi:mid;
-    sample sc ~lo:mid ~hi:mid;
-    let surf = sc.surf in
-    let tm = float_of_int mid /. fn in
-    let um = tm *. (1.0 -. tm) in
-    let mid_m =
-      ha +. (tm *. dh)
-      -. (Float.Array.get surf mid +. ((bulge_c *. um) +. (fres_c *. sqrt um)))
+    fill_positions sc ~lo:mid ~hi:mid;
+    Dem_cache.surface_samples cache ~lats:sc.lats ~lons:sc.lons ~out:sc.surf
+      ~lo:mid ~hi:mid;
+    if walk_chunk sc ~lo:mid ~hi:mid then 2 else scan_cached cache sc ~n ~lo:1
+  end
+
+(* The generic engine for closure-sampled profiles ([check],
+   [check_dem]): the same prepared-pair chunked walk, with the
+   obstruction heights supplied by [sample sc ~lo ~hi] filling
+   [sc.surf.(lo..hi)] at the positions in [sc.lats]/[sc.lons]. *)
+let profile_verdict ~params ~sample a b =
+  let sc = Cisp_util.Pool.Scratch.get scratch_key in
+  let n = begin_profile sc ~params a b in
+  if n = 0 then Out_of_range
+  else begin
+    let acc = sc.acc in
+    let blocked () =
+      Blocked
+        {
+          at_km = Float.Array.get acc a_at;
+          deficit_m = Float.Array.get acc a_deficit;
+        }
     in
-    if mid_m < 0.0 then Blocked { at_km = total *. tm; deficit_m = -.mid_m }
+    let mid = n / 2 in
+    fill_positions sc ~lo:mid ~hi:mid;
+    sample sc ~lo:mid ~hi:mid;
+    if walk_chunk sc ~lo:mid ~hi:mid then blocked ()
     else begin
-      (* Position and sample the profile in chunks so a blockage early
-         in the walk stops the sweep before paying for the rest of the
-         path — most of the sweep's terrain evaluations are on paths
-         that fail within a few samples.  Chunking changes no result
-         (every computed value is a pure function of its index). *)
-      let acc = sc.acc in
-      Float.Array.set acc 0 infinity;
-      let chunk = 8 in
       let rec scan lo =
-        if lo >= n then Clear (Float.Array.get acc 0)
+        if lo >= n then Clear (Float.Array.get acc a_margin)
         else begin
-          let hi = min (n - 1) (lo + chunk - 1) in
-          fill_positions sc a.position b.position ~total ~n ~lo ~hi;
+          let hi = min (n - 1) (lo + 7) in
+          fill_positions sc ~lo ~hi;
           sample sc ~lo ~hi;
-          let rec walk i =
-            if i > hi then scan (hi + 1)
-            else begin
-              let t = float_of_int i /. fn in
-              let u = t *. (1.0 -. t) in
-              let m =
-                ha +. (t *. dh)
-                -. (Float.Array.get surf i +. ((bulge_c *. u) +. (fres_c *. sqrt u)))
-              in
-              if m < 0.0 then Blocked { at_km = total *. t; deficit_m = -.m }
-              else begin
-                Float.Array.set acc 0 (Float.min (Float.Array.get acc 0) m);
-                walk (i + 1)
-              end
-            end
-          in
-          walk lo
+          if walk_chunk sc ~lo ~hi then blocked () else scan (hi + 1)
         end
       in
       scan 1
@@ -179,10 +300,23 @@ let feasible ?params ~surface a b =
 let check_dem ?params ~dem a b = check ?params ~surface:(Dem.surface_m dem) a b
 
 let check_cached ?(params = default_params) ~cache a b =
-  profile_verdict ~params a b ~sample:(fun sc ~lo ~hi ->
-      Dem_cache.surface_samples cache ~lats:sc.lats ~lons:sc.lons ~out:sc.surf ~lo ~hi)
+  match profile_status_cached ~params ~cache a b with
+  | 1 -> Out_of_range
+  | 2 ->
+    let sc = Cisp_util.Pool.Scratch.get scratch_key in
+    Blocked
+      {
+        at_km = Float.Array.get sc.acc a_at;
+        deficit_m = Float.Array.get sc.acc a_deficit;
+      }
+  | _ ->
+    let sc = Cisp_util.Pool.Scratch.get scratch_key in
+    Clear (Float.Array.get sc.acc a_margin)
 
-let feasible_cached ?params ~cache a b =
-  match check_cached ?params ~cache a b with
-  | Clear _ -> true
-  | Out_of_range | Blocked _ -> false
+(* [?params] without default sugar: `?(params = default_params)`
+   desugars to a let binding between the parameter lambdas, turning
+   the rest of the function into a runtime closure allocated on every
+   call — the explicit match keeps the parameter chain intact. *)
+let[@cisp.zero_alloc] feasible_cached ?params ~cache a b =
+  let params = match params with Some p -> p | None -> default_params in
+  profile_status_cached ~params ~cache a b = 0

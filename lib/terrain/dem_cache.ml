@@ -3,7 +3,7 @@ module Coord = Cisp_geo.Coord
 (* ~0.0036 degrees: about 400 m in latitude. *)
 let quantum = 276.0
 
-let quantize v = Float.round (v *. quantum)
+let[@inline] quantize v = Float.round (v *. quantum)
 
 (* The cell's representative point.  The cached value must be a pure
    function of the cell — never of whichever query happened to touch
@@ -166,7 +166,8 @@ let compute_cell dem store qi qj =
    times per sweep — and each [protect] call allocates its closure and
    boxes its result.  Nothing inside the sections can raise (probe and
    insert are array arithmetic; the only alloc is table growth). *)
-let slow_path dem store (l1 : l1) slot key qi qj =
+let[@cisp.alloc_ok "miss path: computes and publishes a new cell (table growth, DEM evaluation)"] slow_path
+    dem store (l1 : l1) slot key qi qj =
   let ot = store.cells in
   Mutex.lock store.lock;
   let i = ot_slot ot key in
@@ -197,7 +198,11 @@ let slow_path dem store (l1 : l1) slot key qi qj =
   Float.Array.unsafe_set l1.vals slot v;
   v
 
-let[@inline] cell_value dem store (l1 : l1) ~lat ~lon =
+(* The L1-hit path is the zero-alloc contract: quantize, pack, probe,
+   read — int and floatarray arithmetic only.  The [@cisp.alloc_ok] on
+   [slow_path] scopes the contract to hits; a miss may allocate (table
+   growth, the DEM evaluation itself). *)
+let[@inline] [@cisp.zero_alloc] cell_value dem store (l1 : l1) ~lat ~lon =
   let qi = int_of_float (quantize lat) in
   let qj = int_of_float (quantize lon) in
   let key = pack qi qj in
@@ -217,17 +222,32 @@ let elevation_m_ll t ~lat ~lon =
 let surface_m t p = surface_m_ll t ~lat:(Coord.lat p) ~lon:(Coord.lon p)
 let elevation_m t p = elevation_m_ll t ~lat:(Coord.lat p) ~lon:(Coord.lon p)
 
-let surface_samples t ~lats ~lons ~out ~lo ~hi =
+let[@cisp.zero_alloc] surface_samples t ~lats ~lons ~out ~lo ~hi =
   if
     lo < 0 || hi >= Float.Array.length lats
     || hi >= Float.Array.length lons
     || hi >= Float.Array.length out
   then invalid_arg "Dem_cache.surface_samples: index range outside buffers";
-  let store = t.surface in
+  let dem = t.dem and store = t.surface in
   let l1 = Cisp_util.Pool.Scratch.get store.l1_key in
+  (* The probe is {!cell_value} with the store sunk into each branch.
+     Calling [cell_value] and storing its result would box the hit
+     value: the [if] join with [slow_path]'s (boxed) return value
+     forces the hit branch to materialize its float, one minor-heap
+     block per sample (measured in the generated assembly).  Writing
+     [out] inside the branch keeps the hit path a floatarray-to-
+     floatarray move. *)
   for i = lo to hi do
     let lat = Float.Array.get lats i and lon = Float.Array.get lons i in
-    Float.Array.set out i (cell_value t.dem store l1 ~lat ~lon)
+    let qi = int_of_float (quantize lat) in
+    let qj = int_of_float (quantize lon) in
+    let key = pack qi qj in
+    let slot = slot_of l1 key in
+    if Array.unsafe_get l1.keys slot = key then begin
+      l1.hits <- l1.hits + 1;
+      Float.Array.unsafe_set out i (Float.Array.unsafe_get l1.vals slot)
+    end
+    else Float.Array.unsafe_set out i (slow_path dem store l1 slot key qi qj)
   done
 
 let store_stats store =

@@ -40,7 +40,15 @@ let value ~seed x y =
    order — is copied verbatim from {!value}/{!lattice}/{!smoothstep},
    so results are bit-identical to calling them; [value] remains the
    readable single-octave specification. *)
-let fbm ~seed ~octaves ~lacunarity ~gain x y =
+
+(* The 4-slot loop-state floatarray, once per domain instead of once
+   per call: tens of millions of [fbm] calls per sweep made that "one
+   small allocation per call" the dominant minor-heap source.  The
+   state is dead outside a single call (written before every read), so
+   domain-local reuse cannot couple calls or domains. *)
+let fbm_state = Cisp_util.Pool.Scratch.create (fun () -> Float.Array.create 4)
+
+let[@cisp.zero_alloc] fbm ~seed ~octaves ~lacunarity ~gain x y =
   if octaves <= 0 then invalid_arg "Noise.fbm: octaves <= 0";
   (* The splitmix64 finalizer of {!lattice}, except the seed term: the
      caller adds the per-corner coordinate products.  A local function
@@ -57,7 +65,7 @@ let fbm ~seed ~octaves ~lacunarity ~gain x y =
     (bits /. 9007199254740992.0 *. 2.0) -. 1.0
   in
   (* freq, amp, sum, norm *)
-  let st = Float.Array.create 4 in
+  let st = Cisp_util.Pool.Scratch.get fbm_state in
   Float.Array.unsafe_set st 0 1.0;
   Float.Array.unsafe_set st 1 1.0;
   Float.Array.unsafe_set st 2 0.0;

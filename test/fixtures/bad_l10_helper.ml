@@ -1,0 +1,2 @@
+(* Callee unit for bad_l10's cross-module blame-at-origin case. *)
+let boxed a b = Some (a +. b)

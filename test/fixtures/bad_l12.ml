@@ -1,0 +1,17 @@
+(* L12: polymorphic compare/hash where a monomorphic comparison
+   exists. *)
+
+(* the classic: a first-class [compare] instantiated at float *)
+let sort_floats (xs : float list) = List.sort compare xs
+
+(* generic hash walking a float-bearing tuple *)
+let hash_pair (p : float * int) = Hashtbl.hash p
+
+(* float-keyed table: every probe hashes and compares structurally *)
+let float_key (tbl : (float, int) Hashtbl.t) k = Hashtbl.find_opt tbl k
+
+(* direct application at a float-bearing aggregate *)
+let cmp_pairs (a : float * float) b = compare a b
+
+(* monomorphic comparator: not flagged *)
+let ok_ints (xs : int list) = List.sort Int.compare xs

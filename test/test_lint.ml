@@ -180,6 +180,7 @@ module Callgraph = Cisp_linter.Callgraph
 module Summary = Cisp_linter.Summary
 module Effects = Cisp_linter.Effects
 module Loader = Cisp_linter.Loader
+module Hotpaths = Cisp_linter.Hotpaths
 
 let contains s sub =
   let ls = String.length s and lu = String.length sub in
@@ -282,6 +283,137 @@ let test_fixpoint_convergence () =
     (Effects.SM.mem "Failure"
        r.Summary.summaries.(even.Callgraph.id).Effects.raises)
 
+(* ---------------- allocation discipline: L10-L12 ---------------- *)
+
+let test_l10_positive () =
+  (* direct violation: the tuple in [pair] boxes both floats *)
+  check_hit ~rule:Diag.L10 ~file:"bad_l10.ml" ~line:4;
+  (* blame-at-origin: [deep]'s violation lands in the helper unit *)
+  check_hit ~rule:Diag.L10 ~file:"bad_l10_helper.ml" ~line:2;
+  let m = message ~rule:Diag.L10 ~file:"bad_l10_helper.ml" ~line:2 in
+  Alcotest.(check bool) "contract holder named at the origin" true
+    (contains m "Bad_l10.deep")
+
+let test_l10_negative () =
+  (* [clean] holds its contract, [damped]'s callee is [@cisp.alloc_ok],
+     and [registry_entry] is unflagged without the registry: only the
+     two kinds at [pair]'s line remain *)
+  Alcotest.(check int) "two L10 hits in bad_l10.ml" 2
+    (count ~rule:Diag.L10 ~file:"bad_l10.ml");
+  Alcotest.(check int) "two L10 hits at the helper origin" 2
+    (count ~rule:Diag.L10 ~file:"bad_l10_helper.ml");
+  Alcotest.(check int) "no L10 in good.ml" 0 (count ~rule:Diag.L10 ~file:"good.ml")
+
+let test_l10_registry () =
+  let r =
+    Engine.run
+      ~hotpaths:[ "Lint_fixtures.Bad_l10.registry_entry" ]
+      ~rules:Diag.all_rules [ fixtures_root ]
+  in
+  let hits =
+    List.filter
+      (fun (d : Diag.t) ->
+        d.rule = Diag.L10 && in_file "bad_l10.ml" d && d.line = 13)
+      r.Engine.diagnostics
+  in
+  Alcotest.(check bool) "registry contracts fire without an attribute" true
+    (hits <> []);
+  List.iter
+    (fun (d : Diag.t) ->
+      Alcotest.(check bool) "names the registered entry" true
+        (contains d.Diag.message "registry_entry"))
+    hits
+
+let test_hotpaths_parse () =
+  (match
+     Hotpaths.parse_string
+       "# registry header\nCisp_rf.Los.check  # LOS walk\n\nCisp_geo.Geodesy.distance_km\n"
+   with
+  | Error e -> Alcotest.fail e
+  | Ok entries -> (
+      Alcotest.(check (list string))
+        "names in file order"
+        [ "Cisp_rf.Los.check"; "Cisp_geo.Geodesy.distance_km" ]
+        (Hotpaths.names entries);
+      match entries with
+      | e :: _ ->
+          Alcotest.(check int) "line tracked" 2 e.Hotpaths.line;
+          Alcotest.(check string) "reason tracked" "LOS walk" e.Hotpaths.reason
+      | [] -> Alcotest.fail "no entries"));
+  match Hotpaths.parse_string "Cisp_rf.Los.check extra_token\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error for two tokens"
+  | Error e -> Alcotest.(check bool) "error cites the line" true (contains e ":1:")
+
+let test_l11_positive () =
+  check_hit ~rule:Diag.L11 ~file:"bad_l11.ml" ~line:7;
+  check_hit ~rule:Diag.L11 ~file:"bad_l11.ml" ~line:13;
+  let m = message ~rule:Diag.L11 ~file:"bad_l11.ml" ~line:7 in
+  Alcotest.(check bool) "names the kind and the allocation site" true
+    (contains m "closure at" && contains m "bad_l11.ml:8")
+
+let test_l11_negative () =
+  (* [clean]'s scalar worker is silent; bad_l7's int workers mutate
+     but never allocate, so L7 and L11 partition cleanly *)
+  Alcotest.(check int) "two L11 hits" 2 (count ~rule:Diag.L11 ~file:"bad_l11.ml");
+  Alcotest.(check int) "no L11 in bad_l7.ml" 0 (count ~rule:Diag.L11 ~file:"bad_l7.ml");
+  Alcotest.(check int) "no L11 in good.ml" 0 (count ~rule:Diag.L11 ~file:"good.ml")
+
+let test_l12_positive () =
+  List.iter
+    (fun line -> check_hit ~rule:Diag.L12 ~file:"bad_l12.ml" ~line)
+    [ 5; 8; 11; 14 ]
+
+let test_l12_negative () =
+  (* [ok_ints] uses Int.compare: silent *)
+  Alcotest.(check int) "four L12 hits" 4 (count ~rule:Diag.L12 ~file:"bad_l12.ml");
+  Alcotest.(check int) "no L12 in good.ml" 0 (count ~rule:Diag.L12 ~file:"good.ml")
+
+let test_alloc_summaries () =
+  let g, r = Lazy.force graph_and_sums in
+  (* interprocedural propagation keeps the origin site: the helper's
+     allocation appears in [deep]'s summary with its own file *)
+  let deep = node_exn g "Lint_fixtures.Bad_l10.deep" in
+  (match
+     Effects.SM.find_opt "boxed float"
+       r.Summary.summaries.(deep.Callgraph.id).Effects.allocs
+   with
+  | Some site ->
+      Alcotest.(check bool) "witness is the helper's site" true
+        (contains site.Effects.file "bad_l10_helper.ml")
+  | None -> Alcotest.fail "boxed float missing from deep's summary");
+  (* [@cisp.alloc_ok] damping stops the evidence at the cold path *)
+  let damped = node_exn g "Lint_fixtures.Bad_l10.damped" in
+  Alcotest.(check bool) "alloc_ok damps the callee's evidence" true
+    (Effects.SM.is_empty
+       r.Summary.summaries.(damped.Callgraph.id).Effects.allocs);
+  let clean = node_exn g "Lint_fixtures.Bad_l10.clean" in
+  Alcotest.(check bool) "register float math is allocation-free" true
+    (Effects.SM.is_empty r.Summary.summaries.(clean.Callgraph.id).Effects.allocs)
+
+let test_alloc_allowlist_and_json () =
+  let allowlist =
+    parse_allowlist "L10 bad_l10.ml pair  # fixture\nL11 bad_l11.ml *  # fixture\n"
+  in
+  let r = Engine.run ~allowlist ~rules:Diag.all_rules [ fixtures_root ] in
+  let left rule file =
+    List.length
+      (List.filter
+         (fun (d : Diag.t) -> d.rule = rule && in_file file d)
+         r.Engine.diagnostics)
+  in
+  Alcotest.(check int) "L10 pair suppressed" 0 (left Diag.L10 "bad_l10.ml");
+  Alcotest.(check int) "helper origin not covered by the entry" 2
+    (left Diag.L10 "bad_l10_helper.ml");
+  Alcotest.(check int) "L11 wildcard suppressed" 0 (left Diag.L11 "bad_l11.ml");
+  Alcotest.(check bool) "both entries matched something" true (r.Engine.stale = []);
+  match
+    List.find_opt (fun (d : Diag.t) -> d.rule = Diag.L12) r.Engine.diagnostics
+  with
+  | None -> Alcotest.fail "expected an L12 diagnostic"
+  | Some d ->
+      Alcotest.(check bool) "JSON carries the new rule tag" true
+        (contains (Diag.to_json d) {|"rule":"L12"|})
+
 let test_ordering_stable () =
   let strings (r : Engine.report) = List.map Diag.to_string r.Engine.diagnostics in
   let r1 = Engine.run ~rules:Diag.all_rules [ fixtures_root ] in
@@ -371,6 +503,20 @@ let suites =
         Alcotest.test_case "JSON output" `Quick test_json_format;
         Alcotest.test_case "stale allowlist entries" `Quick test_allowlist_stale;
         Alcotest.test_case "allowlist pruning" `Quick test_allowlist_prune;
+      ] );
+    ( "lint.alloc",
+      [
+        Alcotest.test_case "L10 positive" `Quick test_l10_positive;
+        Alcotest.test_case "L10 negative" `Quick test_l10_negative;
+        Alcotest.test_case "L10 hotpaths registry" `Quick test_l10_registry;
+        Alcotest.test_case "hotpaths parsing" `Quick test_hotpaths_parse;
+        Alcotest.test_case "L11 positive" `Quick test_l11_positive;
+        Alcotest.test_case "L11 negative" `Quick test_l11_negative;
+        Alcotest.test_case "L12 positive" `Quick test_l12_positive;
+        Alcotest.test_case "L12 negative" `Quick test_l12_negative;
+        Alcotest.test_case "allocation summaries" `Quick test_alloc_summaries;
+        Alcotest.test_case "allowlist and JSON for L10-L12" `Quick
+          test_alloc_allowlist_and_json;
       ] );
     ( "lint.vocabulary",
       [

@@ -151,6 +151,76 @@ let test_check_cached_matches_check () =
       "identical verdict" (verdict via_closure) (verdict via_cache)
   done
 
+let test_cached_check_allocates_nothing () =
+  (* Runtime cross-check of the static [@cisp.zero_alloc] contracts
+     (L10): once the DEM cache and the domain-local scratch are warm,
+     a batch of cached feasibility checks must allocate nothing at
+     all.  Native-only — bytecode boxes floats the native compiler
+     keeps in registers, so the contract is a native-code property. *)
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> Alcotest.skip ()
+  | Sys.Native ->
+    (* Sentinel for cross-module inlining: dune's dev profile compiles
+       with -opaque, which disables all cmx-based inlining — every
+       cross-module float call then boxes its result and the contract
+       cannot hold.  [Geodesy.distance_km] is [@inline] and
+       allocation-free when inlining works, so any allocation here
+       means this is a build the contract is not promised for.  CI
+       exercises the assertion with a release-profile run. *)
+    let ca = Cisp_geo.Coord.make ~lat:40.0 ~lon:(-100.0) in
+    let cb = Cisp_geo.Coord.make ~lat:41.0 ~lon:(-99.0) in
+    let sink = Float.Array.create 1 in
+    Float.Array.set sink 0 (Cisp_geo.Geodesy.distance_km ca cb);
+    let s0 = Gc.allocated_bytes () in
+    let s1 = Gc.allocated_bytes () in
+    let b = Gc.allocated_bytes () in
+    for _ = 1 to 8 do
+      Float.Array.set sink 0 (Float.Array.get sink 0 +. Cisp_geo.Geodesy.distance_km ca cb)
+    done;
+    let inline_alloc = Gc.allocated_bytes () -. b -. (s1 -. s0) in
+    if inline_alloc > 0.0 then Alcotest.skip ();
+    let dem = Cisp_terrain.Dem.create Cisp_terrain.Dem.Us_continental in
+    let cache = Cisp_terrain.Dem_cache.create dem in
+    let rng = Cisp_util.Rng.create 43 in
+    let pairs =
+      Array.init 24 (fun _ ->
+          let lat = Cisp_util.Rng.uniform rng 34.0 42.0 in
+          let lon = Cisp_util.Rng.uniform rng (-104.0) (-90.0) in
+          let a =
+            Los.endpoint_of_tower ~dem (Cisp_geo.Coord.make ~lat ~lon) ~antenna_m:60.0
+          in
+          let b =
+            Los.endpoint_of_tower ~dem
+              (Cisp_geo.Coord.make
+                 ~lat:(lat +. Cisp_util.Rng.uniform rng (-0.3) 0.3)
+                 ~lon:(lon +. Cisp_util.Rng.uniform rng (-0.3) 0.3))
+              ~antenna_m:60.0
+          in
+          (a, b))
+    in
+    let hits = ref 0 in
+    let run_batch () =
+      for i = 0 to Array.length pairs - 1 do
+        let a, b = pairs.(i) in
+        if Los.feasible_cached ~cache a b then incr hits
+      done
+    in
+    (* Warm: fills the per-domain DEM L1s, publishes every profile
+       cell in the shared store, and grows the Los scratch buffers to
+       this batch's maximum sample count. *)
+    run_batch ();
+    (* [Gc.allocated_bytes] itself allocates (it returns a boxed
+       float); measure that self-overhead with an empty section and
+       subtract it from the measured section. *)
+    let o0 = Gc.allocated_bytes () in
+    let o1 = Gc.allocated_bytes () in
+    let overhead = o1 -. o0 in
+    let b0 = Gc.allocated_bytes () in
+    run_batch ();
+    let b1 = Gc.allocated_bytes () in
+    let delta = b1 -. b0 -. overhead in
+    Alcotest.(check (float 0.0)) "warm cached checks allocate zero bytes" 0.0 delta
+
 let test_blocked_midpoint_samples_once () =
   (* A path whose midpoint is obstructed must be rejected after a
      single terrain sample (regression: the blocked branch used to
@@ -272,6 +342,8 @@ let suites =
         Alcotest.test_case "taller towers help" `Quick test_los_taller_towers_help;
         Alcotest.test_case "mountain blocks" `Quick test_los_mountain_blocks;
         Alcotest.test_case "cached matches closure" `Quick test_check_cached_matches_check;
+        Alcotest.test_case "warm cached check allocates nothing" `Quick
+          test_cached_check_allocates_nothing;
         Alcotest.test_case "blocked midpoint samples once" `Quick test_blocked_midpoint_samples_once;
       ] );
     ( "rf.attenuation",
