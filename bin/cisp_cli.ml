@@ -159,6 +159,86 @@ let weather_cmd =
     (Cmd.info "weather" ~doc:"Year-long precipitation sweep (paper section 6.1)")
     Term.(const run $ jobs_t $ telemetry_t $ region_t $ sites_t $ budget_t $ intervals_t)
 
+(* ---------- scenarios ---------- *)
+
+let scenarios_cmd =
+  let intervals_t =
+    Arg.(value & opt int 8 & info [ "intervals" ] ~docv:"N" ~doc:"Trials per multi-interval scenario")
+  in
+  let k_t =
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Disjoint paths per commodity for the multipath schemes")
+  in
+  let csv_t =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the stretch/availability frontier as CSV")
+  in
+  let run () () region sites budget gbps intervals k csv =
+    let config = config_of region sites 100.0 1.0 in
+    let a = Design.Scenario.artifacts ~config () in
+    let inputs = Design.Scenario.population_inputs a in
+    let budget = effective_budget budget a.Design.Scenario.sites in
+    let topo = Design.Scenario.design inputs ~budget in
+    let spare = Design.Capacity.spare_from_registry a.Design.Scenario.hops in
+    let plan = Design.Capacity.plan ~spare_series_at_hop:spare inputs topo ~aggregate_gbps:gbps in
+    let model =
+      { Sim.Routing.inputs; topology = topo;
+        mw_gbps = Sim.Builder.provisioned_mw_gbps plan;
+        fiber_gbps = Sim.Builder.default_config.Sim.Builder.fiber_gbps }
+    in
+    let demands =
+      Traffic.Matrix.scale_to_gbps inputs.Design.Inputs.traffic ~aggregate_gbps:gbps
+    in
+    let climate =
+      match region with
+      | `Us -> Weather.Rainfield.us_climate
+      | `Europe -> Weather.Rainfield.eu_climate
+    in
+    (* Aim the hurricane at the middle of the deployment. *)
+    let hurricane_center =
+      let n = Array.length a.Design.Scenario.sites in
+      let lat = ref 0.0 and lon = ref 0.0 in
+      Array.iter
+        (fun c ->
+          lat := !lat +. c.Data.City.coord.Geo.Coord.lat;
+          lon := !lon +. c.Data.City.coord.Geo.Coord.lon)
+        a.Design.Scenario.sites;
+      Geo.Coord.make ~lat:(!lat /. float_of_int n) ~lon:(!lon /. float_of_int n)
+    in
+    let suite = Weather.Scenarios.standard_suite ~intervals ~climate ~hurricane_center () in
+    let schemes = Weather.Scenarios.default_schemes ~k in
+    let results =
+      List.map
+        (fun spec ->
+          Weather.Scenarios.run ~schemes ~hops:a.Design.Scenario.hops ~model
+            ~demands_gbps:demands spec)
+        suite
+    in
+    Printf.printf "%-18s %-20s %-6s %-8s %-8s %-8s\n" "scenario" "scheme" "avail" "stretch" "p99" "worst";
+    List.iter
+      (fun r ->
+        List.iter
+          (fun s ->
+            Printf.printf "%-18s %-20s %.4f %-8.3f %-8.3f %-8.3f\n" r.Weather.Scenarios.name
+              s.Weather.Scenarios.scheme s.Weather.Scenarios.availability
+              s.Weather.Scenarios.mean_stretch s.Weather.Scenarios.p99_stretch
+              s.Weather.Scenarios.worst_stretch)
+          r.Weather.Scenarios.schemes)
+      results;
+    (match csv with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Weather.Scenarios.frontier_csv results);
+      close_out oc;
+      Printf.printf "wrote %s\n" file);
+    finish_telemetry ()
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:"Failure-scenario suite: stretch/availability frontier per routing scheme")
+    Term.(
+      const run $ jobs_t $ telemetry_t $ region_t $ sites_t $ budget_t $ gbps_t $ intervals_t
+      $ k_t $ csv_t)
+
 (* ---------- econ ---------- *)
 
 let econ_cmd =
@@ -190,4 +270,4 @@ let hft_cmd =
 
 let () =
   let doc = "cISP: a speed-of-light ISP designer (NSDI 2022 reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "cisp" ~doc) [ design_cmd; weather_cmd; econ_cmd; hft_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "cisp" ~doc) [ design_cmd; weather_cmd; scenarios_cmd; econ_cmd; hft_cmd ]))

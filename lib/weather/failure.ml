@@ -27,6 +27,11 @@ let link_failed ?(params = default_params) ~node_position field (link : Hops.lin
     (fun (u, v) ->
       let pu = node_position u and pv = node_position v in
       let d = Cisp_geo.Geodesy.distance_km pu pv in
+      (* A zero-length hop (degenerate co-located endpoints) has no
+         path for rain to attenuate and no well-defined midpoint to
+         sample — it can never fail. *)
+      d > 0.0
+      &&
       let mid = Cisp_geo.Geodesy.midpoint pu pv in
       let rain = Rainfield.rain_at field mid in
       rain > 0.05 && hop_failed ~params ~rain_mm_h:rain ~d_km:d ())

@@ -108,6 +108,93 @@ let test_telemetry_bit_identity () =
            the CLI smoke run in CI. *)
         [ "hops.all_links"; "apsp"; "greedy.score"; "greedy.design" ])
 
+(* ---------- failure-scenario golden suite ---------- *)
+
+module Scenarios = Cisp_weather.Scenarios
+
+(* The three golden scenarios of the resilience story: a convective
+   deluge, a hurricane window marching across the deployment, and two
+   correlated regional tower outages. *)
+let run_scenario_suite width =
+  Pool.with_default_jobs width (fun () ->
+      let a = Lazy.force artifacts in
+      let inputs = Scenario.population_inputs a in
+      let topo = Scenario.design inputs ~budget in
+      let spare = Capacity.spare_from_registry a.Scenario.hops in
+      let plan = Capacity.plan ~spare_series_at_hop:spare inputs topo ~aggregate_gbps:10.0 in
+      let model =
+        { Cisp_sim.Routing.inputs; topology = topo;
+          mw_gbps = Cisp_sim.Builder.provisioned_mw_gbps plan;
+          fiber_gbps = Cisp_sim.Builder.default_config.Cisp_sim.Builder.fiber_gbps }
+      in
+      let demands =
+        Cisp_traffic.Matrix.scale_to_gbps inputs.Inputs.traffic ~aggregate_gbps:10.0
+      in
+      let schemes = Scenarios.default_schemes ~k:3 in
+      let eye = inputs.Inputs.sites.(0).Cisp_data.City.coord in
+      let specs =
+        [
+          Scenarios.Uniform_rain { mm_h = 110.0 };
+          Scenarios.Hurricane
+            { center = eye; track_bearing_deg = 40.0; step_km = 60.0; intervals = 6 };
+          Scenarios.Correlated_towers { blobs = 2; radius_km = 150.0; intervals = 6 };
+        ]
+      in
+      let results =
+        List.map
+          (fun spec ->
+            Scenarios.run ~schemes ~hops:a.Scenario.hops ~model ~demands_gbps:demands spec)
+          specs
+      in
+      (results, Scenarios.frontier_csv results))
+
+(* Every float of a result, bitwise — NaN-safe, unlike polymorphic
+   equality. *)
+let scenario_bits results =
+  List.map
+    (fun r ->
+      ( r.Scenarios.name,
+        r.Scenarios.intervals,
+        bits r.Scenarios.mean_failed_links,
+        List.map
+          (fun s ->
+            ( s.Scenarios.scheme,
+              bits s.Scenarios.availability,
+              bits s.Scenarios.mean_stretch,
+              bits s.Scenarios.p99_stretch,
+              bits s.Scenarios.worst_stretch ))
+          r.Scenarios.schemes ))
+    results
+
+(* Checked-in expected frontier for the 8-site Europe fixture: any
+   drift in routing, the failure model, or the scenario replay shows
+   up as a diff here. *)
+let golden_frontier_csv =
+  "scenario,scheme,availability,mean_stretch,p99_stretch,worst_stretch,mean_failed_links\n\
+   uniform-rain,shortest-recompute,1.000000,1.930000,1.930000,1.930000,13.0000\n\
+   uniform-rain,failover-k3,0.700809,1.930000,1.930000,1.930000,13.0000\n\
+   uniform-rain,split-k3,0.700809,1.942831,2.026460,2.026460,13.0000\n\
+   hurricane,shortest-recompute,1.000000,1.038350,1.585808,1.585808,0.1667\n\
+   hurricane,failover-k3,1.000000,1.040195,1.585808,1.598297,0.1667\n\
+   hurricane,split-k3,1.000000,1.425031,1.961211,1.961211,0.1667\n\
+   correlated-towers,shortest-recompute,1.000000,1.161804,1.930000,1.930000,2.3333\n\
+   correlated-towers,failover-k3,0.978155,1.176764,1.930000,1.930000,2.3333\n\
+   correlated-towers,split-k3,0.978155,1.495399,2.228767,2.230679,2.3333\n"
+
+let test_scenario_suite_golden () =
+  let r1, csv1 = run_scenario_suite 1 in
+  Alcotest.(check string) "golden frontier (jobs=1)" golden_frontier_csv csv1;
+  let b1 = scenario_bits r1 in
+  List.iter
+    (fun w ->
+      let rw, csvw = run_scenario_suite w in
+      Alcotest.(check string) (Printf.sprintf "frontier CSV, jobs=1 vs %d" w) csv1 csvw;
+      Alcotest.(check bool)
+        (Printf.sprintf "results bitwise, jobs=1 vs %d" w)
+        true
+        (b1 = scenario_bits rw))
+    [ 2; 8 ]
+
 let test_los_sweep_width_invariant () =
   (* Rebuild the tower hop graph on a cold DEM cache at several pool
      widths: covers the LOS + Fresnel sweep and the snapped-cell-center
@@ -148,6 +235,7 @@ let suites =
         Alcotest.test_case "APSP link matrix" `Slow test_apsp_width_invariant;
         Alcotest.test_case "metric closures" `Slow test_metric_width_invariant;
         Alcotest.test_case "weather year at jobs 1/2/8" `Slow test_weather_width_invariant;
+        Alcotest.test_case "scenario suite golden at jobs 1/2/8" `Slow test_scenario_suite_golden;
         Alcotest.test_case "LOS sweep on a cold cache" `Slow test_los_sweep_width_invariant;
         Alcotest.test_case "telemetry on/off bit-identity" `Slow test_telemetry_bit_identity;
       ] );

@@ -279,6 +279,48 @@ let prop_disjoint_lengths_nondecreasing =
       let ds = List.map fst rounds in
       List.sort Float.compare ds = ds)
 
+let is_simple p = List.length p = List.length (List.sort_uniq compare p)
+
+let interior p =
+  match p with [] | [ _ ] -> [] | _ :: rest -> List.filter ((<>) (List.nth p (List.length p - 1))) rest
+
+let prop_disjoint_paths_simple =
+  QCheck.Test.make ~name:"successive disjoint paths are simple" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 4000) ~n:10 ~edges:24 in
+      let rounds = Disjoint.successive g ~src:0 ~dst:9 ~rounds:6 ~protected:(fun _ -> false) in
+      List.for_all (fun (_, p) -> is_simple p) rounds)
+
+let prop_disjoint_interiors_disjoint =
+  QCheck.Test.make ~name:"successive paths share no interior node" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 5000) ~n:10 ~edges:24 in
+      let rounds = Disjoint.successive g ~src:0 ~dst:9 ~rounds:6 ~protected:(fun _ -> false) in
+      let interiors = List.map (fun (_, p) -> interior p) rounds in
+      let rec pairwise = function
+        | [] -> true
+        | i :: rest ->
+          List.for_all (fun j -> List.for_all (fun v -> not (List.mem v j)) i) rest
+          && pairwise rest
+      in
+      pairwise interiors)
+
+let prop_searches_preserve_input =
+  QCheck.Test.make ~name:"yen/disjoint/multipath leave the input graph unmodified" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 6000) ~n:9 ~edges:20 in
+      let snapshot g =
+        List.init 9 (fun u ->
+            List.map (fun (e : Graph.edge) -> (e.dst, e.weight, e.tag)) (Graph.succ g u))
+      in
+      let before = snapshot g in
+      ignore (Kshortest.yen g ~src:0 ~dst:8 ~k:4);
+      ignore (Disjoint.successive g ~src:0 ~dst:8 ~rounds:4 ~protected:(fun _ -> false));
+      ignore (Multipath.k_disjoint g ~src:0 ~dst:8 ~k:4);
+      ignore (Multipath.k_paths ~disjointness:Multipath.Node_disjoint g ~src:0 ~dst:8 ~k:4);
+      snapshot g = before)
+
 let deep_suite =
   ( "graph.properties",
     [
@@ -286,6 +328,106 @@ let deep_suite =
       QCheck_alcotest.to_alcotest prop_yen_paths_valid;
       QCheck_alcotest.to_alcotest prop_yen_sorted;
       QCheck_alcotest.to_alcotest prop_disjoint_lengths_nondecreasing;
+      QCheck_alcotest.to_alcotest prop_disjoint_paths_simple;
+      QCheck_alcotest.to_alcotest prop_disjoint_interiors_disjoint;
+      QCheck_alcotest.to_alcotest prop_searches_preserve_input;
     ] )
 
-let suites = suites @ [ deep_suite ]
+(* ---------- Multipath ---------- *)
+
+(* src 0, dst 4: a 2-hop primary through node 1, an edge-disjoint
+   detour that reuses node 1 over fresh edges, and an expensive direct
+   edge.  Distinguishes the two disjointness modes. *)
+let multipath_graph () =
+  let g = Graph.create 5 in
+  Graph.add_undirected g 0 1 1.0;
+  Graph.add_undirected g 1 4 1.0;
+  Graph.add_undirected g 0 2 1.0;
+  Graph.add_undirected g 2 1 0.5;
+  Graph.add_undirected g 1 3 0.5;
+  Graph.add_undirected g 3 4 1.0;
+  Graph.add_undirected g 0 4 10.0;
+  g
+
+let test_multipath_edge_disjoint () =
+  let g = multipath_graph () in
+  let paths = Multipath.k_disjoint g ~src:0 ~dst:4 ~k:5 in
+  Alcotest.(check (list (float 1e-9))) "edge-disjoint lengths" [ 2.0; 3.0; 10.0 ]
+    (List.map fst paths);
+  match paths with
+  | (_, p1) :: (_, p2) :: _ ->
+    Alcotest.(check (list int)) "primary" [ 0; 1; 4 ] p1;
+    Alcotest.(check (list int)) "detour reuses node 1" [ 0; 2; 1; 3; 4 ] p2
+  | _ -> Alcotest.fail "expected 3 paths"
+
+let test_multipath_node_disjoint () =
+  let g = multipath_graph () in
+  let paths = Multipath.k_disjoint ~disjointness:Multipath.Node_disjoint g ~src:0 ~dst:4 ~k:5 in
+  Alcotest.(check (list (float 1e-9))) "node-disjoint lengths" [ 2.0; 10.0 ]
+    (List.map fst paths)
+
+let test_multipath_k_paths_top_up () =
+  let g = multipath_graph () in
+  let paths = Multipath.k_paths ~disjointness:Multipath.Node_disjoint g ~src:0 ~dst:4 ~k:3 in
+  (* Two node-disjoint routes exist; Yen tops the set up to three.  The
+     result is priority-ordered, not length-sorted. *)
+  Alcotest.(check int) "topped up" 3 (List.length paths);
+  Alcotest.(check (list (float 1e-9))) "priority order" [ 2.0; 10.0; 2.5 ] (List.map fst paths)
+
+let test_multipath_invalid_k () =
+  Alcotest.check_raises "negative k" (Invalid_argument "Multipath.successive: k < 0") (fun () ->
+      ignore (Multipath.k_disjoint (diamond ()) ~src:0 ~dst:2 ~k:(-1)))
+
+let undirected_pairs p =
+  List.map (fun (u, v) -> (min u v, max u v))
+    (let rec pairs = function u :: (v :: _ as rest) -> (u, v) :: pairs rest | _ -> [] in
+     pairs p)
+
+let prop_multipath_edge_disjointness =
+  QCheck.Test.make ~name:"k_disjoint paths share no undirected edge" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 7000) ~n:10 ~edges:26 in
+      let paths = Multipath.k_disjoint g ~src:0 ~dst:9 ~k:5 in
+      let rec pairwise = function
+        | [] -> true
+        | (_, p) :: rest ->
+          let mine = undirected_pairs p in
+          List.for_all
+            (fun (_, q) ->
+              List.for_all (fun e -> not (List.mem e (undirected_pairs q))) mine)
+            rest
+          && pairwise rest
+      in
+      pairwise paths)
+
+let prop_multipath_primary_is_shortest =
+  QCheck.Test.make ~name:"k_disjoint primary equals dijkstra" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 8000) ~n:10 ~edges:22 in
+      match (Multipath.k_disjoint g ~src:0 ~dst:9 ~k:3, Dijkstra.shortest_path g ~src:0 ~dst:9) with
+      | [], None -> true
+      | (d, _) :: _, Some (d', _) -> Float.abs (d -. d') < 1e-9
+      | _ -> false)
+
+let prop_multipath_simple_and_monotone =
+  QCheck.Test.make ~name:"k_disjoint paths are simple with monotone lengths" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 9000) ~n:10 ~edges:24 in
+      let paths = Multipath.k_disjoint g ~src:0 ~dst:9 ~k:5 in
+      let ds = List.map fst paths in
+      List.for_all (fun (_, p) -> is_simple p) paths && List.sort Float.compare ds = ds)
+
+let multipath_suite =
+  ( "graph.multipath",
+    [
+      Alcotest.test_case "edge-disjoint modes" `Quick test_multipath_edge_disjoint;
+      Alcotest.test_case "node-disjoint modes" `Quick test_multipath_node_disjoint;
+      Alcotest.test_case "k_paths top-up" `Quick test_multipath_k_paths_top_up;
+      Alcotest.test_case "invalid k" `Quick test_multipath_invalid_k;
+      QCheck_alcotest.to_alcotest prop_multipath_edge_disjointness;
+      QCheck_alcotest.to_alcotest prop_multipath_primary_is_shortest;
+      QCheck_alcotest.to_alcotest prop_multipath_simple_and_monotone;
+    ] )
+
+let suites = suites @ [ deep_suite; multipath_suite ]

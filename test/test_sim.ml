@@ -450,3 +450,203 @@ let suites =
           Alcotest.test_case "no spurious retransmits" `Quick test_tcp_no_spurious_retransmit;
         ] );
     ]
+
+(* ---------- Multipath, failover and scheme guarantees ---------- *)
+
+let all_alive _ _ = true
+
+let fixture_demands model gbps =
+  Cisp_traffic.Matrix.scale_to_gbps model.Routing.inputs.Cisp_design.Inputs.traffic
+    ~aggregate_gbps:gbps
+
+(* Regression: the greedy schemes iterate commodities in demand order;
+   a zero-demand ordered pair must never be assigned a route. *)
+let test_minmax_skips_zero_demand_commodity () =
+  let model = routing_fixture () in
+  let demands = fixture_demands model 2.0 in
+  demands.(0).(3) <- 0.0;
+  let table = Routing.paths model Routing.Min_max_utilization ~demands_gbps:demands in
+  Alcotest.(check bool) "zero-demand (0,3) unrouted" false (Hashtbl.mem table (0, 3));
+  Alcotest.(check bool) "(3,0) still routed" true (Hashtbl.mem table (3, 0));
+  Alcotest.(check int) "11 routed commodities" 11 (Hashtbl.length table)
+
+(* A small random deployment: sites scattered around a base point, a
+   ring topology for connectivity plus random chords. *)
+let random_model seed =
+  let rng = Cisp_util.Rng.create seed in
+  let n = 6 in
+  let base = Cisp_geo.Coord.make ~lat:40.0 ~lon:(-100.0) in
+  let sites =
+    Array.init n (fun i ->
+        let c =
+          Cisp_geo.Geodesy.destination base
+            ~bearing_deg:(Cisp_util.Rng.float rng 360.0)
+            ~distance_km:(Cisp_util.Rng.uniform rng 150.0 900.0)
+        in
+        Cisp_data.City.make (Printf.sprintf "S%d" i) ~lat:(Cisp_geo.Coord.lat c)
+          ~lon:(Cisp_geo.Coord.lon c)
+          ~population:(100_000 + Cisp_util.Rng.int rng 900_000))
+  in
+  let inputs =
+    Cisp_design.Inputs.synthetic ~sites ~mw_stretch:1.05 ~mw_cost_per_km:0.02 ~fiber_stretch:1.9
+      ~traffic:(Cisp_traffic.Matrix.population_product sites)
+  in
+  let links = ref [] in
+  for i = 0 to n - 2 do
+    links := (i, i + 1) :: !links
+  done;
+  links := (0, n - 1) :: !links;
+  for _ = 1 to 3 do
+    let u = Cisp_util.Rng.int rng n and v = Cisp_util.Rng.int rng n in
+    let u, v = (min u v, max u v) in
+    if u <> v && not (List.mem (u, v) !links) then links := (u, v) :: !links
+  done;
+  let topo = Cisp_design.Topology.of_links inputs !links in
+  { Routing.inputs; topology = topo; mw_gbps = (fun _ -> 1.0); fiber_gbps = 100.0 }
+
+(* The Bounded_stretch contract is per route, not just in the mean: on
+   random topologies no commodity's route may exceed the bound times
+   its own shortest latency. *)
+let prop_bounded_stretch_per_route =
+  QCheck.Test.make ~name:"bounded stretch bounds every single route" ~count:25 QCheck.small_int
+    (fun seed ->
+      let model = random_model (seed + 11) in
+      let demands = fixture_demands model 5.0 in
+      let bound = 1.25 in
+      let shortest = Routing.paths model Routing.Shortest_path ~demands_gbps:demands in
+      let table = Routing.paths model (Routing.Bounded_stretch bound) ~demands_gbps:demands in
+      let ok = ref true in
+      Hashtbl.iter
+        (fun key route ->
+          let lat = Routing.route_latency_km model ~mw_ok:all_alive route in
+          let sp =
+            Routing.route_latency_km model ~mw_ok:all_alive (Hashtbl.find shortest key)
+          in
+          if lat > (bound *. sp) +. 1e-6 then ok := false)
+        table;
+      !ok)
+
+let test_multipath_table_structure () =
+  let model = routing_fixture () in
+  let demands = fixture_demands model 2.0 in
+  let table = Routing.multipath_table model (Routing.K_disjoint_split 3) ~demands_gbps:demands in
+  Alcotest.(check int) "all 12 commodities" 12 (Hashtbl.length table);
+  Hashtbl.iter
+    (fun (s, t) mp ->
+      let k = Array.length mp.Routing.routes in
+      Alcotest.(check bool) "1..3 routes" true (k >= 1 && k <= 3);
+      Alcotest.(check int) "split per route" k (Array.length mp.Routing.split);
+      check_float 1e-9 "split sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 mp.Routing.split);
+      let p = mp.Routing.routes.(0) in
+      Alcotest.(check int) "starts at s" s p.Routing.nodes.(0);
+      Alcotest.(check int) "ends at t" t p.Routing.nodes.(Array.length p.Routing.nodes - 1);
+      check_float 1e-6 "primary latency consistent" p.Routing.latency_km
+        (Routing.route_latency_km model ~mw_ok:all_alive p.Routing.nodes);
+      Array.iter
+        (fun q ->
+          Alcotest.(check bool) "primary is the shortest route" true
+            (q.Routing.latency_km >= p.Routing.latency_km -. 1e-9))
+        mp.Routing.routes)
+    table
+
+let test_multipath_invalid_k () =
+  let model = routing_fixture () in
+  let demands = fixture_demands model 1.0 in
+  Alcotest.check_raises "k = 0 rejected" (Invalid_argument "Routing.multipath_table: k <= 0")
+    (fun () ->
+      ignore (Routing.multipath_table model (Routing.K_disjoint_split 0) ~demands_gbps:demands))
+
+let route_respects ~mw_ok (p : Routing.mp_path) =
+  let ok = ref true in
+  Array.iteri
+    (fun h medium ->
+      match medium with
+      | Routing.Mw -> if not (mw_ok p.Routing.nodes.(h) p.Routing.nodes.(h + 1)) then ok := false
+      | Routing.Fiber -> ())
+    p.Routing.media;
+  !ok
+
+let test_failover_activates_backup () =
+  let model = routing_fixture () in
+  let demands = fixture_demands model 2.0 in
+  let table =
+    Routing.multipath_table model (Routing.K_disjoint_failover 3) ~demands_gbps:demands
+  in
+  let mp = Hashtbl.find table (0, 2) in
+  Alcotest.(check bool) "has a backup" true (Array.length mp.Routing.routes >= 2);
+  check_float 1e-9 "all mass on the primary" 1.0 mp.Routing.split.(0);
+  (* Fair weather: the primary carries the commodity. *)
+  (match Routing.select_routes mp ~mw_ok:all_alive with
+  | [||] -> Alcotest.fail "no route in fair weather"
+  | sel ->
+    let p, w = sel.(0) in
+    check_float 1e-9 "primary weight 1" 1.0 w;
+    check_float 1e-9 "primary route" mp.Routing.routes.(0).Routing.latency_km p.Routing.latency_km);
+  (* Kill one MW hop of the primary: the first surviving backup takes
+     the full load, without touching the table. *)
+  let prim = mp.Routing.routes.(0) in
+  let dead = ref None in
+  Array.iteri
+    (fun h medium ->
+      match medium with
+      | Routing.Mw -> if !dead = None then dead := Some (prim.Routing.nodes.(h), prim.Routing.nodes.(h + 1))
+      | Routing.Fiber -> ())
+    prim.Routing.media;
+  match !dead with
+  | None -> Alcotest.fail "primary uses no MW hop"
+  | Some (a, b) ->
+    let mw_ok u v = not ((u = a && v = b) || (u = b && v = a)) in
+    let sel = Routing.select_routes mp ~mw_ok in
+    Alcotest.(check bool) "a backup survives" true (Array.length sel > 0);
+    Array.iter
+      (fun (p, _) ->
+        Alcotest.(check bool) "survivor avoids the dead link" true (route_respects ~mw_ok p))
+      sel;
+    check_float 1e-9 "full mass on first survivor" 1.0 (snd sel.(0))
+
+let test_split_renormalizes_over_survivors () =
+  let model = routing_fixture () in
+  let demands = fixture_demands model 2.0 in
+  let table = Routing.multipath_table model (Routing.K_disjoint_split 3) ~demands_gbps:demands in
+  let mp = Hashtbl.find table (0, 2) in
+  Alcotest.(check bool) "multiple routes" true (Array.length mp.Routing.routes >= 2);
+  (* All MW down: only pure-fiber routes survive, weights renormalized. *)
+  let none_alive _ _ = false in
+  let sel = Routing.select_routes mp ~mw_ok:none_alive in
+  Array.iter
+    (fun ((p : Routing.mp_path), _) ->
+      Alcotest.(check bool) "survivors are pure fiber" true
+        (Array.for_all (fun m -> match m with Routing.Fiber -> true | Routing.Mw -> false)
+           p.Routing.media))
+    sel;
+  if Array.length sel > 0 then
+    check_float 1e-9 "weights renormalized" 1.0
+      (Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 sel)
+
+let test_multipath_failover_latency_matches_shortest () =
+  let model = routing_fixture () in
+  let demands = fixture_demands model 2.0 in
+  let failover =
+    Routing.multipath_table model (Routing.K_disjoint_failover 2) ~demands_gbps:demands
+  in
+  let sp = Routing.paths model Routing.Shortest_path ~demands_gbps:demands in
+  check_float 1e-6 "failover fair-weather latency = shortest-path"
+    (Routing.mean_route_latency_ms model sp ~demands_gbps:demands)
+    (Routing.multipath_mean_latency_ms failover ~demands_gbps:demands)
+
+let suites =
+  suites
+  @ [
+      ( "sim.multipath",
+        [
+          Alcotest.test_case "min-max skips zero demand" `Quick
+            test_minmax_skips_zero_demand_commodity;
+          Alcotest.test_case "table structure" `Quick test_multipath_table_structure;
+          Alcotest.test_case "invalid k" `Quick test_multipath_invalid_k;
+          Alcotest.test_case "failover activates backup" `Quick test_failover_activates_backup;
+          Alcotest.test_case "split renormalizes" `Quick test_split_renormalizes_over_survivors;
+          Alcotest.test_case "failover latency = shortest" `Quick
+            test_multipath_failover_latency_matches_shortest;
+          QCheck_alcotest.to_alcotest prop_bounded_stretch_per_route;
+        ] );
+    ]

@@ -139,6 +139,139 @@ let test_hft_shape () =
     (fun l -> Alcotest.(check bool) "loss in [0,1]" true (l >= 0.0 && l <= 1.0))
     r.Hft.loss_series
 
+(* ---------- zero-length hops (degenerate co-located endpoints) ---------- *)
+
+let test_zero_hop_link_cannot_fail () =
+  (* Both endpoints at the hurricane eye: without the zero-length
+     guard the undefined midpoint would sample 100+ mm/h over a
+     "hop" of no length and kill the link. *)
+  let p = coord ~lat:40.0 ~lon:(-74.0) in
+  let link =
+    { Cisp_towers.Hops.src = 0; dst = 1; distance_km = 0.0; geodesic_km = 0.0;
+      node_path = [ 0; 1 ]; tower_count = 0 }
+  in
+  let field = Rainfield.hurricane ~center:p in
+  Alcotest.(check bool) "zero-length hop cannot fail" false
+    (Failure.link_failed ~node_position:(fun _ -> p) field link)
+
+let test_zero_hop_does_not_shadow_real_hops () =
+  (* A real 80 km hop whose midpoint sits on the eye, followed by a
+     degenerate zero-length hop: the guard must skip only the latter. *)
+  let p = coord ~lat:40.0 ~lon:(-74.0) in
+  let a = Cisp_geo.Geodesy.destination p ~bearing_deg:270.0 ~distance_km:40.0 in
+  let b = Cisp_geo.Geodesy.destination p ~bearing_deg:90.0 ~distance_km:40.0 in
+  let link =
+    { Cisp_towers.Hops.src = 0; dst = 1; distance_km = 80.0; geodesic_km = 80.0;
+      node_path = [ 0; 2; 1 ]; tower_count = 1 }
+  in
+  let node_position n = if n = 0 then a else b in
+  let field = Rainfield.hurricane ~center:p in
+  Alcotest.(check bool) "wet real hop still fails" true
+    (Failure.link_failed ~node_position field link)
+
+(* ---------- failure-scenario engine ---------- *)
+
+let scenario_fixture () =
+  let inputs, topo = year_fixture () in
+  let hops = hops_fixture (Array.to_list inputs.Cisp_design.Inputs.sites) in
+  let model =
+    { Cisp_sim.Routing.inputs; topology = topo; mw_gbps = (fun _ -> 10.0); fiber_gbps = 100.0 }
+  in
+  let demands =
+    Cisp_traffic.Matrix.scale_to_gbps inputs.Cisp_design.Inputs.traffic ~aggregate_gbps:5.0
+  in
+  (hops, model, demands)
+
+let test_scenarios_dry_full_availability () =
+  let hops, model, demands = scenario_fixture () in
+  let schemes = Scenarios.default_schemes ~k:2 in
+  let r =
+    Scenarios.run ~schemes ~hops ~model ~demands_gbps:demands
+      (Scenarios.Uniform_rain { mm_h = 0.0 })
+  in
+  Alcotest.(check string) "name" "uniform-rain" r.Scenarios.name;
+  Alcotest.(check int) "single interval" 1 r.Scenarios.intervals;
+  check_float 1e-12 "dry: nothing fails" 0.0 r.Scenarios.mean_failed_links;
+  Alcotest.(check int) "one summary per scheme" 3 (List.length r.Scenarios.schemes);
+  List.iter
+    (fun s ->
+      check_float 1e-12 (s.Scenarios.scheme ^ " fully available") 1.0 s.Scenarios.availability;
+      Alcotest.(check bool) (s.Scenarios.scheme ^ " stretch >= 1") true
+        (s.Scenarios.mean_stretch >= 1.0 -. 1e-9);
+      Alcotest.(check bool) (s.Scenarios.scheme ^ " p99 >= mean order sane") true
+        (s.Scenarios.worst_stretch >= s.Scenarios.p99_stretch -. 1e-9))
+    r.Scenarios.schemes
+
+let test_scenarios_deluge_recompute_rides_fiber () =
+  let hops, model, demands = scenario_fixture () in
+  let schemes = Scenarios.default_schemes ~k:3 in
+  let dry =
+    Scenarios.run ~schemes ~hops ~model ~demands_gbps:demands
+      (Scenarios.Uniform_rain { mm_h = 0.0 })
+  in
+  let wet =
+    Scenarios.run ~schemes ~hops ~model ~demands_gbps:demands
+      (Scenarios.Uniform_rain { mm_h = 400.0 })
+  in
+  Alcotest.(check bool) "deluge kills links" true (wet.Scenarios.mean_failed_links > 0.0);
+  let by_name r = List.map (fun s -> (s.Scenarios.scheme, s)) r.Scenarios.schemes in
+  let recompute = List.assoc "shortest-recompute" (by_name wet) in
+  let failover = List.assoc "failover-k3" (by_name wet) in
+  (* Global recompute falls back to fiber: never unavailable, but the
+     mean stretch degrades versus fair weather. *)
+  check_float 1e-12 "recompute availability" 1.0 recompute.Scenarios.availability;
+  let dry_recompute = List.assoc "shortest-recompute" (by_name dry) in
+  Alcotest.(check bool) "recompute stretch degrades in the deluge" true
+    (recompute.Scenarios.mean_stretch >= dry_recompute.Scenarios.mean_stretch -. 1e-9);
+  (* Precomputed failover can do no better than global recompute. *)
+  Alcotest.(check bool) "failover availability <= recompute" true
+    (failover.Scenarios.availability <= recompute.Scenarios.availability +. 1e-12)
+
+let test_scenarios_correlated_and_csv () =
+  let hops, model, demands = scenario_fixture () in
+  let schemes = Scenarios.default_schemes ~k:2 in
+  let run spec = Scenarios.run ~schemes ~hops ~model ~demands_gbps:demands spec in
+  let towers =
+    run (Scenarios.Correlated_towers { blobs = 2; radius_km = 150.0; intervals = 5 })
+  in
+  let hurricane =
+    run
+      (Scenarios.Hurricane
+         { center = model.Cisp_sim.Routing.inputs.Cisp_design.Inputs.sites.(0).Cisp_data.City.coord;
+           track_bearing_deg = 90.0; step_km = 80.0; intervals = 5 })
+  in
+  Alcotest.(check int) "intervals" 5 towers.Scenarios.intervals;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s availability in [0,1]" r.Scenarios.name s.Scenarios.scheme)
+            true
+            (s.Scenarios.availability >= 0.0 && s.Scenarios.availability <= 1.0))
+        r.Scenarios.schemes)
+    [ towers; hurricane ];
+  let csv = Scenarios.frontier_csv [ towers; hurricane ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row per (scenario, scheme)" 7 (List.length lines);
+  Alcotest.(check string) "header"
+    "scenario,scheme,availability,mean_stretch,p99_stretch,worst_stretch,mean_failed_links"
+    (List.hd lines)
+
+let test_scenarios_validation () =
+  let hops, model, demands = scenario_fixture () in
+  let schemes = Scenarios.default_schemes ~k:2 in
+  Alcotest.check_raises "zero intervals rejected"
+    (Invalid_argument "Scenarios.run: intervals <= 0") (fun () ->
+      ignore
+        (Scenarios.run ~schemes ~hops ~model ~demands_gbps:demands
+           (Scenarios.Rain_replay { climate = Rainfield.us_climate; intervals = 0 })));
+  Alcotest.check_raises "empty scheme list rejected"
+    (Invalid_argument "Scenarios.run: no schemes") (fun () ->
+      ignore
+        (Scenarios.run ~schemes:[] ~hops ~model ~demands_gbps:demands
+           (Scenarios.Uniform_rain { mm_h = 0.0 })))
+
 let suites =
   [
     ( "weather.rainfield",
@@ -153,6 +286,16 @@ let suites =
         Alcotest.test_case "margin band" `Quick test_hop_margin_band;
         Alcotest.test_case "failure threshold" `Quick test_hop_failure_threshold;
         Alcotest.test_case "loss probability" `Quick test_loss_probability_shape;
+        Alcotest.test_case "zero-length hop cannot fail" `Quick test_zero_hop_link_cannot_fail;
+        Alcotest.test_case "zero-length hop does not shadow" `Quick
+          test_zero_hop_does_not_shadow_real_hops;
+      ] );
+    ( "weather.scenarios",
+      [
+        Alcotest.test_case "dry run fully available" `Slow test_scenarios_dry_full_availability;
+        Alcotest.test_case "deluge rides fiber" `Slow test_scenarios_deluge_recompute_rides_fiber;
+        Alcotest.test_case "correlated towers and csv" `Slow test_scenarios_correlated_and_csv;
+        Alcotest.test_case "validation" `Quick test_scenarios_validation;
       ] );
     ( "weather.year",
       [
