@@ -14,6 +14,43 @@ module Year = Cisp_weather.Year
 
 let bench_json_path = "BENCH.json"
 
+(* Every record of one invocation shares a run id, so the per-width
+   lines of a curve can be grouped when BENCH.json accumulates runs
+   across commits and machines. *)
+let run_id =
+  Printf.sprintf "%.0f-%d" (Unix.gettimeofday () *. 1000.0) (Unix.getpid ())
+
+(* Commit being measured: CI exports it; locally, chase HEAD through
+   one level of symref.  Speedup regressions in the accumulated log are
+   only attributable if each line names its code version. *)
+let git_rev =
+  let from_env =
+    match Sys.getenv_opt "CISP_GIT_REV" with
+    | Some r when String.trim r <> "" -> Some (String.trim r)
+    | _ -> (
+      match Sys.getenv_opt "GITHUB_SHA" with
+      | Some r when String.trim r <> "" -> Some (String.trim r)
+      | _ -> None)
+  in
+  let read_first_line path =
+    try
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Some (String.trim (input_line ic)))
+    with Sys_error _ | End_of_file -> None
+  in
+  let from_git () =
+    match read_first_line ".git/HEAD" with
+    | Some line when String.length line > 5 && String.sub line 0 5 = "ref: " ->
+      read_first_line (Filename.concat ".git" (String.sub line 5 (String.length line - 5)))
+    | Some line when line <> "" -> Some line
+    | Some _ | None -> None
+  in
+  let rev = match from_env with Some r -> Some r | None -> from_git () in
+  match rev with
+  | Some r -> if String.length r > 12 then String.sub r 0 12 else r
+  | None -> "unknown"
+
 (* With CISP_BENCH_ENFORCE=1 (the CI bench-smoke job), kernels that
    declare a minimum speedup for a width fail the run when they miss
    it.  The gate needs real cores: with fewer cores than domains,
@@ -38,12 +75,23 @@ let curve_widths () =
 let violations : string list ref = ref []
 let mismatches : string list ref = ref []
 
+(* (kernel, seq_s, [(jobs, speedup); ...]) per kernel, curve in
+   measurement order, for the end-of-run summary line. *)
+let curves : (string * float * (int * float) list) list ref = ref []
+
+let note_curve ~kernel ~seq_s ~jobs ~speedup =
+  match !curves with
+  | (k, s, points) :: rest when String.equal k kernel ->
+    curves := (k, s, (jobs, speedup) :: points) :: rest
+  | _ -> curves := (kernel, seq_s, [ (jobs, speedup) ]) :: !curves
+
 let record ~kernel ~jobs ~seq_s ~par_s ~min_speedup =
   let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  note_curve ~kernel ~seq_s ~jobs ~speedup;
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_json_path in
   Printf.fprintf oc
-    {|{"bench":"par","kernel":"%s","jobs":%d,"seq_s":%.6f,"par_s":%.6f,"speedup":%.3f|}
-    kernel jobs seq_s par_s speedup;
+    {|{"bench":"par","run":"%s","rev":"%s","kernel":"%s","jobs":%d,"seq_s":%.6f,"par_s":%.6f,"speedup":%.3f|}
+    run_id git_rev kernel jobs seq_s par_s speedup;
   (match min_speedup with
   | Some m -> Printf.fprintf oc {|,"min_speedup":%.3f}|} m
   | None -> output_string oc "}");
@@ -56,6 +104,29 @@ let record ~kernel ~jobs ~seq_s ~par_s ~min_speedup =
         jobs m
       :: !violations
   | _ -> ()
+
+(* One summary line per invocation: the whole jobs curve of every
+   kernel in a single record, so a log reader gets the run's shape
+   without joining the per-width lines back together. *)
+let record_summary ~widths =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_json_path in
+  Printf.fprintf oc {|{"bench":"par","run":"%s","rev":"%s","summary":true,"widths":[%s]|}
+    run_id git_rev
+    (String.concat "," (List.map string_of_int widths));
+  Printf.fprintf oc {|,"cores":%d,"enforced":%b|} (Domain.recommended_domain_count ())
+    enforce_env;
+  Printf.fprintf oc {|,"kernels":{%s}}|}
+    (String.concat ","
+       (List.rev_map
+          (fun (kernel, seq_s, points) ->
+            Printf.sprintf {|"%s":{"seq_s":%.6f,"speedup":{%s}}|} kernel seq_s
+              (String.concat ","
+                 (List.rev_map
+                    (fun (jobs, speedup) -> Printf.sprintf {|"%d":%.3f|} jobs speedup)
+                    points)))
+          !curves));
+  output_char oc '\n';
+  close_out oc
 
 (* Result of the first run, fastest wall-clock of [reps] runs. *)
 let timed reps f =
@@ -158,15 +229,19 @@ let run ctx =
   kernel ctx ~name:"greedy_scoring" ~widths ~equal:scores_equal (fun () ->
       Greedy.score_candidates inputs w base ~budget cands);
   (* 2. APSP: one Dijkstra per site over the full tower graph — the
-     step-1-to-step-2 handoff that builds [Inputs.mw_km]. *)
-  kernel ctx ~name:"apsp_mw_links" ~widths ~equal:links_equal (fun () ->
-      Hops.all_links a.Cisp_design.Scenario.hops);
+     step-1-to-step-2 handoff that builds [Inputs.mw_km].  Modest
+     per-source work over a shared graph: parity at 2 domains, a real
+     win from 4 up. *)
+  kernel ctx ~name:"apsp_mw_links" ~widths
+    ~min_speedup:[ (2, 1.0); (4, 1.1); (8, 1.1) ]
+    ~equal:links_equal
+    (fun () -> Hops.all_links a.Cisp_design.Scenario.hops);
   (* 3. LOS + Fresnel hop-feasibility sweep (tower graph build), on a
      cold DEM cache each run so domains share the miss work.  The hit
-     path is lock-free, so adding a domain must never cost throughput:
-     gate at parity from 2 domains up. *)
+     path is lock-free and the sweep is tile-scheduled, so 4 domains
+     must deliver a real speedup, not just parity. *)
   kernel ctx ~name:"los_sweep" ~widths
-    ~min_speedup:[ (2, 1.0); (4, 1.0); (8, 1.0) ]
+    ~min_speedup:[ (2, 1.0); (4, 1.3); (8, 1.3) ]
     ~equal:(fun (x : int) y -> x = y)
     (fun () ->
       let cache = Cisp_terrain.Dem_cache.create a.Cisp_design.Scenario.dem in
@@ -177,13 +252,21 @@ let run ctx =
           ()
       in
       hops.Hops.feasible_hops);
-  (* 4. Monte Carlo weather year over the designed topology. *)
+  (* 4. Monte Carlo weather year over the designed topology.  Trials
+     are batched per chunk and the sample matrix is interval-major, so
+     the historical 0.56x pessimization must stay fixed: real speedup
+     required from 4 domains. *)
   let topo = Ctx.us_topology ctx in
   let intervals = if ctx.Ctx.quick then 24 else 96 in
-  kernel ctx ~name:"weather_year" ~widths ~equal:year_equal (fun () ->
+  kernel ctx ~name:"weather_year" ~widths
+    ~min_speedup:[ (2, 1.0); (4, 1.3); (8, 1.3) ]
+    ~equal:year_equal
+    (fun () ->
       Year.run ~intervals ~climate:Cisp_weather.Rainfield.us_climate
         ~hops:a.Cisp_design.Scenario.hops inputs topo);
-  Ctx.note "wall-clock records appended to %s" bench_json_path;
+  record_summary ~widths;
+  Ctx.note "wall-clock records appended to %s (run %s, rev %s)" bench_json_path run_id
+    git_rev;
   if !mismatches <> [] || !violations <> [] then begin
     if !mismatches <> [] then
       Printf.eprintf "par bench: bit-identity violations:\n  %s\n"

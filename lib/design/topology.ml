@@ -45,6 +45,13 @@ let remove t pair =
    than the row updates it spreads out. *)
 let par_threshold = 64
 
+(* One row relaxation is ~n flops over contiguous floats — far cheaper
+   than a claim of the pool's shared chunk counter.  Batch enough rows
+   per claim that each costs on the order of a few thousand flops;
+   small matrices fall back to sequential via the pool's short-circuit
+   rather than spinning every worker on chunk = 1. *)
+let row_chunk n = max 8 (4096 / max 1 n)
+
 (* Metric closure of the complete fiber mesh.  Fiber route matrices
    are already shortest paths over the conduit graph, hence metric;
    one Floyd-Warshall pass guards against non-metric synthetic
@@ -74,8 +81,9 @@ let fiber_baseline (inputs : Inputs.t) =
     done
   else begin
     let pool = Cisp_util.Pool.get () in
+    let min_chunk = row_chunk n in
     for k = 0 to n - 1 do
-      Cisp_util.Pool.parallel_for pool ~n (pass k)
+      Cisp_util.Pool.parallel_for ~min_chunk pool ~n (pass k)
     done
   end;
   d
@@ -103,7 +111,7 @@ let distances_incremental (inputs : Inputs.t) d (i, j) =
     for s = 0 to n - 1 do
       relax s
     done
-  else Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n relax;
+  else Cisp_util.Pool.parallel_for ~min_chunk:(row_chunk n) (Cisp_util.Pool.get ()) ~n relax;
   out
 
 let distances t =

@@ -65,7 +65,11 @@ let all_pairs_results g ~sources =
       let n = Array.length sources in
       Cisp_util.Telemetry.add "apsp.sources" n;
       let out = Array.make n { dist = [||]; prev = [||] } in
-      Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n (fun k ->
+      (* One source is a whole Dijkstra — thousands of heap operations
+         — so the finest chunk wins: a claim of the shared counter is
+         noise next to the work it buys, and coarser chunks would only
+         worsen load balance across sources of uneven degree. *)
+      Cisp_util.Pool.parallel_for ~min_chunk:1 (Cisp_util.Pool.get ()) ~n (fun k ->
           out.(k) <- run g ~src:sources.(k));
       out)
 

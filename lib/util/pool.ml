@@ -9,6 +9,12 @@ type job = {
   chunk : int;
   next : int Atomic.t;
   cancelled : bool Atomic.t;
+  (* Scheduling telemetry, accumulated lock-free by each domain at
+     slice end and flushed to [Telemetry] once per job by the
+     submitter: workers never touch the telemetry tables (whose name
+     lookup serializes on a shared structure) from inside a job. *)
+  tel_chunks : int Atomic.t;
+  tel_busy_us : int Atomic.t;
   mutable active : int; (* workers currently inside the job; pool mutex *)
   mutable failure : (exn * Printexc.raw_backtrace) option; (* pool mutex *)
 }
@@ -35,6 +41,18 @@ let sequential_for n fn =
   for i = 0 to n - 1 do
     fn i
   done
+
+(* Sequential execution of a whole range (width-1 pools, nested
+   submissions, and the small-[n] short-circuit) records the same
+   counter family as a parallel job — one job, one chunk spanning the
+   range — so the scheduling telemetry stays coherent whichever path a
+   loop takes. *)
+let sequential_job n fn =
+  if Telemetry.enabled () then begin
+    Telemetry.incr "pool.jobs.seq";
+    Telemetry.add "pool.chunks" 1
+  end;
+  sequential_for n fn
 
 let run_slice pool job =
   let saved = Domain.DLS.get in_task in
@@ -70,11 +88,8 @@ let run_slice pool job =
   loop ();
   if tel then begin
     let busy = Unix.gettimeofday () -. t0 in
-    Telemetry.add "pool.chunks" !chunks;
-    Telemetry.observe "pool.slice_busy_s" busy;
-    Telemetry.add
-      (Printf.sprintf "pool.domain%d.busy_us" (Domain.self () :> int))
-      (int_of_float (busy *. 1e6))
+    ignore (Atomic.fetch_and_add job.tel_chunks !chunks);
+    ignore (Atomic.fetch_and_add job.tel_busy_us (int_of_float (busy *. 1e6)))
   end;
   Domain.DLS.set in_task saved
 
@@ -130,69 +145,88 @@ let shutdown pool =
     pool.workers <- []
   end
 
-let parallel_for pool ~n fn =
+let parallel_for ?(min_chunk = 1) pool ~n fn =
+  let min_chunk = max 1 min_chunk in
   if n <= 0 then ()
-  else if pool.width = 1 || n = 1 || Domain.DLS.get in_task then sequential_for n fn
   else begin
-    Mutex.lock pool.mutex;
-    if pool.stopped || Option.is_some pool.current then begin
-      (* Pool busy (submission from another domain mid-job) or already
-         torn down: run on the caller.  Same results, just sequential. *)
-      Mutex.unlock pool.mutex;
-      sequential_for n fn
-    end
+    (* Over-decompose ~8 chunks per worker so a slow chunk cannot
+       serialize the tail of the range, but never below [min_chunk]:
+       the caller's cost hint for how many indices it takes before one
+       claim of the shared counter is worth its cache-line bounce.
+       With [n <= chunk] only one chunk exists, so waking workers buys
+       zero parallelism — the submitter would claim the whole range
+       before they stir — and the loop short-circuits to the caller's
+       domain without touching the pool mutex. *)
+    let chunk = max min_chunk (n / (pool.width * 8)) in
+    if pool.width = 1 || n <= chunk || Domain.DLS.get in_task then sequential_job n fn
     else begin
-      (* Over-decompose ~8 chunks per worker so a slow chunk cannot
-         serialize the tail of the range. *)
-      let chunk = max 1 (n / (pool.width * 8)) in
-      let job =
-        {
-          fn;
-          n;
-          chunk;
-          next = Atomic.make 0;
-          cancelled = Atomic.make false;
-          active = 0;
-          failure = None;
-        }
-      in
-      if Telemetry.enabled () then Telemetry.incr "pool.jobs";
-      pool.current <- Some job;
-      pool.generation <- pool.generation + 1;
-      Condition.broadcast pool.work;
-      Mutex.unlock pool.mutex;
-      run_slice pool job;
       Mutex.lock pool.mutex;
-      while job.active > 0 do
-        Condition.wait pool.finished pool.mutex
-      done;
-      pool.current <- None;
-      Mutex.unlock pool.mutex;
-      match job.failure with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()
+      if pool.stopped || Option.is_some pool.current then begin
+        (* Pool busy (submission from another domain mid-job) or already
+           torn down: run on the caller.  Same results, just sequential. *)
+        Mutex.unlock pool.mutex;
+        sequential_job n fn
+      end
+      else begin
+        let job =
+          {
+            fn;
+            n;
+            chunk;
+            next = Atomic.make 0;
+            cancelled = Atomic.make false;
+            tel_chunks = Atomic.make 0;
+            tel_busy_us = Atomic.make 0;
+            active = 0;
+            failure = None;
+          }
+        in
+        let tel = Telemetry.enabled () in
+        if tel then Telemetry.incr "pool.jobs";
+        pool.current <- Some job;
+        pool.generation <- pool.generation + 1;
+        Condition.broadcast pool.work;
+        Mutex.unlock pool.mutex;
+        run_slice pool job;
+        Mutex.lock pool.mutex;
+        while job.active > 0 do
+          Condition.wait pool.finished pool.mutex
+        done;
+        pool.current <- None;
+        Mutex.unlock pool.mutex;
+        (* One flush per job (not per domain per job): the workers only
+           touched the job-local atomics above. *)
+        if tel then begin
+          Telemetry.add "pool.chunks" (Atomic.get job.tel_chunks);
+          Telemetry.observe "pool.job_busy_s"
+            (float_of_int (Atomic.get job.tel_busy_us) /. 1e6)
+        end;
+        match job.failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
     end
   end
 
-let parallel_map_array pool f arr =
+let parallel_map_array ?min_chunk pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n (f arr.(0)) in
-    parallel_for pool ~n:(n - 1) (fun i -> out.(i + 1) <- f arr.(i + 1));
+    parallel_for ?min_chunk pool ~n:(n - 1) (fun i -> out.(i + 1) <- f arr.(i + 1));
     out
   end
 
-let reduce pool ~map ~merge ~init arr =
+(* Pairwise collapse, ping-ponging between two buffers so no task
+   reads a slot another task writes.  The pairing depends only on the
+   live length, so the merge tree is a pure function of
+   [Array.length arr].  Owns (and scribbles over) [arr]. *)
+let collapse pool ~merge ~init arr =
   let n = Array.length arr in
   if n = 0 then init
   else begin
-    let mapped = parallel_map_array pool map arr in
-    (* Pairwise collapse, ping-ponging between two buffers so no task
-       reads a slot another task writes.  The pairing depends only on
-       the live length, so the merge tree is a pure function of [n]. *)
-    let src = ref mapped in
-    let dst = ref (Array.make ((n + 1) / 2) mapped.(0)) in
+    let src = ref arr in
+    let dst = ref (Array.make ((n + 1) / 2) arr.(0)) in
     let len = ref n in
     while !len > 1 do
       let s = !src and d = !dst in
@@ -205,6 +239,30 @@ let reduce pool ~map ~merge ~init arr =
       len := half + odd
     done;
     merge init !src.(0)
+  end
+
+let reduce pool ~map ~merge ~init arr =
+  if Array.length arr = 0 then init
+  else collapse pool ~merge ~init (parallel_map_array pool map arr)
+
+let fold_range ?(min_chunk = 1) pool ~n ~map ~merge ~init =
+  let grain = max 1 min_chunk in
+  if n <= 0 then init
+  else begin
+    (* The accumulator grain is a pure function of (n, min_chunk) —
+       never of the pool width — so the partial results, and the fixed
+       collapse tree over them, are bit-identical at any width even
+       for non-associative merges (float sums).  Parallelism only
+       decides which domain fills which slot. *)
+    let chunks = ((n - 1) / grain) + 1 in
+    if chunks = 1 then merge init (map ~lo:0 ~hi:n)
+    else begin
+      let parts = Array.make chunks (map ~lo:0 ~hi:grain) in
+      parallel_for pool ~n:(chunks - 1) (fun c ->
+          let lo = (c + 1) * grain in
+          parts.(c + 1) <- map ~lo ~hi:(min n (lo + grain)));
+      collapse pool ~merge ~init parts
+    end
   end
 
 (* ---------- per-domain scratch ---------- *)

@@ -83,16 +83,27 @@ val get : unit -> t
 
 (** {2 Deterministic parallel combinators} *)
 
-val parallel_for : t -> n:int -> (int -> unit) -> unit
+val parallel_for : ?min_chunk:int -> t -> n:int -> (int -> unit) -> unit
 (** [parallel_for pool ~n f] runs [f 0 .. f (n-1)], each index exactly
     once, in parallel.  The body must only write state owned by its
     own index.  An exception raised by any [f i] cancels the remaining
-    chunks and is re-raised (with its backtrace) in the caller. *)
+    chunks and is re-raised (with its backtrace) in the caller.
 
-val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+    [min_chunk] (default 1, clamped to at least 1) is a cost hint: the
+    smallest number of indices worth one claim of the shared chunk
+    counter.  Give cheap bodies a large [min_chunk] so workers do not
+    spin on the atomic; leave it at 1 for bodies whose per-index cost
+    dwarfs a claim (an APSP source, a weather trial batch).  When the
+    whole range fits in one chunk ([n <= min_chunk] on small [n]) the
+    loop short-circuits to the calling domain without waking any
+    worker — the submitter would otherwise claim every chunk before
+    the workers stir, paying wake-up cost for zero parallelism.
+    Chunking affects scheduling only, never results. *)
+
+val parallel_map_array : ?min_chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map_array pool f arr] is [Array.map f arr] with the
     elements evaluated in parallel.  [f] must be pure (or at least
-    per-element independent). *)
+    per-element independent).  [min_chunk] as in {!parallel_for}. *)
 
 val reduce : t -> map:('a -> 'b) -> merge:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
 (** [reduce pool ~map ~merge ~init arr] maps every element in
@@ -102,3 +113,25 @@ val reduce : t -> map:('a -> 'b) -> merge:('b -> 'b -> 'b) -> init:'b -> 'a arra
     [merge init total].  For non-associative operations (float sums)
     the result is therefore identical for every pool width.  Returns
     [init] on the empty array. *)
+
+val fold_range :
+  ?min_chunk:int ->
+  t ->
+  n:int ->
+  map:(lo:int -> hi:int -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** Per-chunk accumulate, deterministic reduce: the index range
+    [0, n) is cut into fixed chunks of [min_chunk] indices (default 1;
+    the last chunk may be short), [map ~lo ~hi] builds each chunk's
+    accumulator over \[lo, hi), and the partials are combined in the
+    same fixed binary tree as {!reduce}, finishing with
+    [merge init total].  Chunk boundaries are a pure function of
+    [(n, min_chunk)] — never of the pool width or of which domain
+    claimed which chunk — so the result is bit-identical at any width
+    even for non-associative merges.  This is the required idiom for
+    parallel accumulation (rule L7): accumulate into chunk-private
+    state inside [map] (per-domain buffers via {!Scratch} are fine for
+    workspace), never into state shared across chunks.  Returns [init]
+    when [n <= 0]. *)

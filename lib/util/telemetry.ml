@@ -28,7 +28,6 @@ type event = {
 
 type state = {
   mutex : Mutex.t;
-  counters : (string, int Atomic.t) Hashtbl.t;
   series : (string, float list ref) Hashtbl.t;
   spans : (string, span_agg) Hashtbl.t;
   mutable events : event list;
@@ -41,7 +40,6 @@ type state = {
 let state =
   {
     mutex = Mutex.create ();
-    counters = Hashtbl.create 64;
     series = Hashtbl.create 64;
     spans = Hashtbl.create 64;
     events = [];
@@ -50,6 +48,15 @@ let state =
     metrics = false;
     finished = false;
   }
+
+module SMap = Map.Make (String)
+
+(* Counters live outside the mutex: an immutable name->cell map swapped
+   by CAS.  Recording on a hot path (per LOS pair, per pool job — from
+   every domain at once) is then one [Atomic.get] of the map, a lock-
+   free functional lookup, and one [fetch_and_add]; the mutex-guarded
+   table used to serialize all domains on every single increment. *)
+let counters : int Atomic.t SMap.t Atomic.t = Atomic.make SMap.empty
 
 (* The single branch guarding every hot-path call site. *)
 let on = ref false
@@ -87,7 +94,7 @@ let init_from_env () =
 let reset () =
   locked (fun () ->
       on := false;
-      Hashtbl.reset state.counters;
+      Atomic.set counters SMap.empty;
       Hashtbl.reset state.series;
       Hashtbl.reset state.spans;
       state.events <- [];
@@ -98,23 +105,26 @@ let reset () =
 
 (* ---------------- counters ---------------- *)
 
-let counter_cell name =
-  locked (fun () ->
-      match Hashtbl.find_opt state.counters name with
-      | Some c -> c
-      | None ->
-        let c = Atomic.make 0 in
-        Hashtbl.add state.counters name c;
-        c)
+(* Lock-free: readers never block, and a name's first use installs its
+   cell with a CAS retry loop.  A raced insert of the same name is
+   harmless — the loser re-reads the map and finds the winner's cell,
+   so every domain accumulates into one cell per name. *)
+let rec counter_cell name =
+  let m = Atomic.get counters in
+  match SMap.find_opt name m with
+  | Some c -> c
+  | None ->
+    let c = Atomic.make 0 in
+    if Atomic.compare_and_set counters m (SMap.add name c m) then c
+    else counter_cell name
 
 let add name k = if !on then ignore (Atomic.fetch_and_add (counter_cell name) k)
 let incr name = add name 1
 
 let counter name =
-  locked (fun () ->
-      match Hashtbl.find_opt state.counters name with
-      | Some c -> Atomic.get c
-      | None -> 0)
+  match SMap.find_opt name (Atomic.get counters) with
+  | Some c -> Atomic.get c
+  | None -> 0
 
 (* ---------------- float series ---------------- *)
 
@@ -184,9 +194,13 @@ let sorted_keys tbl =
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
   List.sort String.compare keys
 
+(* SMap folds in key order already. *)
+let counter_names () =
+  List.rev (SMap.fold (fun k _ acc -> k :: acc) (Atomic.get counters) [])
+
 let pp_summary ppf () =
   let span_names = locked (fun () -> sorted_keys state.spans) in
-  let counter_names = locked (fun () -> sorted_keys state.counters) in
+  let counter_names = counter_names () in
   let series_names = locked (fun () -> sorted_keys state.series) in
   Format.fprintf ppf "@[<v>-- telemetry --@,";
   if span_names <> [] then begin
@@ -246,7 +260,7 @@ let event_line e =
 (* Final counter values and distribution summaries become 'C' events
    stamped at write-out time, so the trace alone carries the totals. *)
 let closing_events now_us =
-  let counter_names = locked (fun () -> sorted_keys state.counters) in
+  let counter_names = counter_names () in
   let series_names = locked (fun () -> sorted_keys state.series) in
   List.map
     (fun name -> { name; ph = 'C'; ts_us = now_us; dur_us = 0.0; tid = 0; value = counter name })

@@ -170,16 +170,22 @@ let run ?(seed = 99) ?(params = Failure.default_params) ~schemes ~hops
              schemes)
       in
       let scheme_list = Array.of_list (List.map snd schemes) in
-      (* samples.(si).(c).(iv): stretch of commodity [c] under scheme
-         [si] in interval [iv]; nan = unavailable. *)
-      let samples = Array.init n_schemes (fun _ -> Array.make_matrix nc intervals Float.nan) in
+      (* Interval-major storage: samples.(iv).((si * nc) + c) is the
+         stretch of commodity [c] under scheme [si] in interval [iv];
+         nan = unavailable.  Each interval's task allocates and owns
+         its whole row — the old scheme-major matrix had parallel
+         intervals writing adjacent floats of every (scheme, commodity)
+         row, false-sharing each row's cache lines across all
+         domains. *)
+      let samples = Array.make intervals [||] in
       let failed_per_interval = Array.make intervals 0 in
       let pos = Year.node_position hops in
       (* Intervals are independent trials: each derives its outage set
-         purely from (seed, interval) and writes only its own column of
-         [samples] / [failed_per_interval], so the loop is bit-identical
-         at any pool width. *)
+         purely from (seed, interval) and writes only its own row of
+         [samples] and slot of [failed_per_interval], so the loop is
+         bit-identical at any pool width. *)
       Cisp_util.Pool.parallel_for (Cisp_util.Pool.get ()) ~n:intervals (fun iv ->
+          let row = Array.make (n_schemes * nc) Float.nan in
           let fails = Array.make (Array.length built) false in
           interval_failures ~seed ~params ~pos ~hops inputs ~links spec iv fails;
           let failed_here = ref 0 in
@@ -196,7 +202,7 @@ let run ?(seed = 99) ?(params = Failure.default_params) ~schemes ~hops
               | Some table ->
                 Array.iteri
                   (fun c (s, t) ->
-                    samples.(si).(c).(iv) <-
+                    row.((si * nc) + c) <-
                       (match Hashtbl.find_opt table (s, t) with
                       | None -> Float.nan
                       | Some mp ->
@@ -214,14 +220,15 @@ let run ?(seed = 99) ?(params = Failure.default_params) ~schemes ~hops
                 let table = Routing.paths ~mw_ok model sch ~demands_gbps in
                 Array.iteri
                   (fun c (s, t) ->
-                    samples.(si).(c).(iv) <-
+                    row.((si * nc) + c) <-
                       (match Hashtbl.find_opt table (s, t) with
                       | None -> Float.nan
                       | Some route ->
                         Routing.route_latency_km model ~mw_ok route
                         /. inputs.Inputs.geodesic_km.(s).(t)))
                   commodities)
-            scheme_list);
+            scheme_list;
+          samples.(iv) <- row);
       let failed_total = ref 0 in
       Array.iter (fun c -> failed_total := !failed_total + c) failed_per_interval;
       if Cisp_util.Telemetry.enabled () then begin
@@ -242,7 +249,7 @@ let run ?(seed = 99) ?(params = Failure.default_params) ~schemes ~hops
               for iv = 0 to intervals - 1 do
                 let w = weights.(c) in
                 total_w := !total_w +. w;
-                let x = samples.(si).(c).(iv) in
+                let x = samples.(iv).((si * nc) + c) in
                 if not (Float.is_nan x) then begin
                   avail_w := !avail_w +. w;
                   stretch_w := !stretch_w +. (w *. x);

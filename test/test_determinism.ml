@@ -1,7 +1,7 @@
 (* Parallel determinism regression (the pool's core contract): the
    whole design pipeline — APSP inputs, greedy + local search, export,
    weather — must be bit-identical at every pool width.  Runs the
-   small Europe scenario at widths 1, 2 and 8 and compares outputs
+   small Europe scenario at widths 1, 2, 4 and 8 and compares outputs
    structurally (floats bitwise, via polymorphic equality: no NaNs in
    these pipelines). *)
 
@@ -40,7 +40,7 @@ let test_design_width_invariant () =
       Alcotest.(check int) (label "tower cost, jobs=1 vs %d") t1.Topology.cost tw.Topology.cost;
       Alcotest.(check int64) (label "stretch bitwise, jobs=1 vs %d") (bits s1) (bits sw);
       Alcotest.(check string) (label "exported GeoJSON, jobs=1 vs %d") g1 gw)
-    [ 2; 8 ]
+    [ 2; 4; 8 ]
 
 let test_apsp_width_invariant () =
   let a = Lazy.force artifacts in
@@ -77,7 +77,7 @@ let test_weather_width_invariant () =
         (Printf.sprintf "per-pair summaries identical, jobs=1 vs %d" w)
         true
         (r1.Cisp_weather.Year.per_pair = rw.Cisp_weather.Year.per_pair))
-    [ 2; 8 ]
+    [ 2; 4; 8 ]
 
 let test_telemetry_bit_identity () =
   (* The telemetry layer's core contract: enabling it changes nothing.
@@ -193,7 +193,7 @@ let test_scenario_suite_golden () =
         (Printf.sprintf "results bitwise, jobs=1 vs %d" w)
         true
         (b1 = scenario_bits rw))
-    [ 2; 8 ]
+    [ 2; 4; 8 ]
 
 let test_los_sweep_width_invariant () =
   (* Rebuild the tower hop graph on a cold DEM cache at several pool
@@ -225,17 +225,17 @@ let test_los_sweep_width_invariant () =
       Alcotest.(check bool) (Printf.sprintf "MW links, jobs=1 vs %d" w) true (l1 = lw);
       Alcotest.(check bool) (Printf.sprintf "surface cells, jobs=1 vs %d" w) true (s1 = sw);
       Alcotest.(check bool) (Printf.sprintf "ground cells, jobs=1 vs %d" w) true (g1 = gw))
-    [ 2; 8 ]
+    [ 2; 4; 8 ]
 
 let suites =
   [
     ( "determinism.parallel",
       [
-        Alcotest.test_case "design pipeline at jobs 1/2/8" `Slow test_design_width_invariant;
+        Alcotest.test_case "design pipeline at jobs 1/2/4/8" `Slow test_design_width_invariant;
         Alcotest.test_case "APSP link matrix" `Slow test_apsp_width_invariant;
         Alcotest.test_case "metric closures" `Slow test_metric_width_invariant;
-        Alcotest.test_case "weather year at jobs 1/2/8" `Slow test_weather_width_invariant;
-        Alcotest.test_case "scenario suite golden at jobs 1/2/8" `Slow test_scenario_suite_golden;
+        Alcotest.test_case "weather year at jobs 1/2/4/8" `Slow test_weather_width_invariant;
+        Alcotest.test_case "scenario suite golden at jobs 1/2/4/8" `Slow test_scenario_suite_golden;
         Alcotest.test_case "LOS sweep on a cold cache" `Slow test_los_sweep_width_invariant;
         Alcotest.test_case "telemetry on/off bit-identity" `Slow test_telemetry_bit_identity;
       ] );

@@ -114,6 +114,123 @@ let test_reduce_bit_identical_across_widths () =
         (bits_equal s1 (reduce_sum jobs xs)))
     [ 2; 3; 8 ]
 
+(* ---------- fold_range ---------- *)
+
+let test_fold_range_edge_cases () =
+  with_pool 4 (fun pool ->
+      let sum ?min_chunk n =
+        Pool.fold_range ?min_chunk pool ~n
+          ~map:(fun ~lo ~hi ->
+            let s = ref 0 in
+            for i = lo to hi - 1 do
+              s := !s + i
+            done;
+            !s)
+          ~merge:( + ) ~init:0
+      in
+      Alcotest.(check int) "empty range returns init" 0 (sum 0);
+      Alcotest.(check int) "negative range returns init" 0 (sum (-3));
+      Alcotest.(check int) "single chunk (min_chunk > n)" 45 (sum ~min_chunk:64 10);
+      Alcotest.(check int) "exact chunk multiple" 66 (sum ~min_chunk:4 12);
+      Alcotest.(check int) "ragged last chunk" 45 (sum ~min_chunk:4 10))
+
+let test_fold_range_chunk_boundaries () =
+  (* Chunk boundaries are a pure function of (n, min_chunk): observe
+     them through a list-concat merge (associative, so the fixed tree
+     flattens back to chunk order). *)
+  with_pool 4 (fun pool ->
+      let spans n min_chunk =
+        Pool.fold_range ~min_chunk pool ~n
+          ~map:(fun ~lo ~hi -> [ (lo, hi) ])
+          ~merge:( @ ) ~init:[]
+      in
+      Alcotest.(check (list (pair int int)))
+        "grain 4 over 10" [ (0, 4); (4, 8); (8, 10) ] (spans 10 4);
+      Alcotest.(check (list (pair int int)))
+        "grain 1 over 3" [ (0, 1); (1, 2); (2, 3) ] (spans 3 1);
+      (* Same n, same grain, different width: identical boundaries. *)
+      let at_width jobs =
+        Pool.with_default_jobs jobs (fun () ->
+            Pool.fold_range ~min_chunk:3 (Pool.get ()) ~n:17
+              ~map:(fun ~lo ~hi -> [ (lo, hi) ])
+              ~merge:( @ ) ~init:[])
+      in
+      let b1 = at_width 1 in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "boundaries at jobs=%d" jobs)
+            b1 (at_width jobs))
+        [ 2; 4; 8 ])
+
+let fold_sum ~min_chunk jobs xs =
+  Pool.with_default_jobs jobs (fun () ->
+      Pool.fold_range ~min_chunk (Pool.get ()) ~n:(Array.length xs)
+        ~map:(fun ~lo ~hi ->
+          let s = ref 0.0 in
+          for i = lo to hi - 1 do
+            s := !s +. xs.(i)
+          done;
+          !s)
+        ~merge:( +. ) ~init:0.0)
+
+(* QCheck: per-chunk accumulation reduces to the same bits whatever
+   interleaving of chunk claims the pool width produces — float
+   addition is not associative, so this only holds because both the
+   chunk boundaries and the collapse tree depend on (n, min_chunk)
+   alone. *)
+let prop_fold_range_width_invariant =
+  QCheck.Test.make ~name:"fold_range independent of pool width" ~count:50
+    QCheck.(
+      triple
+        (array_of_size Gen.(int_range 0 400) (float_range (-1e3) 1e3))
+        (int_range 1 64) (int_range 2 8))
+    (fun (xs, min_chunk, jobs) ->
+      let s1 = fold_sum ~min_chunk 1 xs in
+      List.for_all
+        (fun w -> bits_equal s1 (fold_sum ~min_chunk w xs))
+        [ 2; 4; jobs ])
+
+(* ---------- short-circuit vs parallel telemetry ---------- *)
+
+let test_short_circuit_telemetry () =
+  (* The small-[n] short-circuit must record the same counter family
+     as a real parallel job — one job, all indices run — so scheduling
+     telemetry stays coherent whichever path a loop takes. *)
+  let observe f =
+    Telemetry.reset ();
+    Telemetry.enable_metrics ();
+    let hits = Atomic.make 0 in
+    f hits;
+    let stats =
+      ( Atomic.get hits,
+        Telemetry.counter "pool.jobs",
+        Telemetry.counter "pool.jobs.seq",
+        Telemetry.counter "pool.chunks" )
+    in
+    Telemetry.reset ();
+    stats
+  in
+  with_pool 4 (fun pool ->
+      (* min_chunk covers the whole range: short-circuits on the caller. *)
+      let seq_hits, seq_par_jobs, seq_seq_jobs, seq_chunks =
+        observe (fun hits ->
+            Pool.parallel_for ~min_chunk:64 pool ~n:32 (fun _ -> Atomic.incr hits))
+      in
+      (* Same range through the parallel path (chunk = 1 at width 4). *)
+      let par_hits, par_par_jobs, par_seq_jobs, par_chunks =
+        observe (fun hits ->
+            Pool.parallel_for ~min_chunk:1 pool ~n:32 (fun _ -> Atomic.incr hits))
+      in
+      Alcotest.(check int) "short-circuit runs every index" 32 seq_hits;
+      Alcotest.(check int) "parallel runs every index" 32 par_hits;
+      Alcotest.(check int) "short-circuit: one sequential job" 1 seq_seq_jobs;
+      Alcotest.(check int) "short-circuit: no parallel job" 0 seq_par_jobs;
+      Alcotest.(check int) "short-circuit: one chunk spans the range" 1 seq_chunks;
+      Alcotest.(check int) "parallel: one parallel job" 1 par_par_jobs;
+      Alcotest.(check int) "parallel: no sequential job" 0 par_seq_jobs;
+      Alcotest.(check int) "parallel: one chunk per index" 32 par_chunks)
+
 let test_with_default_jobs_restores () =
   let before = Pool.default_jobs () in
   let inside = Pool.with_default_jobs 3 Pool.default_jobs in
@@ -184,9 +301,15 @@ let suites =
         Alcotest.test_case "reduce: edge cases" `Quick test_reduce_edge_cases;
         Alcotest.test_case "reduce: bit-identical across widths" `Quick
           test_reduce_bit_identical_across_widths;
+        Alcotest.test_case "fold_range: edge cases" `Quick test_fold_range_edge_cases;
+        Alcotest.test_case "fold_range: chunk boundaries width-independent" `Quick
+          test_fold_range_chunk_boundaries;
+        Alcotest.test_case "short-circuit vs parallel telemetry" `Quick
+          test_short_circuit_telemetry;
         Alcotest.test_case "with_default_jobs restores" `Quick test_with_default_jobs_restores;
         Alcotest.test_case "scratch: one instance per domain" `Quick test_scratch_per_domain;
         Alcotest.test_case "scratch: keys independent" `Quick test_scratch_keys_independent;
         QCheck_alcotest.to_alcotest prop_reduce_width_invariant;
+        QCheck_alcotest.to_alcotest prop_fold_range_width_invariant;
       ] );
   ]
