@@ -1,8 +1,8 @@
 (* cisp_lint: typed-AST static analysis for the cISP tree.
 
    Walks the .cmt/.cmti files dune already produces and enforces the
-   repo's unit-safety, partiality and effect rules (L1-L12, see
-   lib/lint).  L1-L6 are per-expression; L7-L12 consume the
+   repo's unit-safety, partiality and effect rules (L1-L15, see
+   lib/lint).  L1-L6 are per-expression; L7-L15 consume the
    interprocedural call graph and effect summaries.  Normally driven
    by `dune build @lint`, which runs it from the build root after
    everything is compiled. *)
@@ -24,7 +24,8 @@ let usage =
 let () =
   let allowlist_path = ref "" in
   let hotpaths_path = ref "" in
-  let rules_csv = ref "L1,L2,L3,L4,L5,L6,L7,L8,L9,L10,L11,L12" in
+  let rules_csv = ref "L1,L2,L3,L4,L5,L6,L7,L8,L9,L10,L11,L12,L13,L14,L15" in
+  let lock_graph_path = ref "" in
   let verbose = ref false in
   let list_rules = ref false in
   let json = ref false in
@@ -38,6 +39,7 @@ let () =
       ("--rules", Arg.Set_string rules_csv, "CSV rules to apply in explicit-ROOT mode (default: all)");
       ("--verbose", Arg.Set verbose, " also report suppressed diagnostics");
       ("--json", Arg.Set json, " print diagnostics as JSON Lines (one object per finding)");
+      ("--lock-graph", Arg.Set_string lock_graph_path, "FILE write the derived lock-acquisition graph as Graphviz DOT");
       ("--check-stale", Arg.Set check_stale, " fail when allowlist entries match no diagnostic");
       ("--prune-stale", Arg.Set prune_stale, " rewrite the allowlist dropping stale entries");
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
@@ -81,6 +83,9 @@ let () =
           Printf.eprintf "cisp_lint: bad hotpaths registry: %s\n" msg;
           exit 2
   in
+  let lock_dot =
+    if String.equal !lock_graph_path "" then None else Some !lock_graph_path
+  in
   let report =
     match List.rev !roots with
     | [] ->
@@ -89,8 +94,8 @@ let () =
             "cisp_lint: no ROOT given and no lib/ here; run from the build root or pass directories\n";
           exit 2
         end;
-        Engine.run_repo ~allowlist ?hotpaths ~root:"." ()
-    | roots -> Engine.run ~allowlist ?hotpaths ~rules roots
+        Engine.run_repo ~allowlist ?hotpaths ?lock_dot ~root:"." ()
+    | roots -> Engine.run ~allowlist ?hotpaths ?lock_dot ~rules roots
   in
   List.iter (fun e -> Printf.eprintf "cisp_lint: warning: %s\n" e) report.Engine.errors;
   let emit = if !json then fun d -> print_endline (Diag.to_json d)

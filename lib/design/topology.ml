@@ -111,7 +111,7 @@ let distances_incremental (inputs : Inputs.t) d (i, j) =
     for s = 0 to n - 1 do
       relax s
     done
-  else Cisp_util.Pool.parallel_for ~min_chunk:(row_chunk n) (Cisp_util.Pool.get ()) ~n relax;
+  else Cisp_util.Pool.parallel_for_default ~min_chunk:(row_chunk n) ~n relax;
   out
 
 let distances t =

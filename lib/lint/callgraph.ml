@@ -40,9 +40,18 @@ type edge = {
   e_mask : Effects.mask;
   args : argc array;
   call_site : Effects.site;
+  e_held : SS.t;
+      (* canonical mutex identities syntactically held at the call
+         site (the caller's own acquisitions; the node's [entry_held]
+         is added on top by the rules) *)
   mutable damp_mut : bool;
       (* the callee is a lambda whose guard takes a lock: its
          mutations are protected, do not fold them into the caller *)
+  mutable boundary : bool;
+      (* the callee runs on another domain (a closure handed to a
+         [Pool] combinator or [Domain.spawn]): blocking and lock
+         acquisitions do not fold into the caller — the pool-site
+         checks own them instead *)
 }
 
 type node = {
@@ -58,6 +67,16 @@ type node = {
   mutable captures : bool;  (* references a free local of an enclosing scope *)
   mutable zero_alloc : bool;  (* [@cisp.zero_alloc] on the definition *)
   mutable alloc_ok : bool;  (* [@cisp.alloc_ok]: damp allocs at this node *)
+  mutable entry_held : SS.t;
+      (* locks syntactically held where a [Lambda] is created (a
+         closure handed to [Mutex.protect] runs under that mutex);
+         empty for named functions *)
+  mutable lock_acqs : (SS.t * string * Effects.site) list;
+      (* direct acquisition sites: (held set at the site, acquired
+         mutex, site) — the raw material of the L13 order graph *)
+  mutable blocked_sites : (string * SS.t * Effects.site) list;
+      (* direct blocking calls made while a lock was held:
+         (blocking kind, held set, site) — direct L14 witnesses *)
   mutable direct : Effects.t;
   mutable edges : edge list;
 }
@@ -80,6 +99,7 @@ type t = {
 let pool_combinators =
   [
     "Cisp_util.Pool.parallel_for";
+    "Cisp_util.Pool.parallel_for_default";
     "Cisp_util.Pool.parallel_map_array";
     "Cisp_util.Pool.reduce";
     "Cisp_util.Pool.fold_range";
@@ -120,6 +140,7 @@ type ctx = {
   mutable stamp_nodes : int SM.t;  (* unique_name -> node id *)
   mutable cur : node;
   mutable mask : Effects.mask;
+  mutable held : SS.t;  (* mutexes syntactically held at this point *)
   mutable mod_prefix : string list;  (* innermost first *)
 }
 
@@ -161,6 +182,9 @@ let mk_node b ~source ~name ~symbol ~kind ~is_fun def_site =
       captures = false;
       zero_alloc = false;
       alloc_ok = false;
+      entry_held = SS.empty;
+      lock_acqs = [];
+      blocked_sites = [];
       direct = Effects.bottom;
       edges = [];
     }
@@ -234,6 +258,24 @@ let add_poly ctx what site =
   ctx.cur.direct <-
     { d with Effects.poly_cmp = Effects.RS.add (what, site) d.Effects.poly_cmp }
 
+let add_acquire ctx l site =
+  let d = ctx.cur.direct in
+  ctx.cur.direct <-
+    { d with Effects.acquires = SM.update l (min_w site) d.Effects.acquires }
+
+let add_block ctx kind site =
+  let d = ctx.cur.direct in
+  ctx.cur.direct <-
+    { d with Effects.blocks = SM.update kind (min_w site) d.Effects.blocks }
+
+let add_float_merge ctx what site =
+  let d = ctx.cur.direct in
+  ctx.cur.direct <-
+    {
+      d with
+      Effects.float_merges = Effects.RS.add (what, site) d.Effects.float_merges;
+    }
+
 (* [@cisp.zero_alloc] / [@cisp.alloc_ok "reason"] on a value binding.
    Namespaced attributes are exempt from warning 53, so annotating a
    kernel costs nothing under [-w +a -warn-error +a]. *)
@@ -286,12 +328,40 @@ let classify_path ctx p =
 let classify_arg ctx (e : expression) =
   match root_path e with None -> AOther | Some p -> classify_path ctx p
 
+(* A stable identity for the mutex expression of a [Mutex.lock/protect/
+   unlock] call.  Record fields are keyed by the record TYPE, not the
+   value ([pool.mutex : Pool.t] is one lock class however many pools
+   exist — the order discipline is per class); module-level mutexes by
+   their canonical name; locals by the enclosing top-level symbol. *)
+let lock_name ctx (m : expression) =
+  match m.exp_desc with
+  | Texp_field (r, _, ld) ->
+      let prefix =
+        match Types.get_desc r.exp_type with
+        | Types.Tconstr (p, _, _) ->
+            let c = canonical_of_path ctx p in
+            if String.contains c '.' then c else top_prefix ctx ^ "." ^ c
+        | _ -> top_prefix ctx ^ "." ^ ctx.cur.symbol
+      in
+      prefix ^ "." ^ ld.Types.lbl_name
+  | Texp_ident (p, _, _) -> (
+      match classify_path ctx p with
+      | AGlobal g -> g
+      | _ -> ctx.unit_canon ^ "." ^ ctx.cur.symbol ^ ":" ^ Path.last p)
+  | _ -> ctx.unit_canon ^ "." ^ ctx.cur.symbol ^ ":<anonymous mutex>"
+
 let record_mut ctx site (target : expression) =
   match classify_arg ctx target with
   | AGlobal g -> add_mut_global ctx g site
   | AParam i -> add_mut_param ctx i site
   | AFreeLocal (k, n) -> add_mut_free ctx k n site
   | ALocal | AOther -> ()
+
+(* A closure handed to one of these runs on other domains: effects
+   that only matter on the executing domain (blocking, lock
+   acquisition order) must not fold into the submitting caller. *)
+let boundary_guard_name n =
+  List.mem n pool_combinators || String.equal n "Domain.spawn"
 
 (* ------------------------------------------------------------------ *)
 (* Handler masks from patterns                                         *)
@@ -389,6 +459,7 @@ let process_impl b (u : Loader.unit_) (str : structure) =
       stamp_nodes = SM.empty;
       cur = init;
       mask = Effects.mask_none;
+      held = SS.empty;
       mod_prefix = [];
     }
   in
@@ -409,13 +480,17 @@ let process_impl b (u : Loader.unit_) (str : structure) =
     f ();
     ctx.mask <- saved
   in
-  let in_node node f =
-    let saved_cur = ctx.cur and saved_mask = ctx.mask in
+  let in_node ?(held = SS.empty) node f =
+    let saved_cur = ctx.cur
+    and saved_mask = ctx.mask
+    and saved_held = ctx.held in
     ctx.cur <- node;
     ctx.mask <- Effects.mask_none;
+    ctx.held <- held;
     f ();
     ctx.cur <- saved_cur;
-    ctx.mask <- saved_mask
+    ctx.mask <- saved_mask;
+    ctx.held <- saved_held
   in
   (* Register a multi-argument [fun x -> fun y -> ...] chain as one
      node: each layer's parameter (and its case-pattern bindings) gets
@@ -449,15 +524,21 @@ let process_impl b (u : Loader.unit_) (str : structure) =
     (* The closure is assumed to run where it is created, under the
        handler mask in force there; its own raises are recorded
        unmasked and filtered on this edge instead. *)
+    node.entry_held <- ctx.held;
     add_edge parent
       {
         callee = Internal node.id;
         e_mask = ctx.mask;
         args = [||];
         call_site = Effects.site_of_loc e.exp_loc;
+        e_held = ctx.held;
         damp_mut = false;
+        boundary =
+          (match guard with
+          | Some (External n) -> boundary_guard_name n
+          | _ -> false);
       };
-    in_node node (fun () -> walk_fn_body 0 e);
+    in_node ~held:ctx.held node (fun () -> walk_fn_body 0 e);
     (* A capturing lambda needs an environment block at every execution
        of the surrounding code; a captureless one is statically
        allocated.  Only per-call contexts are charged: a closure built
@@ -515,6 +596,11 @@ let process_impl b (u : Loader.unit_) (str : structure) =
         ignore (classify_path ctx p);
         note_poly_value p a.exp_type (Effects.site_of_loc a.exp_loc);
         let site = Effects.site_of_loc a.exp_loc in
+        let boundary =
+          match guard with
+          | Some (External n) -> boundary_guard_name n
+          | _ -> false
+        in
         match callee_of_path p with
         | Internal id as c ->
             (* a known function passed as a value: assume it runs *)
@@ -524,7 +610,9 @@ let process_impl b (u : Loader.unit_) (str : structure) =
                 e_mask = ctx.mask;
                 args = [||];
                 call_site = site;
+                e_held = ctx.held;
                 damp_mut = false;
+                boundary;
               };
             Some (Internal id)
         | External name as c -> (
@@ -538,7 +626,9 @@ let process_impl b (u : Loader.unit_) (str : structure) =
                     e_mask = ctx.mask;
                     args = [||];
                     call_site = site;
+                    e_held = ctx.held;
                     damp_mut = false;
+                    boundary;
                   };
                 Some c))
     | Texp_ident (p, _, _) ->
@@ -570,6 +660,24 @@ let process_impl b (u : Loader.unit_) (str : structure) =
           | External n -> n
           | Internal _ -> canonical_of_path ctx p
         in
+        let held_before = ctx.held in
+        (* Lock bookkeeping happens in two halves: the acquisition is
+           recorded (and, for [Mutex.protect], added to the held set)
+           BEFORE the arguments are walked, so the closure handed to
+           [protect] is analyzed under the mutex it runs under. *)
+        let is_protect = String.equal name "Mutex.protect" in
+        let lock_acq =
+          match name with
+          | "Mutex.lock" | "Mutex.try_lock" | "Mutex.protect" -> (
+              match argexprs with m :: _ -> Some (lock_name ctx m) | [] -> None)
+          | _ -> None
+        in
+        (match lock_acq with
+        | Some l ->
+            ctx.cur.lock_acqs <- (held_before, l, site) :: ctx.cur.lock_acqs;
+            add_acquire ctx l site;
+            if is_protect then ctx.held <- SS.add l ctx.held
+        | None -> ());
         (* arguments first: lambda targets must exist before the pool
            site that references them is recorded *)
         let targets =
@@ -640,8 +748,78 @@ let process_impl b (u : Loader.unit_) (str : structure) =
                           site
                     | _ -> ())
                 | [] -> ())
+            | _ -> ());
+            (* L14 raw material: a call that may park this domain,
+               recorded as a blocking kind; if a lock was already held
+               here it is also a direct under-lock witness.  The one
+               sanctioned shape is [Condition.wait c m] while holding
+               exactly [m] — that IS the protocol. *)
+            (match Effects.ext_blocking name with
+            | Some kind when not (is_arrow e.exp_type) ->
+                let kind =
+                  match lock_acq with
+                  | Some l -> Printf.sprintf "%s of `%s'" kind l
+                  | None -> kind
+                in
+                add_block ctx kind site;
+                let protocol_ok =
+                  String.equal name "Condition.wait"
+                  &&
+                  match argexprs with
+                  | [ _; m ] ->
+                      SS.subset held_before (SS.singleton (lock_name ctx m))
+                  | _ -> false
+                in
+                if (not (SS.is_empty held_before)) && not protocol_ok then
+                  ctx.cur.blocked_sites <-
+                    (kind, held_before, site) :: ctx.cur.blocked_sites
+            | _ -> ());
+            (* L15 raw material: float accumulation drawn from an
+               unordered traversal, or merged across domains by hand. *)
+            (match name with
+            | "Hashtbl.fold"
+              when (not (is_arrow e.exp_type)) && contains_float e.exp_type ->
+                add_float_merge ctx
+                  "float accumulation over `Hashtbl.fold' (unordered \
+                   iteration)"
+                  site
+            | "Hashtbl.iter" | "Hashtbl.to_seq" | "Hashtbl.to_seq_keys"
+            | "Hashtbl.to_seq_values" -> (
+                let tbl_idx = if String.equal name "Hashtbl.iter" then 1 else 0 in
+                match List.nth_opt argexprs tbl_idx with
+                | Some t -> (
+                    match Types.get_desc t.exp_type with
+                    | Types.Tconstr (_, targs, _)
+                      when List.exists contains_float targs ->
+                        add_float_merge ctx
+                          (Printf.sprintf
+                             "float-bearing `%s' traversal (unordered \
+                              iteration)"
+                             name)
+                          site
+                    | _ -> ())
+                | None -> ())
+            | "Domain.join" when contains_float e.exp_type ->
+                add_float_merge ctx
+                  "cross-domain float merge via `Domain.join' (outside the \
+                   pool's fixed pairwise tree)"
+                  site
             | _ -> ())
         | Internal _ -> ());
+        (* Second half of the lock bookkeeping: [lock]/[try_lock] hold
+           from here to the matching [unlock]; [protect] releases on
+           return (unless the same class was already held). *)
+        (match lock_acq with
+        | Some l ->
+            if is_protect then begin
+              if not (SS.mem l held_before) then ctx.held <- SS.remove l ctx.held
+            end
+            else ctx.held <- SS.add l ctx.held
+        | None -> ());
+        (if String.equal name "Mutex.unlock" then
+           match argexprs with
+           | m :: _ -> ctx.held <- SS.remove (lock_name ctx m) ctx.held
+           | [] -> ());
         if is_arrow e.exp_type then add_alloc ctx "partial application" site;
         (match name with
         | "raise" | "raise_notrace" | "Printexc.raise_with_backtrace" -> (
@@ -659,7 +837,9 @@ let process_impl b (u : Loader.unit_) (str : structure) =
             e_mask = ctx.mask;
             args = argcs;
             call_site = site;
+            e_held = held_before;
             damp_mut = false;
+            boundary = false;
           };
         if List.mem name pool_combinators then
           b.bpool <-
@@ -939,18 +1119,29 @@ let build (units : Loader.unit_ list) =
     | Internal id -> nodes.(id).direct.Effects.locks
     | External name -> Effects.ext_locks name
   in
+  let boundary_callee c =
+    match resolve c with
+    | Internal id -> boundary_guard_name nodes.(id).name
+    | External name -> boundary_guard_name name
+  in
   Array.iter
     (fun n ->
       List.iter
         (fun e ->
           e.callee <- resolve e.callee;
-          match e.callee with
+          (* a direct call to a pool combinator is itself a boundary:
+             its internal lock/wait belongs to the submission protocol
+             (L14 reports held-lock submissions separately) *)
+          (match e.callee with
           | Internal id -> (
+              if boundary_guard_name nodes.(id).name then e.boundary <- true;
               match nodes.(id).kind with
               | Lambda { guard = Some g } ->
-                  if locks_callee g then e.damp_mut <- true
+                  if locks_callee g then e.damp_mut <- true;
+                  if boundary_callee g then e.boundary <- true
               | _ -> ())
-          | External _ -> ())
+          | External name ->
+              if boundary_guard_name name then e.boundary <- true))
         n.edges)
     nodes;
   let pool_sites =

@@ -38,9 +38,17 @@ type edge = {
   e_mask : Effects.mask;  (** handler context at the call site *)
   args : argc array;
   call_site : Effects.site;
+  e_held : SS.t;
+      (** canonical mutex identities the caller syntactically holds at
+          this call site (its own acquisitions only; add the node's
+          [entry_held] for the full picture) *)
   mutable damp_mut : bool;
       (** callee is a lambda whose guard takes a lock: its mutations
           are protected, do not fold them into the caller *)
+  mutable boundary : bool;
+      (** callee runs on other domains (closure handed to a [Pool]
+          combinator or [Domain.spawn]): {!Summary} drops blocking and
+          lock acquisitions across this edge *)
 }
 
 type node = {
@@ -60,6 +68,18 @@ type node = {
   mutable alloc_ok : bool;
       (** [@cisp.alloc_ok "reason"]: the summary drops allocations at
           this node — the justified cold-path escape hatch *)
+  mutable entry_held : SS.t;
+      (** locks syntactically held where a [Lambda] was created (a
+          closure handed to [Mutex.protect] runs under that mutex);
+          empty for named functions *)
+  mutable lock_acqs : (SS.t * string * Effects.site) list;
+      (** direct acquisitions: (held set at the site, mutex, site) —
+          the raw material of the L13 order graph *)
+  mutable blocked_sites : (string * SS.t * Effects.site) list;
+      (** direct blocking calls under a held lock: (blocking kind,
+          held set, site) — direct L14 witnesses.  The sanctioned
+          [Condition.wait c m]-holding-exactly-[m] shape is already
+          filtered out *)
   mutable direct : Effects.t;
   mutable edges : edge list;
 }
@@ -80,6 +100,12 @@ type t = {
 }
 
 val pool_combinators : string list
+
+val boundary_guard_name : string -> bool
+(** Canonical names whose closures run on other domains (the pool
+    combinators and [Domain.spawn]) — the scheduling boundaries across
+    which blocking and lock acquisitions do not propagate. *)
+
 val canonical_of_modname : string -> string
 
 val build : Loader.unit_ list -> t

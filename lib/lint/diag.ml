@@ -1,6 +1,22 @@
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
+type rule =
+  | L1
+  | L2
+  | L3
+  | L4
+  | L5
+  | L6
+  | L7
+  | L8
+  | L9
+  | L10
+  | L11
+  | L12
+  | L13
+  | L14
+  | L15
 
-let all_rules = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12 ]
+let all_rules =
+  [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12; L13; L14; L15 ]
 
 let rule_id = function
   | L1 -> "L1"
@@ -15,6 +31,9 @@ let rule_id = function
   | L10 -> "L10"
   | L11 -> "L11"
   | L12 -> "L12"
+  | L13 -> "L13"
+  | L14 -> "L14"
+  | L15 -> "L15"
 
 let rule_of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -30,6 +49,9 @@ let rule_of_string s =
   | "L10" -> Some L10
   | "L11" -> Some L11
   | "L12" -> Some L12
+  | "L13" -> Some L13
+  | "L14" -> Some L14
+  | "L15" -> Some L15
   | _ -> None
 
 let rule_doc = function
@@ -45,6 +67,9 @@ let rule_doc = function
   | L10 -> "allocation reachable from a [@cisp.zero_alloc] contract"
   | L11 -> "per-call allocation (closure/boxed float) inside a domain-pool worker body"
   | L12 -> "polymorphic compare/hash reachable from the design pipeline where a monomorphic comparison exists"
+  | L13 -> "lock acquisition order contradicts the canonical order or forms a cycle"
+  | L14 -> "call that may block while a lock is held or inside a domain-pool worker body"
+  | L15 -> "float accumulation over an unordered container reachable from the design pipeline"
 
 type t = {
   rule : rule;
@@ -53,9 +78,12 @@ type t = {
   col : int;
   symbol : string;
   message : string;
+  witness : string list;
+      (* interprocedural chain from the flagged site to the deep
+         evidence (L13/L14); empty for single-site findings *)
 }
 
-let make ~rule ~symbol ~message (loc : Location.t) =
+let make ?(witness = []) ~rule ~symbol ~message (loc : Location.t) =
   let p = loc.Location.loc_start in
   {
     rule;
@@ -64,6 +92,7 @@ let make ~rule ~symbol ~message (loc : Location.t) =
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     symbol;
     message;
+    witness;
   }
 
 let order a b =
@@ -105,7 +134,16 @@ let json_escape s =
   Buffer.contents b
 
 let to_json d =
-  Printf.sprintf
-    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","symbol":"%s","message":"%s"}|}
-    (json_escape d.file) d.line d.col (rule_id d.rule) (json_escape d.symbol)
-    (json_escape d.message)
+  let base =
+    Printf.sprintf
+      {|{"file":"%s","line":%d,"col":%d,"rule":"%s","symbol":"%s","message":"%s"|}
+      (json_escape d.file) d.line d.col (rule_id d.rule) (json_escape d.symbol)
+      (json_escape d.message)
+  in
+  match d.witness with
+  | [] -> base ^ "}"
+  | ws ->
+      Printf.sprintf {|%s,"witness":[%s]|} base
+        (String.concat ","
+           (List.map (fun w -> Printf.sprintf {|"%s"|} (json_escape w)) ws))
+      ^ "}"

@@ -41,9 +41,39 @@
       scaling.
     - L12: no polymorphic [compare]/[Hashtbl.hash] reachable from the
       design pipeline where a monomorphic float/int comparison
-      exists. *)
+      exists.
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
+    The concurrency-discipline family (also interprocedural):
+
+    - L13: every pair of nested lock acquisitions must agree with the
+      canonical lock order (DESIGN.md §7e); cycles and reacquisitions
+      in the derived acquisition graph are deadlocks-in-waiting.
+    - L14: no call that may block (mutex acquisition, [Domain.join],
+      [Condition.wait], IO, [Unix] syscalls) while a lock is held or
+      inside a [Cisp_util.Pool] combinator body.  The condition-wait
+      protocol — waiting on the SAME mutex you hold — is exempt.
+    - L15: no float accumulation over an unordered source (raw
+      [Hashtbl.fold]/[iter] outside [Cisp_util.Tbl], hand-rolled
+      [Domain.join] merges) reachable from the design pipeline — the
+      bit-identity contract admits only ordered folds and the pool's
+      fixed pairwise reduction tree. *)
+
+type rule =
+  | L1
+  | L2
+  | L3
+  | L4
+  | L5
+  | L6
+  | L7
+  | L8
+  | L9
+  | L10
+  | L11
+  | L12
+  | L13
+  | L14
+  | L15
 
 val all_rules : rule list
 val rule_id : rule -> string
@@ -59,9 +89,18 @@ type t = {
       (** enclosing top-level value (expression rules) or signature
           item (L4); [""] when unknown *)
   message : string;
+  witness : string list;
+      (** interprocedural chain from the flagged site to the deep
+          evidence (L13/L14); empty for single-site findings *)
 }
 
-val make : rule:rule -> symbol:string -> message:string -> Location.t -> t
+val make :
+  ?witness:string list ->
+  rule:rule ->
+  symbol:string ->
+  message:string ->
+  Location.t ->
+  t
 (** Diagnostic at the start of [loc]. *)
 
 val order : t -> t -> int
@@ -72,4 +111,5 @@ val to_string : t -> string
 
 val to_json : t -> string
 (** One JSON object: [{"file":..,"line":..,"col":..,"rule":..,
-    "symbol":..,"message":..}] with RFC 8259 string escaping. *)
+    "symbol":..,"message":..}] with RFC 8259 string escaping; a
+    non-empty witness chain appends a ["witness":[..]] array. *)

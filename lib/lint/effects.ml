@@ -101,6 +101,24 @@ type t = {
       (* polymorphic compare/hash uses that have a monomorphic
          replacement: (description, site).  Consumed by L12 via
          pipeline reachability, like [nondet]/L9. *)
+  acquires : site SM.t;
+      (* canonical mutex identity -> smallest acquisition site, for
+         every lock this function may take, directly or transitively.
+         Unlike [locks] (a direct-only damping bit) this DOES
+         propagate: a caller holding lock A that calls something which
+         eventually takes lock B has established the order A -> B,
+         however deep the call chain.  Consumed by L13. *)
+  blocks : site SM.t;
+      (* blocking-call kind ("mutex acquisition of `X'", "condition
+         wait", "Domain.join", "io", ...) -> smallest witness site.
+         Propagates, except through scheduling boundaries (edges into
+         [Pool] combinators / [Domain.spawn] closures, see
+         {!Callgraph}).  Consumed by L14. *)
+  float_merges : RS.t;
+      (* order-sensitive float accumulation over an unordered source
+         (Hashtbl traversal, ad-hoc [Domain.join] merges):
+         (description, site).  Consumed by L15 via pipeline
+         reachability, like [nondet]/L9. *)
 }
 
 let bottom =
@@ -114,6 +132,9 @@ let bottom =
     mut_free = SM.empty;
     allocs = SM.empty;
     poly_cmp = RS.empty;
+    acquires = SM.empty;
+    blocks = SM.empty;
+    float_merges = RS.empty;
   }
 
 let min_w _ a b = Some (min_site a b)
@@ -132,6 +153,9 @@ let union a b =
         a.mut_free b.mut_free;
     allocs = SM.union min_w a.allocs b.allocs;
     poly_cmp = RS.union a.poly_cmp b.poly_cmp;
+    acquires = SM.union min_w a.acquires b.acquires;
+    blocks = SM.union min_w a.blocks b.blocks;
+    float_merges = RS.union a.float_merges b.float_merges;
   }
 
 let site_eq a b = compare_site a b = 0
@@ -147,6 +171,9 @@ let equal a b =
        a.mut_free b.mut_free
   && SM.equal site_eq a.allocs b.allocs
   && RS.equal a.poly_cmp b.poly_cmp
+  && SM.equal site_eq a.acquires b.acquires
+  && SM.equal site_eq a.blocks b.blocks
+  && RS.equal a.float_merges b.float_merges
 
 let has_mut t =
   not (SM.is_empty t.mut_global && IM.is_empty t.mut_param && SM.is_empty t.mut_free)
@@ -320,3 +347,26 @@ let ext_io name =
   | "read_int" | "read_int_opt" ->
       true
   | _ -> false
+
+(* Calls that may park the calling domain, as a short kind tag for L14.
+   [Mutex.try_lock] is absent on purpose (it fails instead of waiting),
+   and so are the handful of [Unix] entry points that are plain reads
+   of process state — the telemetry clock ([Unix.gettimeofday]) must
+   stay callable under [state.mutex]. *)
+let ext_blocking name =
+  match name with
+  | "Mutex.lock" | "Mutex.protect" -> Some "mutex acquisition"
+  | "Condition.wait" -> Some "condition wait"
+  | "Domain.join" -> Some "Domain.join"
+  | "Unix.gettimeofday" | "Unix.time" | "Unix.getenv" | "Unix.getpid" -> None
+  (* channel open/close/flush block on the filesystem but are not
+     [ext_io] (L9 treats them as handles, not reads) *)
+  | "open_out" | "open_out_bin" | "open_out_gen" | "open_in" | "open_in_bin"
+  | "open_in_gen" | "close_out" | "close_out_noerr" | "close_in"
+  | "close_in_noerr" | "flush" | "input_line" ->
+      Some "io"
+  | _ ->
+      if ext_io name then Some "io"
+      else if String.starts_with ~prefix:"Unix." name then
+        Some "Unix system call"
+      else None

@@ -66,6 +66,17 @@ type t = {
   poly_cmp : RS.t;
       (** polymorphic compare/hash uses with a monomorphic
           replacement: (description, site).  Consumed by L12. *)
+  acquires : site SM.t;
+      (** canonical mutex identity -> smallest acquisition site, direct
+          or transitive.  Unlike [locks] this propagates through calls.
+          Consumed by L13. *)
+  blocks : site SM.t;
+      (** blocking-call kind -> smallest witness site; propagates
+          except through scheduling-boundary edges.  Consumed by
+          L14. *)
+  float_merges : RS.t;
+      (** order-sensitive float accumulation over unordered sources:
+          (description, site).  Consumed by L15. *)
 }
 
 val bottom : t
@@ -105,3 +116,9 @@ val ext_poly_cmp : string -> bool
 (** Polymorphic structural compare/hash primitives ([compare],
     [Hashtbl.hash], ...) that L12 flags when passed as first-class
     values or applied at float-heavy types. *)
+
+val ext_blocking : string -> string option
+(** [Some kind] when the call may park the calling domain ("mutex
+    acquisition", "condition wait", "Domain.join", "io", "Unix system
+    call").  [Mutex.try_lock] and the non-blocking [Unix] reads
+    (clock, [getenv], [getpid]) are deliberately absent. *)

@@ -31,7 +31,9 @@ type pass =
   | Interprocedural of Effect_rules.config
 
 let is_ipa_rule = function
-  | Diag.L7 | Diag.L8 | Diag.L9 | Diag.L10 | Diag.L11 | Diag.L12 -> true
+  | Diag.L7 | Diag.L8 | Diag.L9 | Diag.L10 | Diag.L11 | Diag.L12 | Diag.L13
+  | Diag.L14 | Diag.L15 ->
+      true
   | _ -> false
 
 let check_units ~rules units =
@@ -42,15 +44,19 @@ let check_units ~rules units =
       | Loader.Intf s -> Rules.check_intf ~rules ~source:u.source s)
     units
 
-let run_pass units = function
+let run_pass ?on_graph units = function
   | Expr { rules = []; _ } -> []
   | Expr { rules; select } -> check_units ~rules (List.filter select units)
   | Interprocedural cfg
     when cfg.Effect_rules.l7 || cfg.Effect_rules.l8 || cfg.Effect_rules.l9
          || cfg.Effect_rules.l10 || cfg.Effect_rules.l11
-         || cfg.Effect_rules.l12 ->
+         || cfg.Effect_rules.l12 || cfg.Effect_rules.l13
+         || cfg.Effect_rules.l14 || cfg.Effect_rules.l15 ->
       let graph = Callgraph.build units in
       let summaries = Summary.compute graph in
+      (match on_graph with
+      | Some f -> f graph summaries.Summary.summaries
+      | None -> ());
       Effect_rules.check cfg graph summaries
   | Interprocedural _ -> []
 
@@ -64,13 +70,32 @@ let finalize ~allowlist diags =
   let stale = Allowlist.stale allowlist diags in
   (kept, suppressed, stale)
 
-let run_passes ~allowlist units passes =
+let run_passes ?on_graph ~allowlist units passes =
   let diagnostics, suppressed, stale =
-    finalize ~allowlist (List.concat_map (run_pass units) passes)
+    finalize ~allowlist (List.concat_map (run_pass ?on_graph units) passes)
   in
   (diagnostics, suppressed, stale)
 
-let run ?(allowlist = Allowlist.empty) ?(hotpaths = []) ~rules roots =
+(* [--lock-graph FILE]: dump the derived acquisition graph when the
+   interprocedural pass runs; a write failure is a report error, not a
+   crash. *)
+let lock_dot_sink lock_dot errors =
+  match lock_dot with
+  | None -> None
+  | Some path ->
+      Some
+        (fun graph sums ->
+          try
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc (Effect_rules.lock_graph_dot graph sums))
+          with Sys_error msg ->
+            errors := Printf.sprintf "lock-graph: %s" msg :: !errors)
+
+let run ?(allowlist = Allowlist.empty) ?(hotpaths = []) ?lock_dot ~rules roots
+    =
   let units, errors = Loader.load_roots roots in
   let expr_rules = List.filter (fun r -> not (is_ipa_rule r)) rules in
   let on r = List.mem r rules in
@@ -83,6 +108,9 @@ let run ?(allowlist = Allowlist.empty) ?(hotpaths = []) ~rules roots =
       l10 = on Diag.L10;
       l11 = on Diag.L11;
       l12 = on Diag.L12;
+      l13 = on Diag.L13;
+      l14 = on Diag.L14;
+      l15 = on Diag.L15;
       l10_hotpaths = hotpaths;
     }
   in
@@ -92,8 +120,19 @@ let run ?(allowlist = Allowlist.empty) ?(hotpaths = []) ~rules roots =
       Interprocedural cfg;
     ]
   in
-  let diagnostics, suppressed, stale = run_passes ~allowlist units passes in
-  { diagnostics; suppressed; stale; errors; units_checked = List.length units }
+  let late_errors = ref [] in
+  let diagnostics, suppressed, stale =
+    run_passes
+      ?on_graph:(lock_dot_sink lock_dot late_errors)
+      ~allowlist units passes
+  in
+  {
+    diagnostics;
+    suppressed;
+    stale;
+    errors = errors @ List.rev !late_errors;
+    units_checked = List.length units;
+  }
 
 (* ---------------- repo policy ---------------- *)
 
@@ -128,6 +167,20 @@ let pipeline_prefixes =
     "Cisp_fiber.";
   ]
 
+(* The repo's canonical lock order, outermost first (DESIGN.md §7e):
+   the pool registry lock wraps pool lifecycle (shutdown joins workers
+   under it), a pool's own mutex is next, the DEM cache locks nest
+   only under those, and the telemetry mutex is innermost — it guards
+   cold read-outs and must never be held across anything else. *)
+let canonical_lock_order =
+  [
+    "Cisp_util.Pool.default_lock";
+    "Cisp_util.Pool.t.mutex";
+    "Cisp_terrain.Dem_cache.store.reg_lock";
+    "Cisp_terrain.Dem_cache.store.lock";
+    "Cisp_util.Telemetry.state.mutex";
+  ]
+
 let repo_ipa_config ~hotpaths =
   {
     Effect_rules.l7 = true;
@@ -136,6 +189,9 @@ let repo_ipa_config ~hotpaths =
     l10 = true;
     l11 = true;
     l12 = true;
+    l13 = true;
+    l14 = true;
+    l15 = true;
     (* hold library code to the conventions; executables may catch and
        report however they like *)
     l8_unit_ok = in_lib;
@@ -150,9 +206,13 @@ let repo_ipa_config ~hotpaths =
     (* L12, like L9, polices library sources only: a bench harness
        sorting results with polymorphic compare is fine *)
     l12_site_ok = in_lib;
+    l13_order = canonical_lock_order;
+    (* L15, same scoping as L12 *)
+    l15_site_ok = in_lib;
+    l15_exempt = Effect_rules.default_l15_exempt;
   }
 
-let run_repo ?(allowlist = Allowlist.empty) ?hotpaths ~root () =
+let run_repo ?(allowlist = Allowlist.empty) ?hotpaths ?lock_dot ~root () =
   let ( / ) = Filename.concat in
   let existing dirs = List.filter Sys.file_exists dirs in
   (* default registry: <root>/lint.hotpaths, when present *)
@@ -187,8 +247,19 @@ let run_repo ?(allowlist = Allowlist.empty) ?hotpaths ~root () =
       Interprocedural (repo_ipa_config ~hotpaths);
     ]
   in
-  let diagnostics, suppressed, stale = run_passes ~allowlist units passes in
-  { diagnostics; suppressed; stale; errors; units_checked = List.length units }
+  let late_errors = ref [] in
+  let diagnostics, suppressed, stale =
+    run_passes
+      ?on_graph:(lock_dot_sink lock_dot late_errors)
+      ~allowlist units passes
+  in
+  {
+    diagnostics;
+    suppressed;
+    stale;
+    errors = errors @ List.rev !late_errors;
+    units_checked = List.length units;
+  }
 
 let exit_code report =
   if report.diagnostics <> [] then 1

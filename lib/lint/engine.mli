@@ -3,7 +3,7 @@
 
     A run is a list of {!pass}es over one load of the tree: the
     per-expression rules L1-L6 (a unit at a time, each pass with its
-    own unit filter) and the interprocedural pass L7-L12 (call graph +
+    own unit filter) and the interprocedural pass L7-L15 (call graph +
     effect summaries over every loaded unit at once, see
     {!Callgraph}/{!Summary}/{!Effect_rules}). *)
 
@@ -26,33 +26,50 @@ type pass =
   | Expr of { rules : Diag.rule list; select : Loader.unit_ -> bool }
   | Interprocedural of Effect_rules.config
 
-val run_pass : Loader.unit_ list -> pass -> Diag.t list
-(** One pass, unsorted diagnostics; exposed for tests. *)
+val run_pass :
+  ?on_graph:(Callgraph.t -> Effects.t array -> unit) ->
+  Loader.unit_ list ->
+  pass ->
+  Diag.t list
+(** One pass, unsorted diagnostics; exposed for tests.  [on_graph] is
+    invoked with the call graph and finalized summaries when the
+    interprocedural pass actually runs (the [--lock-graph] hook). *)
 
 val run :
   ?allowlist:Allowlist.t ->
   ?hotpaths:string list ->
+  ?lock_dot:string ->
   rules:Diag.rule list ->
   string list ->
   report
 (** [run ~rules roots] lints every [.cmt]/[.cmti] under [roots] with
     the given rules: expression rules on implementations, L4 on
-    interfaces, and — when any of L7-L12 is requested — the
+    interfaces, and — when any of L7-L15 is requested — the
     interprocedural pass with the permissive {!Effect_rules.generic}
-    policy (every node an L9/L12 root).  [hotpaths] adds canonical
-    names to the L10 contract set (see {!Hotpaths}). *)
+    policy (every node an L9/L12/L15 root, empty canonical lock
+    order).  [hotpaths] adds canonical names to the L10 contract set
+    (see {!Hotpaths}); [lock_dot] writes the derived lock-acquisition
+    graph to that path in Graphviz DOT (a write failure lands in
+    [errors]). *)
 
 val run_repo :
-  ?allowlist:Allowlist.t -> ?hotpaths:string list -> root:string -> unit -> report
+  ?allowlist:Allowlist.t ->
+  ?hotpaths:string list ->
+  ?lock_dot:string ->
+  root:string ->
+  unit ->
+  report
 (** The checked-in repo policy, relative to [root]:
     L1/L2/L3/L5/L6 on [lib/] implementations; L4 on the interfaces of
     the unit-heavy sublibraries ([lib/geo], [lib/rf], [lib/terrain],
     [lib/fiber], [lib/design]); L1/L3 on [bin/], [bench/] and
     [examples/]; the interprocedural pass over the whole tree with
-    L7/L10/L11 everywhere, L8 on library units, and L9/L12 seeded at
-    the design pipeline entry points with sites flagged in library
-    sources.  When [hotpaths] is absent, [<root>/lint.hotpaths] is
-    loaded if it exists (a load error is reported in [errors]). *)
+    L7/L10/L11/L13/L14 everywhere, L8 on library units, L9/L12/L15
+    seeded at the design pipeline entry points with sites flagged in
+    library sources, and L13 checked against the canonical lock order
+    of DESIGN.md §7e.  When [hotpaths] is absent,
+    [<root>/lint.hotpaths] is loaded if it exists (a load error is
+    reported in [errors]); [lock_dot] as in {!run}. *)
 
 val exit_code : report -> int
 (** 0 clean, 1 violations, 2 no violations but load errors. *)

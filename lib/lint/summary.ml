@@ -34,6 +34,15 @@ let propagate (caller : Callgraph.node) (edge : Callgraph.edge)
       (* [locks] means "takes a mutex directly" and never propagates *)
       allocs = s.Effects.allocs;
       poly_cmp = s.Effects.poly_cmp;
+      float_merges = s.Effects.float_merges;
+      (* what blocks a pool worker or spawned domain does not block
+         the submitter, and locks it takes are ordered on ITS domain:
+         neither crosses a scheduling boundary *)
+      acquires =
+        (if edge.Callgraph.boundary then Effects.SM.empty
+         else s.Effects.acquires);
+      blocks =
+        (if edge.Callgraph.boundary then Effects.SM.empty else s.Effects.blocks);
     }
   in
   if edge.Callgraph.damp_mut then base

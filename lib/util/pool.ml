@@ -267,12 +267,7 @@ let fold_range ?(min_chunk = 1) pool ~n ~map ~merge ~init =
 
 (* ---------- per-domain scratch ---------- *)
 
-module Scratch = struct
-  type 'a t = 'a Domain.DLS.key
-
-  let create init = Domain.DLS.new_key init
-  let get t = Domain.DLS.get t
-end
+module Scratch = Scratch
 
 (* ---------- default pool ---------- *)
 
@@ -317,6 +312,14 @@ let get () =
         let fresh = create ~jobs:want in
         instance := Some fresh;
         fresh)
+
+(* Default-pool submission that never consults the registry from a
+   worker: a nested call would run sequentially anyway (the [in_task]
+   guard in [parallel_for]), so short-circuiting before [get ()] is
+   behaviour-preserving and keeps pool bodies free of [default_lock]. *)
+let parallel_for_default ?min_chunk ~n fn =
+  if Domain.DLS.get in_task then sequential_job n fn
+  else parallel_for ?min_chunk (get ()) ~n fn
 
 let with_default_jobs k f =
   let saved = Mutex.protect default_lock (fun () -> !override) in

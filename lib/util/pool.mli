@@ -43,20 +43,10 @@ val shutdown : t -> unit
     must never feed results — only the work computed {e into} them
     may. *)
 
-module Scratch : sig
-  type 'a t
-  (** A per-domain slot: one lazily-created ['a] per domain. *)
-
-  val create : (unit -> 'a) -> 'a t
-  (** [create init] makes a new slot; [init] runs once per domain, on
-      that domain's first {!get}.  Call it at module level — each call
-      claims a fresh slot in every domain's local storage. *)
-
-  val get : 'a t -> 'a
-  (** This domain's instance (created on first use).  The returned
-      value is domain-private: using it requires no synchronization,
-      and it must never escape to another domain. *)
-end
+module Scratch = Scratch
+(** Re-export of {!Scratch} (its own compilation unit so that modules
+    below the pool in the dependency order — [Telemetry] — can use it
+    too). *)
 
 (** {2 Default pool}
 
@@ -99,6 +89,14 @@ val parallel_for : ?min_chunk:int -> t -> n:int -> (int -> unit) -> unit
     worker — the submitter would otherwise claim every chunk before
     the workers stir, paying wake-up cost for zero parallelism.
     Chunking affects scheduling only, never results. *)
+
+val parallel_for_default : ?min_chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for_default ~n f] is [parallel_for (get ()) ~n f],
+    except that a nested call (from inside a pool body) falls back to
+    the calling domain {e before} consulting the pool registry — a
+    worker never acquires [default_lock].  Use it from code that may
+    run either at top level or inside another parallel loop (e.g.
+    [Topology.distances_incremental] under a weather sweep). *)
 
 val parallel_map_array : ?min_chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map_array pool f arr] is [Array.map f arr] with the

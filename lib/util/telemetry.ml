@@ -6,10 +6,11 @@
    - observation only: nothing recorded here may feed back into what
      the pipeline computes, so enabling telemetry is bit-identical in
      its effect on every output;
-   - domain-safe: counters are atomics, everything else mutates under
-     one mutex, and all read-out orders are canonicalized (names
-     sorted, samples sorted) so merged results do not depend on
-     worker scheduling;
+   - domain-safe: counters are atomics, distribution samples buffer in
+     domain-private scratch (merged at read-out), spans and trace
+     events mutate under one mutex, and all read-out orders are
+     canonicalized (names sorted, samples sorted) so merged results do
+     not depend on worker scheduling;
    - near-free when disabled: every recording entry point bails on a
      single [!on] branch before touching any shared state. *)
 
@@ -28,7 +29,9 @@ type event = {
 
 type state = {
   mutex : Mutex.t;
-  series : (string, float list ref) Hashtbl.t;
+  mutable dbufs : (string * float) list ref list;
+      (* every domain's sample buffer, registered (under [mutex]) the
+         first time that domain observes; the list itself only grows *)
   spans : (string, span_agg) Hashtbl.t;
   mutable events : event list;
   mutable epoch : float;
@@ -40,7 +43,7 @@ type state = {
 let state =
   {
     mutex = Mutex.create ();
-    series = Hashtbl.create 64;
+    dbufs = [];
     spans = Hashtbl.create 64;
     events = [];
     epoch = 0.0;
@@ -95,7 +98,10 @@ let reset () =
   locked (fun () ->
       on := false;
       Atomic.set counters SMap.empty;
-      Hashtbl.reset state.series;
+      (* buffers stay registered (their domains will reuse them); only
+         their contents go.  Emptying a ref the owner may be consing
+         onto is a single word store either way. *)
+      List.iter (fun buf -> buf := []) state.dbufs;
       Hashtbl.reset state.spans;
       state.events <- [];
       state.epoch <- 0.0;
@@ -128,24 +134,49 @@ let counter name =
 
 (* ---------------- float series ---------------- *)
 
+(* Distributions buffer per domain (L14: recording must not funnel
+   every worker through [state.mutex]).  A domain's buffer is one ref
+   holding an immutable (name, value) cons list, so the owner's store
+   is a single word write and never structurally races a merging
+   reader; [state.mutex] is only taken once per domain, to register
+   the buffer.  Read-out merges every buffer and sorts, so summaries
+   stay a pure function of the observed multiset — bit-identical
+   whatever the pool width.  Read-outs are coherent for samples
+   recorded before the recording domains were joined (or otherwise
+   synchronized with the reader), the same quiesce-then-read contract
+   the span table has. *)
+let series_buf : (string * float) list ref Scratch.t =
+  Scratch.create (fun () ->
+      let buf = ref [] in
+      locked (fun () -> state.dbufs <- buf :: state.dbufs);
+      buf)
+
 let observe name x =
-  if !on then
-    locked (fun () ->
-        match Hashtbl.find_opt state.series name with
-        | Some cell -> cell := x :: !cell
-        | None -> Hashtbl.add state.series name (ref [ x ]))
+  if !on then begin
+    let buf = Scratch.get series_buf in
+    buf := (name, x) :: !buf
+  end
 
 (* Sorted, so the distribution read out is a pure function of the
    observed multiset whatever order domains recorded in. *)
 let samples name =
   let xs =
     locked (fun () ->
-        match Hashtbl.find_opt state.series name with
-        | Some cell -> Array.of_list !cell
-        | None -> [||])
+        List.concat_map
+          (fun buf ->
+            List.filter_map
+              (fun (n, x) -> if String.equal n name then Some x else None)
+              !buf)
+          state.dbufs)
   in
+  let xs = Array.of_list xs in
   Array.sort Float.compare xs;
   xs
+
+let series_names () =
+  locked (fun () ->
+      List.concat_map (fun buf -> List.rev_map fst !buf) state.dbufs)
+  |> List.sort_uniq String.compare
 
 let series_summary name = Stats.summarize (samples name)
 
@@ -201,7 +232,7 @@ let counter_names () =
 let pp_summary ppf () =
   let span_names = locked (fun () -> sorted_keys state.spans) in
   let counter_names = counter_names () in
-  let series_names = locked (fun () -> sorted_keys state.series) in
+  let series_names = series_names () in
   Format.fprintf ppf "@[<v>-- telemetry --@,";
   if span_names <> [] then begin
     Format.fprintf ppf "spans:@,";
@@ -261,7 +292,7 @@ let event_line e =
    stamped at write-out time, so the trace alone carries the totals. *)
 let closing_events now_us =
   let counter_names = counter_names () in
-  let series_names = locked (fun () -> sorted_keys state.series) in
+  let series_names = series_names () in
   List.map
     (fun name -> { name; ph = 'C'; ts_us = now_us; dur_us = 0.0; tid = 0; value = counter name })
     counter_names

@@ -42,7 +42,11 @@ val incr : string -> unit
 val add : string -> int -> unit
 
 val observe : string -> float -> unit
-(** Record one sample of a named distribution. *)
+(** Record one sample of a named distribution.  Lock-free: samples
+    buffer in the recording domain's private scratch (one cons), so
+    workers never serialize on the telemetry mutex; read-outs merge
+    the buffers and sort, giving the same summary at any pool
+    width. *)
 
 val with_span : string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named timed span.  Spans nest; each
@@ -57,7 +61,13 @@ val counter : string -> int
 
 val samples : string -> float array
 (** All recorded samples of a distribution, sorted ascending (so the
-    result is independent of domain scheduling); [[||]] if none. *)
+    result is independent of domain scheduling); [[||]] if none.
+    Coherent for samples recorded by domains that have since been
+    joined (or otherwise synchronized with the caller) — quiesce, then
+    read. *)
+
+val series_names : unit -> string list
+(** Every distribution with at least one recorded sample, sorted. *)
 
 val series_summary : string -> Stats.summary
 

@@ -1,0 +1,28 @@
+(* L13: lock-order violations.  Two globals acquired in both orders
+   form a cycle in the acquisition graph; [self_deadlock] re-enters a
+   lock it already holds.  [nested_ok] nests consistently and must
+   stay silent. *)
+
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+
+(* a before b ... *)
+let ab () =
+  Mutex.protect lock_a (fun () -> Mutex.protect lock_b (fun () -> ()))
+
+(* ... and b before a: either edge closes the cycle *)
+let ba () =
+  Mutex.protect lock_b (fun () -> Mutex.protect lock_a (fun () -> ()))
+
+(* re-acquiring a held lock deadlocks (OCaml mutexes are not
+   recursive) *)
+let self_deadlock () =
+  Mutex.protect lock_a (fun () -> Mutex.lock lock_a)
+
+let lock_c = Mutex.create ()
+
+(* one-way nesting only: acyclic, so no L13 cycle finding (L14 still
+   notes the nested acquisition, and a canonical order listing c
+   before a turns this edge into an order contradiction) *)
+let nested_ok () =
+  Mutex.protect lock_a (fun () -> Mutex.protect lock_c (fun () -> ()))

@@ -1,0 +1,24 @@
+(* L15: float accumulation over unordered containers.  Hashtbl
+   iteration order depends on hash seeding and insertion history, so
+   summing floats out of one is not reproducible; merging per-domain
+   float results via bare Domain.join inherits scheduling order.
+   [ok_ints] folds ints — order-sensitive only for floats — and must
+   stay silent. *)
+
+(* float sum straight out of Hashtbl.fold *)
+let sum_table (tbl : (string, float) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+
+(* same accumulation spelled with iter into a ref *)
+let iter_acc (tbl : (string, float) Hashtbl.t) =
+  let acc = ref 0.0 in
+  Hashtbl.iter (fun _ v -> acc := !acc +. v) tbl;
+  !acc
+
+(* merging domain results in completion order *)
+let join_merge (ds : float Domain.t list) =
+  List.fold_left (fun acc d -> acc +. Domain.join d) 0.0 ds
+
+(* integer folds are order-insensitive *)
+let ok_ints (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

@@ -461,6 +461,150 @@ let test_allowlist_prune () =
   Alcotest.(check string) "live entries and comments survive"
     "# header comment\nL2 bad_l2.ml *  # live\n\n" kept
 
+(* ---------------- concurrency discipline: L13-L15 ---------------- *)
+
+module Effect_rules = Cisp_linter.Effect_rules
+
+let test_l13_positive () =
+  (* both directions of the a/b cycle, plus the re-entrant acquisition *)
+  List.iter
+    (fun line -> check_hit ~rule:Diag.L13 ~file:"bad_l13.ml" ~line)
+    [ 11; 15; 20 ];
+  Alcotest.(check bool) "self-deadlock named" true
+    (contains (message ~rule:Diag.L13 ~file:"bad_l13.ml" ~line:20) "self-deadlock");
+  Alcotest.(check bool) "cycle named" true
+    (contains (message ~rule:Diag.L13 ~file:"bad_l13.ml" ~line:11) "cycle")
+
+let test_l13_negative () =
+  (* [nested_ok]'s one-way nesting is acyclic: no L13 there *)
+  Alcotest.(check int) "three L13 hits" 3 (count ~rule:Diag.L13 ~file:"bad_l13.ml");
+  Alcotest.(check int) "single-lock unit has no L13" 0
+    (count ~rule:Diag.L13 ~file:"bad_l14.ml")
+
+let test_l13_canonical_order () =
+  (* a canonical order listing c before a turns [nested_ok]'s acyclic
+     a -> c edge into an order contradiction *)
+  let units, _errors = Loader.load_roots [ fixtures_root ] in
+  let cfg =
+    {
+      Effect_rules.generic with
+      Effect_rules.l7 = false;
+      l8 = false;
+      l9 = false;
+      l10 = false;
+      l11 = false;
+      l12 = false;
+      l14 = false;
+      l15 = false;
+      l13_order =
+        [ "Lint_fixtures.Bad_l13.lock_c"; "Lint_fixtures.Bad_l13.lock_a" ];
+    }
+  in
+  let diags = Engine.run_pass units (Engine.Interprocedural cfg) in
+  match
+    List.filter (fun (d : Diag.t) -> contains d.Diag.message "contradicts") diags
+  with
+  | [ d ] ->
+      Alcotest.(check string) "flagged in nested_ok" "nested_ok" d.Diag.symbol;
+      Alcotest.(check bool) "cites the canonical-order doc" true
+        (contains d.Diag.message "DESIGN.md")
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 order contradiction, got %d" (List.length l))
+
+let test_l14_positive () =
+  (* direct io x2, Domain.join, pool body, transitive *)
+  List.iter
+    (fun line -> check_hit ~rule:Diag.L14 ~file:"bad_l14.ml" ~line)
+    [ 10; 11; 17; 23; 38 ];
+  Alcotest.(check bool) "pool-body finding names the combinator" true
+    (contains (message ~rule:Diag.L14 ~file:"bad_l14.ml" ~line:23)
+       "Pool.parallel_for");
+  Alcotest.(check bool) "transitive finding names the callee" true
+    (contains (message ~rule:Diag.L14 ~file:"bad_l14.ml" ~line:38) "deep_block")
+
+let test_l14_negative () =
+  (* [ok_after_unlock] releases before blocking: exactly the five seeded *)
+  Alcotest.(check int) "five L14 hits" 5 (count ~rule:Diag.L14 ~file:"bad_l14.ml");
+  (* nested acquisition is itself blocking-under-lock, even when the
+     nesting is order-consistent: the three protect pairs + nested_ok *)
+  Alcotest.(check int) "four L14 hits in bad_l13.ml" 4
+    (count ~rule:Diag.L14 ~file:"bad_l13.ml");
+  Alcotest.(check int) "no L14 in good.ml" 0 (count ~rule:Diag.L14 ~file:"good.ml")
+
+let test_l15_positive () =
+  List.iter
+    (fun line -> check_hit ~rule:Diag.L15 ~file:"bad_l15.ml" ~line)
+    [ 10; 15; 20 ];
+  Alcotest.(check bool) "suggests the sorted view" true
+    (contains (message ~rule:Diag.L15 ~file:"bad_l15.ml" ~line:10) "Cisp_util.Tbl")
+
+let test_l15_negative () =
+  (* [ok_ints] folds ints: order-insensitive, silent *)
+  Alcotest.(check int) "three L15 hits" 3 (count ~rule:Diag.L15 ~file:"bad_l15.ml");
+  Alcotest.(check int) "no L15 in good.ml" 0 (count ~rule:Diag.L15 ~file:"good.ml")
+
+let test_lock_graph () =
+  let g, r = Lazy.force graph_and_sums in
+  let edges = Effect_rules.lock_graph g r.Summary.summaries in
+  let has from to_ =
+    List.exists
+      (fun (e : Effect_rules.lock_edge) ->
+        String.equal e.Effect_rules.le_from from
+        && String.equal e.Effect_rules.le_to to_)
+      edges
+  in
+  Alcotest.(check bool) "a -> b" true
+    (has "Lint_fixtures.Bad_l13.lock_a" "Lint_fixtures.Bad_l13.lock_b");
+  Alcotest.(check bool) "b -> a" true
+    (has "Lint_fixtures.Bad_l13.lock_b" "Lint_fixtures.Bad_l13.lock_a");
+  Alcotest.(check bool) "a -> c" true
+    (has "Lint_fixtures.Bad_l13.lock_a" "Lint_fixtures.Bad_l13.lock_c");
+  let classes = Effect_rules.lock_classes g in
+  Alcotest.(check bool) "vertex set contains every fixture lock" true
+    (List.mem "Lint_fixtures.Bad_l13.lock_c" classes
+    && List.mem "Lint_fixtures.Bad_l14.lock" classes);
+  Alcotest.(check bool) "vertex set sorted" true
+    (List.sort String.compare classes = classes);
+  let dot = Effect_rules.lock_graph_dot g r.Summary.summaries in
+  Alcotest.(check bool) "dot header" true (contains dot "digraph lock_order");
+  Alcotest.(check bool) "dot edge rendered" true
+    (contains dot
+       "\"Lint_fixtures.Bad_l13.lock_a\" -> \"Lint_fixtures.Bad_l13.lock_b\"")
+
+let test_witness_json () =
+  match
+    List.find_opt
+      (fun (d : Diag.t) ->
+        d.rule = Diag.L14 && in_file "bad_l14.ml" d && d.line = 38)
+      (diags ())
+  with
+  | None -> Alcotest.fail "expected the transitive L14 diagnostic"
+  | Some d ->
+      let j = Diag.to_json d in
+      Alcotest.(check bool) "witness array present" true
+        (contains j {|"witness":["|});
+      Alcotest.(check bool) "chain step carries callee and site" true
+        (contains j "Lint_fixtures.Bad_l14.deep_block (")
+      ;
+      Alcotest.(check bool) "chain step cites the definition line" true
+        (contains j "bad_l14.ml:35)")
+
+let test_block_summaries () =
+  let g, r = Lazy.force graph_and_sums in
+  (* blocking propagates caller-ward: [via] inherits its callee's io *)
+  let via = node_exn g "Lint_fixtures.Bad_l14.via" in
+  Alcotest.(check bool) "io reaches via's summary" true
+    (Effects.SM.mem "io" r.Summary.summaries.(via.Callgraph.id).Effects.blocks);
+  (* ...but not across the scheduling boundary: a pool body's blocking
+     never leaks into the submitter's own summary *)
+  let lp = node_exn g "Lint_fixtures.Bad_l14.lock_in_pool" in
+  Alcotest.(check bool) "pool-body blocking stays behind the boundary" true
+    (not
+       (Effects.SM.exists
+          (fun k _ -> contains k "mutex acquisition")
+          r.Summary.summaries.(lp.Callgraph.id).Effects.blocks))
+
 let suites =
   [
     ( "lint.rules",
@@ -517,6 +661,19 @@ let suites =
         Alcotest.test_case "allocation summaries" `Quick test_alloc_summaries;
         Alcotest.test_case "allowlist and JSON for L10-L12" `Quick
           test_alloc_allowlist_and_json;
+      ] );
+    ( "lint.concurrency",
+      [
+        Alcotest.test_case "L13 positive" `Quick test_l13_positive;
+        Alcotest.test_case "L13 negative" `Quick test_l13_negative;
+        Alcotest.test_case "L13 canonical order" `Quick test_l13_canonical_order;
+        Alcotest.test_case "L14 positive" `Quick test_l14_positive;
+        Alcotest.test_case "L14 negative" `Quick test_l14_negative;
+        Alcotest.test_case "L15 positive" `Quick test_l15_positive;
+        Alcotest.test_case "L15 negative" `Quick test_l15_negative;
+        Alcotest.test_case "lock graph" `Quick test_lock_graph;
+        Alcotest.test_case "witness JSON" `Quick test_witness_json;
+        Alcotest.test_case "blocking summaries" `Quick test_block_summaries;
       ] );
     ( "lint.vocabulary",
       [

@@ -77,6 +77,33 @@ let test_parallel_merge () =
   Alcotest.(check int) "counter merges identically at jobs=4" c1 c4;
   Alcotest.(check (array (float 0.0))) "sorted samples identical" s1 s4
 
+let test_stress_jobs8 () =
+  (* 8 domains hammer the lock-free counters and the per-domain sample
+     buffers at once: totals must be exact (no lost updates) and the
+     merged distribution a pure function of the observed multiset. *)
+  let n = 4096 in
+  with_clean (fun () ->
+      Telemetry.enable_metrics ();
+      Pool.with_default_jobs 8 (fun () ->
+          Pool.parallel_for (Pool.get ()) ~n (fun i ->
+              Telemetry.incr "t.stress";
+              Telemetry.add "t.stress.sum" i;
+              Telemetry.observe "t.stress_s" (float_of_int (i mod 16))));
+      Alcotest.(check int) "every increment lands" n (Telemetry.counter "t.stress");
+      Alcotest.(check int) "exact sum, no lost update" (n * (n - 1) / 2)
+        (Telemetry.counter "t.stress.sum");
+      let s = Telemetry.samples "t.stress_s" in
+      Alcotest.(check int) "every observation lands" n (Array.length s);
+      (* sorted merge: exactly n/16 of each residue, ascending *)
+      Array.iteri
+        (fun k x ->
+          let expected = float_of_int (k / (n / 16)) in
+          if x <> expected then
+            Alcotest.failf "merged sample %d: %g, expected %g" k x expected)
+        s;
+      Alcotest.(check bool) "series visible in the name index" true
+        (List.mem "t.stress_s" (Telemetry.series_names ())))
+
 (* ---------------- JSONL sink ---------------- *)
 
 (* Minimal JSON value parser: enough to verify every trace line is a
@@ -305,6 +332,7 @@ let suites =
         Alcotest.test_case "series" `Quick test_series;
         Alcotest.test_case "spans" `Quick test_spans;
         Alcotest.test_case "parallel merge at jobs 1/4" `Quick test_parallel_merge;
+        Alcotest.test_case "stress at jobs 8" `Slow test_stress_jobs8;
         Alcotest.test_case "JSONL trace sink" `Quick test_trace_sink;
         Alcotest.test_case "summary sink" `Quick test_summary_output;
       ] );

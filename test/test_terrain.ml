@@ -243,6 +243,45 @@ let test_cache_width_invariance () =
         true (g1 = gw))
     [ 2; 8 ]
 
+let test_cache_telemetry_stress () =
+  (* 8 domains race the shared-L2 miss path while hammering telemetry:
+     counter totals stay exact, cache stats stay coherent (every query
+     lands in hits or misses), and the published store matches a
+     sequential fill bit for bit. *)
+  let n = 4096 in
+  let sweep jobs =
+    Cisp_util.Telemetry.reset ();
+    Cisp_util.Telemetry.enable_metrics ();
+    Fun.protect ~finally:Cisp_util.Telemetry.reset (fun () ->
+        let pool = Cisp_util.Pool.create ~jobs in
+        Fun.protect
+          ~finally:(fun () -> Cisp_util.Pool.shutdown pool)
+          (fun () ->
+            let cache = Dem_cache.create us in
+            Cisp_util.Pool.parallel_for pool ~n (fun i ->
+                let f = float_of_int (i mod 997) /. 997.0 in
+                let lat = 30.0 +. (15.0 *. f) in
+                let lon = -110.0 +. (30.0 *. Float.rem (f *. 37.0) 1.0) in
+                ignore (Dem_cache.surface_m_ll cache ~lat ~lon);
+                Cisp_util.Telemetry.incr "stress.queries";
+                Cisp_util.Telemetry.observe "stress.lat_deg" lat);
+            let hits, misses = Dem_cache.stats cache in
+            ( hits + misses,
+              Cisp_util.Telemetry.counter "stress.queries",
+              Array.length (Cisp_util.Telemetry.samples "stress.lat_deg"),
+              Dem_cache.surface_cells cache )))
+  in
+  let q1, c1, s1, cells1 = sweep 1 in
+  let q8, c8, s8, cells8 = sweep 8 in
+  Alcotest.(check int) "sequential stats cover every query" n q1;
+  Alcotest.(check int) "parallel stats cover every query" n q8;
+  Alcotest.(check int) "counter exact at jobs=1" n c1;
+  Alcotest.(check int) "counter exact at jobs=8" n c8;
+  Alcotest.(check int) "every observation lands at jobs=1" n s1;
+  Alcotest.(check int) "every observation lands at jobs=8" n s8;
+  Alcotest.(check bool) "store contents bit-identical to sequential" true
+    (cells1 = cells8)
+
 let suites =
   [
     ( "terrain.noise",
@@ -272,5 +311,7 @@ let suites =
         Alcotest.test_case "cell-center purity" `Quick test_cache_cell_center_purity;
         Alcotest.test_case "order independence" `Quick test_cache_order_independence;
         Alcotest.test_case "width invariance" `Slow test_cache_width_invariance;
+        Alcotest.test_case "telemetry stress at jobs 8" `Slow
+          test_cache_telemetry_stress;
       ] );
   ]
