@@ -1,7 +1,7 @@
 module Hops = Cisp_towers.Hops
 module Capacity_rf = Cisp_rf.Capacity
 module Graph = Cisp_graph.Graph
-module Dijkstra = Cisp_graph.Dijkstra
+module Query = Cisp_graph.Query
 
 type link_plan = { link : int * int; load_gbps : float; series : int; hops : int }
 
@@ -31,36 +31,70 @@ let routing_graph (inputs : Inputs.t) (topo : Topology.t) =
     topo.Topology.built;
   g
 
-let route_loads (inputs : Inputs.t) (topo : Topology.t) ~aggregate_gbps =
-  let n = Inputs.n_sites inputs in
-  let demands = Cisp_traffic.Matrix.scale_to_gbps inputs.traffic ~aggregate_gbps in
-  let g = routing_graph inputs topo in
-  let built i j = Topology.is_built topo i j in
-  (* Loads are tracked per direction: MW links are duplex, so the
-     binding figure for capacity is the busier direction. *)
-  let loads : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+(* Weight of the cheapest parallel edge u -> v — exactly the step a
+   shortest path takes between consecutive nodes (relaxation keeps the
+   minimum of parallel edges). *)
+let min_edge_weight g u v =
+  List.fold_left
+    (fun best (e : Graph.edge) -> if e.Graph.dst = v then Float.min best e.Graph.weight else best)
+    infinity (Graph.succ g u)
+
+(* A path step u -> v rides the MW link iff the pair is built and the
+   MW length is the (tolerance-matched) cheapest medium — same
+   predicate the prev-tree walks used on [dist v -. dist u]. *)
+let mw_step inputs (topo : Topology.t) g u v =
+  Topology.is_built topo u v
+  && Float.abs (min_edge_weight g u v -. inputs.Inputs.mw_km.(u).(v)) < 1e-6
+
+(* Route every positive-demand commodity through the query facade (one
+   many-to-many over the demand support: plain Dijkstra rows below the
+   engine threshold, CH buckets above — identical paths either way)
+   and hand each (s, t, demand, node path) to [f]. *)
+let iter_demand_routes g ~demands ~f =
+  let n = Array.length demands in
+  let has_out = Array.make n false and has_in = Array.make n false in
   for s = 0 to n - 1 do
-    let r = Dijkstra.run g ~src:s in
     for t = 0 to n - 1 do
-      let h = demands.(s).(t) in
-      if t <> s && h > 0.0 && r.Dijkstra.dist.(t) < infinity then begin
-        (* Walk predecessors, attributing MW edges by weight match. *)
-        let rec walk v =
-          let u = r.Dijkstra.prev.(v) in
-          if u >= 0 then begin
-            (if built u v then begin
-               let step = r.Dijkstra.dist.(v) -. r.Dijkstra.dist.(u) in
-               if Float.abs (step -. inputs.mw_km.(u).(v)) < 1e-6 then
-                 Hashtbl.replace loads (u, v)
-                   (h +. Option.value (Hashtbl.find_opt loads (u, v)) ~default:0.0)
-             end);
-            walk u
-          end
-        in
-        walk t
+      if t <> s && demands.(s).(t) > 0.0 then begin
+        has_out.(s) <- true;
+        has_in.(t) <- true
       end
     done
   done;
+  let collect flags = Array.of_list (List.filter (Array.get flags) (List.init n Fun.id)) in
+  let sources = collect has_out and targets = collect has_in in
+  let q = Query.prepare g in
+  let routes = Query.many_to_many_paths q ~sources ~targets in
+  Array.iteri
+    (fun si s ->
+      Array.iteri
+        (fun ti t ->
+          let h = demands.(s).(t) in
+          if t <> s && h > 0.0 then begin
+            match routes.(si).(ti) with None -> () | Some (_, path) -> f s t h path
+          end)
+        targets)
+    sources
+
+let rec iter_steps f = function
+  | u :: (v :: _ as rest) ->
+    f u v;
+    iter_steps f rest
+  | _ -> ()
+
+let route_loads (inputs : Inputs.t) (topo : Topology.t) ~aggregate_gbps =
+  let demands = Cisp_traffic.Matrix.scale_to_gbps inputs.traffic ~aggregate_gbps in
+  let g = routing_graph inputs topo in
+  (* Loads are tracked per direction: MW links are duplex, so the
+     binding figure for capacity is the busier direction. *)
+  let loads : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  iter_demand_routes g ~demands ~f:(fun _s _t h path ->
+      iter_steps
+        (fun u v ->
+          if mw_step inputs topo g u v then
+            Hashtbl.replace loads (u, v)
+              (h +. Option.value (Hashtbl.find_opt loads (u, v)) ~default:0.0))
+        path);
   let directional (i, j) =
     Float.max
       (Option.value (Hashtbl.find_opt loads (i, j)) ~default:0.0)
@@ -70,32 +104,13 @@ let route_loads (inputs : Inputs.t) (topo : Topology.t) ~aggregate_gbps =
 
 let mw_fraction (inputs : Inputs.t) (topo : Topology.t) =
   (* Fraction of (normalized) traffic whose shortest path uses >= 1 MW link. *)
-  let n = Inputs.n_sites inputs in
   let g = routing_graph inputs topo in
-  let built i j = Topology.is_built topo i j in
   let mw = ref 0.0 and all = ref 0.0 in
-  for s = 0 to n - 1 do
-    let r = Dijkstra.run g ~src:s in
-    for t = 0 to n - 1 do
-      let h = inputs.traffic.(s).(t) in
-      if t <> s && h > 0.0 && r.Dijkstra.dist.(t) < infinity then begin
-        all := !all +. h;
-        let used = ref false in
-        let rec walk v =
-          let u = r.Dijkstra.prev.(v) in
-          if u >= 0 then begin
-            (if built u v then begin
-               let step = r.Dijkstra.dist.(v) -. r.Dijkstra.dist.(u) in
-               if Float.abs (step -. inputs.mw_km.(u).(v)) < 1e-6 then used := true
-             end);
-            walk u
-          end
-        in
-        walk t;
-        if !used then mw := !mw +. h
-      end
-    done
-  done;
+  iter_demand_routes g ~demands:inputs.traffic ~f:(fun _s _t h path ->
+      all := !all +. h;
+      let used = ref false in
+      iter_steps (fun u v -> if mw_step inputs topo g u v then used := true) path;
+      if !used then mw := !mw +. h);
   if Float.equal !all 0.0 then 0.0 else !mw /. !all
 
 let link_hops (inputs : Inputs.t) (i, j) =

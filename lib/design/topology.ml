@@ -1,6 +1,17 @@
-type t = { inputs : Inputs.t; built : (int * int) list; cost : int }
+module Iset = Set.Make (Int)
+
+type t = {
+  inputs : Inputs.t;
+  built : (int * int) list;
+  index : Iset.t;
+  cost : int;
+}
 
 let norm (i, j) = if i < j then (i, j) else (j, i)
+
+(* Packed key of a normalized pair for the membership index.  Site
+   counts are at most a few hundred; 20 bits each is comfortable. *)
+let key (i, j) = (i lsl 20) lor j
 
 (* Monomorphic lexicographic order on link pairs: same order as the
    polymorphic [compare] it replaces, without the runtime structural
@@ -11,6 +22,12 @@ let compare_pair (a, b) (c, d) =
 
 let link_cost (inputs : Inputs.t) i j = inputs.mw_cost.(i).(j)
 
+(* The membership index mirrors [built] exactly: a persistent set, so
+   the functional [add]/[remove] share structure instead of copying.
+   [built] keeps its construction order — [distances] folds over it
+   and float relaxation order is observable — while every membership
+   probe (greedy re-scoring, capacity routing) is O(log built) on the
+   index instead of O(built) on the list. *)
 let of_links inputs pairs =
   let pairs = List.sort_uniq compare_pair (List.map norm pairs) in
   List.iter
@@ -19,26 +36,37 @@ let of_links inputs pairs =
         invalid_arg (Printf.sprintf "Topology.of_links: no MW link %d-%d" i j))
     pairs;
   let cost = List.fold_left (fun acc (i, j) -> acc + link_cost inputs i j) 0 pairs in
-  { inputs; built = pairs; cost }
+  let index = List.fold_left (fun s pair -> Iset.add (key pair) s) Iset.empty pairs in
+  { inputs; built = pairs; index; cost }
 
-let empty inputs = { inputs; built = []; cost = 0 }
+let empty inputs = { inputs; built = []; index = Iset.empty; cost = 0 }
 
-let is_built t i j = List.mem (norm (i, j)) t.built
+let is_built t i j = Iset.mem (key (norm (i, j))) t.index
 
 let add t pair =
   let pair = norm pair in
-  if List.mem pair t.built then t
+  if Iset.mem (key pair) t.index then t
   else begin
     let i, j = pair in
-    { t with built = pair :: t.built; cost = t.cost + link_cost t.inputs i j }
+    {
+      t with
+      built = pair :: t.built;
+      index = Iset.add (key pair) t.index;
+      cost = t.cost + link_cost t.inputs i j;
+    }
   end
 
 let remove t pair =
   let pair = norm pair in
-  if not (List.mem pair t.built) then t
+  if not (Iset.mem (key pair) t.index) then t
   else begin
     let i, j = pair in
-    { t with built = List.filter (( <> ) pair) t.built; cost = t.cost - link_cost t.inputs i j }
+    {
+      t with
+      built = List.filter (( <> ) pair) t.built;
+      index = Iset.remove (key pair) t.index;
+      cost = t.cost - link_cost t.inputs i j;
+    }
   end
 
 (* Below this size the per-pass synchronization of the pool costs more

@@ -5,9 +5,15 @@
     (always available) fiber mesh.  Distances here are
     latency-equivalent km (time = km / c). *)
 
+module Iset : Set.S with type elt = int
+
 type t = {
   inputs : Inputs.t;
   built : (int * int) list;      (** site index pairs, i < j *)
+  index : Iset.t;
+      (** packed-pair membership mirror of [built]; makes {!is_built}
+          O(log built) while [built] keeps the construction order that
+          {!distances}'s fold observes *)
   cost : int;                    (** total towers used *)
 }
 

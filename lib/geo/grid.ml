@@ -165,8 +165,13 @@ let nearby t p ~radius_km =
   iter_nearby t p ~radius_km (fun q v -> acc := (q, v) :: !acc);
   !acc
 
+(* Sorted cell traversal (L9): [Hashtbl.fold]'s order depends on
+   hashing and insertion history, which would leak into any
+   accumulator this feeds.  Ascending packed-key order makes the fold
+   a pure function of the grid's contents; within a cell, points keep
+   their most-recent-first bucket order. *)
 let fold t ~init ~f =
-  Hashtbl.fold
+  Cisp_util.Tbl.fold_sorted ~compare:Int.compare
     (fun _ bucket acc -> List.fold_left (fun acc (p, v) -> f acc p v) acc !bucket)
     t.cells init
 

@@ -38,6 +38,9 @@ val iter_nearby : 'a t -> Coord.t -> radius_km:float -> (Coord.t -> 'a -> unit) 
 (** Allocation-light variant of [nearby]. *)
 
 val fold : 'a t -> init:'b -> f:('b -> Coord.t -> 'a -> 'b) -> 'b
+(** Folds over every point in ascending cell-key order (within a cell,
+    most-recently-added first): the traversal is a pure function of the
+    grid's contents, independent of insertion order across cells. *)
 
 val cell_population : 'a t -> (int * int, int) Hashtbl.t
 (** Count of points per cell, keyed by integer cell coordinates — used

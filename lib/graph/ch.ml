@@ -1,0 +1,823 @@
+(* Contraction hierarchies over an undirected {!Graph.t}.
+
+   Preprocessing contracts nodes in deterministic edge-difference
+   order (lazy-update priority queue, ties broken by node id, key
+   encoded as priority * n + id so the order is a pure function of the
+   graph).  Contracting [v] inserts a shortcut between neighbours
+   (a, b) unless a witness search in the remaining core — excluding
+   [v] — proves a path no longer than w(a,v) + w(v,b).  Witness
+   searches are independent per source neighbour, so they run on the
+   domain pool; each writes only its own decision row, and the
+   shortcut insertions replay those rows sequentially in pair order,
+   so the hierarchy is bit-identical at any [CISP_JOBS].
+
+   Queries run the standard bidirectional upward search and then
+   re-derive the distance by unpacking the meeting path into original
+   edges and summing them left-to-right from the source — the exact
+   accumulation order of {!Dijkstra.run} — so reported distances are
+   bit-identical to Dijkstra's whenever the shortest path is unique
+   (ties between distinct equal-length node sequences have measure
+   zero for geometric weights). *)
+
+module Pool = Cisp_util.Pool
+module Telemetry = Cisp_util.Telemetry
+
+type t = {
+  n : int;
+  rank : int array;        (* node -> contraction order (0 = first) *)
+  up_first : int array;    (* CSR offsets, length n + 1 *)
+  up_dst : int array;      (* all of a node's upward edges, sorted by dst *)
+  up_weight : float array;
+  up_middle : int array;   (* contracted middle node, -1 = original edge *)
+}
+
+let node_count t = t.n
+let rank t v = t.rank.(v)
+let shortcut_count t =
+  let c = ref 0 in
+  Array.iter (fun m -> if m >= 0 then incr c) t.up_middle;
+  !c
+
+(* ---------- preprocessing: dynamic core adjacency ---------- *)
+
+(* Per-node neighbour rows, sorted by neighbour id, one entry per
+   neighbour (the multigraph is collapsed to min weight on entry —
+   parallel edges never change distances or node paths).  The
+   invariant during contraction is that rows mention only
+   uncontracted nodes. *)
+type dyn = {
+  mutable nbr : int array;
+  mutable wt : float array;
+  mutable mid : int array;
+  mutable len : int;
+}
+
+let dyn_create () = { nbr = [||]; wt = [||]; mid = [||]; len = 0 }
+
+let dyn_reserve d cap =
+  if Array.length d.nbr < cap then begin
+    let cap = max cap (max 4 (2 * Array.length d.nbr)) in
+    let nbr = Array.make cap 0 and wt = Array.make cap 0.0 and mid = Array.make cap 0 in
+    Array.blit d.nbr 0 nbr 0 d.len;
+    Array.blit d.wt 0 wt 0 d.len;
+    Array.blit d.mid 0 mid 0 d.len;
+    d.nbr <- nbr;
+    d.wt <- wt;
+    d.mid <- mid
+  end
+
+(* Index of [x] in the sorted prefix, or [-(insertion point) - 1]. *)
+let dyn_find d x =
+  let lo = ref 0 and hi = ref (d.len - 1) and found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let m = (!lo + !hi) / 2 in
+    let y = d.nbr.(m) in
+    if y = x then found := m else if y < x then lo := m + 1 else hi := m - 1
+  done;
+  if !found >= 0 then !found else -(!lo) - 1
+
+let dyn_insert_at d idx x w m =
+  dyn_reserve d (d.len + 1);
+  Array.blit d.nbr idx d.nbr (idx + 1) (d.len - idx);
+  Array.blit d.wt idx d.wt (idx + 1) (d.len - idx);
+  Array.blit d.mid idx d.mid (idx + 1) (d.len - idx);
+  d.nbr.(idx) <- x;
+  d.wt.(idx) <- w;
+  d.mid.(idx) <- m;
+  d.len <- d.len + 1
+
+let dyn_remove d x =
+  let idx = dyn_find d x in
+  if idx >= 0 then begin
+    Array.blit d.nbr (idx + 1) d.nbr idx (d.len - idx - 1);
+    Array.blit d.wt (idx + 1) d.wt idx (d.len - idx - 1);
+    Array.blit d.mid (idx + 1) d.mid idx (d.len - idx - 1);
+    d.len <- d.len - 1
+  end
+
+(* Keep the lighter of the existing and offered edge. *)
+let dyn_upsert_min d x w m =
+  let idx = dyn_find d x in
+  if idx >= 0 then begin
+    if w < d.wt.(idx) then begin
+      d.wt.(idx) <- w;
+      d.mid.(idx) <- m
+    end
+  end
+  else dyn_insert_at d (-idx - 1) x w m
+
+(* ---------- per-domain search workspace ---------- *)
+
+(* Stamped scratch: results of a search depend only on the graph and
+   the search arguments, never on what a previous search left behind
+   (rule L7's scratch contract). *)
+type side = {
+  mutable snodes : int array;    (* settled nodes, in settle order *)
+  mutable sdist : float array;
+  mutable spar_slot : int array; (* settle-order slot of the parent, -1 at root *)
+  mutable spar_edge : int array; (* CSR edge index used to reach the node *)
+  mutable scount : int;
+}
+
+let side_create () =
+  { snodes = [||]; sdist = [||]; spar_slot = [||]; spar_edge = [||]; scount = 0 }
+
+let[@cisp.alloc_ok "amortized: doubling growth of the settled-list columns"] side_reserve
+    s cap =
+  if Array.length s.snodes < cap then begin
+    let cap = max cap (max 16 (2 * Array.length s.snodes)) in
+    let snodes = Array.make cap 0
+    and sdist = Array.make cap 0.0
+    and spar_slot = Array.make cap 0
+    and spar_edge = Array.make cap 0 in
+    Array.blit s.snodes 0 snodes 0 s.scount;
+    Array.blit s.sdist 0 sdist 0 s.scount;
+    Array.blit s.spar_slot 0 spar_slot 0 s.scount;
+    Array.blit s.spar_edge 0 spar_edge 0 s.scount;
+    s.snodes <- snodes;
+    s.sdist <- sdist;
+    s.spar_slot <- spar_slot;
+    s.spar_edge <- spar_edge
+  end
+
+let side_snapshot s =
+  {
+    snodes = Array.sub s.snodes 0 s.scount;
+    sdist = Array.sub s.sdist 0 s.scount;
+    spar_slot = Array.sub s.spar_slot 0 s.scount;
+    spar_edge = Array.sub s.spar_edge 0 s.scount;
+    scount = s.scount;
+  }
+
+type ws = {
+  mutable dist : float array;
+  mutable stamp : int array;
+  mutable version : int;
+  mutable tpar_slot : int array;  (* tentative parent data, stamped with dist *)
+  mutable tpar_edge : int array;
+  mutable slot_of : int array;    (* forward settle-order slot, own stamp *)
+  mutable slot_stamp : int array;
+  mutable slot_version : int;
+  heap : Iheap.t;
+  fwd : side;
+  bwd : side;
+  (* unpacked-path buffers: nodes after the source, original edge
+     weight of each step *)
+  mutable pnodes : int array;
+  mutable pwts : float array;
+  mutable plen : int;
+  mutable chain : int array;      (* slot scratch for parent walks *)
+  mutable chain_len : int;
+  mutable pend : int array;       (* witness search: uncovered pair indices *)
+  flim : float array;             (* 1 slot: largest pending through-cost
+                                     (unboxed float store — a ref would box
+                                     per witness row, L11) *)
+}
+
+let ws_slot =
+  Pool.Scratch.create (fun () ->
+      {
+        dist = [||];
+        stamp = [||];
+        version = 0;
+        tpar_slot = [||];
+        tpar_edge = [||];
+        slot_of = [||];
+        slot_stamp = [||];
+        slot_version = 0;
+        heap = Iheap.create ();
+        fwd = side_create ();
+        bwd = side_create ();
+        pnodes = [||];
+        pwts = [||];
+        plen = 0;
+        chain = [||];
+        chain_len = 0;
+        pend = [||];
+        flim = Array.make 1 0.0;
+      })
+
+let ws_ensure ws n =
+  if Array.length ws.dist < n then begin
+    ws.dist <- Array.make n 0.0;
+    ws.stamp <- Array.make n 0;
+    ws.version <- 0;
+    ws.tpar_slot <- Array.make n 0;
+    ws.tpar_edge <- Array.make n 0;
+    ws.slot_of <- Array.make n 0;
+    ws.slot_stamp <- Array.make n 0;
+    ws.slot_version <- 0;
+    ws.pend <- Array.make n 0
+  end
+
+let[@cisp.alloc_ok "amortized: doubling growth of the unpack buffers"] path_reserve ws cap
+    =
+  if Array.length ws.pnodes < cap then begin
+    let cap = max cap (max 16 (2 * Array.length ws.pnodes)) in
+    let pnodes = Array.make cap 0 and pwts = Array.make cap 0.0 in
+    Array.blit ws.pnodes 0 pnodes 0 ws.plen;
+    Array.blit ws.pwts 0 pwts 0 ws.plen;
+    ws.pnodes <- pnodes;
+    ws.pwts <- pwts
+  end
+
+let[@cisp.alloc_ok "amortized: doubling growth of the parent-walk scratch"] chain_reserve
+    ws cap =
+  if Array.length ws.chain < cap then begin
+    let cap = max cap (max 16 (2 * Array.length ws.chain)) in
+    let chain = Array.make cap 0 in
+    Array.blit ws.chain 0 chain 0 ws.chain_len;
+    ws.chain <- chain
+  end
+
+(* ---------- witness searches (preprocessing) ---------- *)
+
+(* Shortcut decisions for contracting [v]: row [i] of [decisions]
+   holds, for every neighbour index j > i, whether pair (i, j) needs a
+   shortcut.  One witness search per source neighbour; rows are
+   independent, so [par] runs them on the pool (bit-identical at any
+   width — each row is a pure function of the core graph).
+
+   A row runs in two phases.  First a 1-hop marking pass walks the
+   source's adjacency once — exactly the state a Dijkstra from it
+   reaches after settling the source — and classifies every pair by
+   its direct edge.  In metric graphs (geometric test graphs, the
+   tower graphs) that single walk witnesses almost every pair, so most
+   rows finish in O(deg) flat array work with no heap at all.  The
+   pairs it leaves uncovered go to a compact pending list, and only
+   then does a bounded Dijkstra continue from the marked frontier,
+   pruning the pending list after each settle and stopping when it
+   empties, the settle budget runs out, or the heap minimum passes the
+   largest pending through-cost.
+
+   The settle budget itself is capped so a row's relaxation work
+   (settles x degree) stays bounded on the dense tower graphs (average
+   degree in the hundreds): witness searches there get a couple of
+   settles past the marking pass and no more.  Exhausting the budget
+   leaves the uncovered pairs as shortcuts: deterministic, and erring
+   only towards redundant shortcuts, never wrong distances. *)
+let witness_work_cap = 4096
+
+(* Settles allowed per row, the marking pass counting as the first. *)
+let row_budget ~budget deg = min budget (max 2 (witness_work_cap / max 1 deg))
+
+(* Compact the pending pair list in place: covered pairs flip their
+   decision to '\000' and drop out; the largest surviving through-cost
+   lands in [ws.flim.(0)].  Returns the surviving count.  Top level
+   and fully applied — a local closure (and a float ref for the limit)
+   would allocate on every settle of every witness row. *)
+let prune_covered ws (row : dyn) (decisions : Bytes.t) ~i ~deg ~wi ~version ~pending =
+  let kept = ref 0 in
+  ws.flim.(0) <- 0.0;
+  for p = 0 to pending - 1 do
+    let j = ws.pend.(p) in
+    let b = row.nbr.(j) in
+    let through = wi +. row.wt.(j) in
+    if ws.stamp.(b) = version && ws.dist.(b) <= through then
+      Bytes.unsafe_set decisions ((i * deg) + j) '\000'
+    else begin
+      ws.pend.(!kept) <- j;
+      incr kept;
+      if through > ws.flim.(0) then ws.flim.(0) <- through
+    end
+  done;
+  !kept
+
+(* One witness row: classify the pairs (i, j > i) for the contraction
+   of [v].  Top level so the pool bodies that reach it (the priority
+   pass in [build] runs estimates per node) allocate nothing per
+   call. *)
+let witness_row (adj : dyn array) v (decisions : Bytes.t) ~eff_budget i =
+  let row = adj.(v) in
+  let deg = row.len in
+  let ws = Pool.Scratch.get ws_slot in
+  ws_ensure ws (Array.length adj);
+  let wi = row.wt.(i) in
+  let src = row.nbr.(i) in
+  let version = ws.version + 1 in
+  ws.version <- version;
+  (* 1-hop marking pass: [dist] over src's direct neighbours. *)
+  let srow = adj.(src) in
+  for e = 0 to srow.len - 1 do
+    let x = srow.nbr.(e) in
+    if x <> v then begin
+      ws.dist.(x) <- srow.wt.(e);
+      ws.stamp.(x) <- version
+    end
+  done;
+  (* Classify the pairs; uncovered ones go to the pending list. *)
+  let pending = ref 0 in
+  ws.flim.(0) <- 0.0;
+  for j = i + 1 to deg - 1 do
+    let b = row.nbr.(j) in
+    let through = wi +. row.wt.(j) in
+    if ws.stamp.(b) = version && ws.dist.(b) <= through then
+      Bytes.unsafe_set decisions ((i * deg) + j) '\000'
+    else begin
+      Bytes.unsafe_set decisions ((i * deg) + j) '\001';
+      ws.pend.(!pending) <- j;
+      incr pending;
+      if through > ws.flim.(0) then ws.flim.(0) <- through
+    end
+  done;
+  if !pending > 0 && eff_budget > 1 then begin
+    (* Continue the Dijkstra the marking pass started: seed the heap
+       with the marked frontier and keep settling. *)
+    let heap = ws.heap in
+    Iheap.clear heap;
+    ws.dist.(src) <- 0.0;
+    ws.stamp.(src) <- version;
+    for e = 0 to srow.len - 1 do
+      let x = srow.nbr.(e) in
+      if x <> v then Iheap.push heap ws.dist.(x) x
+    done;
+    let settled = ref 1 in
+    while !pending > 0 && !settled < eff_budget && Iheap.length heap > 0 do
+      let d = Iheap.min_key heap in
+      if d > ws.flim.(0) then pending := 0 (* nothing reachable can improve a target *)
+      else begin
+        let u = Iheap.pop_min heap in
+        (* A strictly larger key than the recorded distance is a stale
+           duplicate; pushes happen only on strict improvement, so the
+           live entry is popped exactly once. *)
+        if not (d > ws.dist.(u)) then begin
+          incr settled;
+          let urow = adj.(u) in
+          for e = 0 to urow.len - 1 do
+            let w = urow.nbr.(e) in
+            if w <> v then begin
+              let nd = d +. urow.wt.(e) in
+              if ws.stamp.(w) <> version || nd < ws.dist.(w) then begin
+                ws.dist.(w) <- nd;
+                ws.stamp.(w) <- version;
+                Iheap.push heap nd w
+              end
+            end
+          done;
+          pending := prune_covered ws row decisions ~i ~deg ~wi ~version ~pending:!pending
+        end
+      end
+    done
+  end
+
+(* Sequential row sweep.  The estimate path calls this directly, so
+   the pool bodies running estimates never reference the pool (no
+   nested submission, no registry lock on their static call graph). *)
+let decide_shortcuts_seq ~budget (adj : dyn array) v (decisions : Bytes.t) =
+  let deg = adj.(v).len in
+  let eff_budget = row_budget ~budget deg in
+  for i = 0 to deg - 2 do
+    witness_row adj v decisions ~eff_budget i
+  done
+
+let decide_shortcuts ~par ~budget (adj : dyn array) v (decisions : Bytes.t) =
+  let deg = adj.(v).len in
+  if par && deg > 1 then begin
+    let eff_budget = row_budget ~budget deg in
+    (* Short rows short-circuit to the caller via the pool's
+       [min_chunk] hint; the dense end-game rows spread out. *)
+    Pool.parallel_for ~min_chunk:8 (Pool.get ()) ~n:(deg - 1) (fun i ->
+        witness_row adj v decisions ~eff_budget i)
+  end
+  else decide_shortcuts_seq ~budget adj v decisions
+
+let count_decisions (decisions : Bytes.t) deg =
+  let c = ref 0 in
+  for i = 0 to (deg * deg) - 1 do
+    if Bytes.unsafe_get decisions i = '\001' then incr c
+  done;
+  !c
+
+(* Shortcut estimate for the priority keys: the same witness search on
+   a much tighter settle budget.  Priorities are a heuristic, so a
+   deterministic overestimate is fine — the ordering loop (initial
+   pass plus every lazy recompute) runs many times per contraction,
+   and only the winner pays for the full-budget searches. *)
+let estimate_budget = 4
+
+let estimate_shortcuts (adj : dyn array) v =
+  let deg = adj.(v).len in
+  let decisions = Bytes.make (deg * deg) '\000' in
+  decide_shortcuts_seq ~budget:estimate_budget adj v decisions;
+  count_decisions decisions deg
+
+(* Edge difference plus deleted-neighbour term: the classic balanced
+   ordering heuristic.  Encoded as priority * n + id so equal
+   priorities contract in node-id order whatever the heap history. *)
+let priority_key ~n ~shortcuts ~deg ~deleted v =
+  float_of_int (((shortcuts - deg + deleted) * n) + v)
+
+(* ---------- build ---------- *)
+
+let default_witness_budget = 64
+
+let build ?(witness_budget = default_witness_budget) g =
+  Telemetry.with_span "ch.build" (fun () ->
+      let n = Graph.node_count g in
+      if witness_budget < 1 then invalid_arg "Ch.build: witness_budget < 1";
+      (* Collapse the multigraph: min weight per neighbour, self-loops
+         dropped.  Distances and shortest node sequences are
+         unchanged. *)
+      let adj = Array.init n (fun _ -> dyn_create ()) in
+      for u = 0 to n - 1 do
+        List.iter
+          (fun (e : Graph.edge) ->
+            if e.Graph.dst <> u then dyn_upsert_min adj.(u) e.Graph.dst e.Graph.weight (-1))
+          (Graph.succ g u)
+      done;
+      for u = 0 to n - 1 do
+        let row = adj.(u) in
+        for i = 0 to row.len - 1 do
+          let v = row.nbr.(i) in
+          let back = dyn_find adj.(v) u in
+          if back < 0 || not (Float.equal adj.(v).wt.(back) row.wt.(i)) then
+            invalid_arg "Ch.build: graph is not symmetric (undirected graphs only)"
+        done
+      done;
+      (* Initial priorities: one 1-hop shortcut estimate per node, all
+         independent, in parallel.  A node's whole estimate runs on
+         one domain (the per-row pool split is reserved for the
+         sequential main loop), so nested submission never occurs. *)
+      let keys = Array.make n 0.0 in
+      if n > 0 then
+        Pool.parallel_for ~min_chunk:1 (Pool.get ()) ~n (fun v ->
+            keys.(v) <-
+              priority_key ~n ~shortcuts:(estimate_shortcuts adj v) ~deg:adj.(v).len
+                ~deleted:0 v);
+      let heap = Iheap.create ~capacity:(max 16 n) () in
+      for v = 0 to n - 1 do
+        Iheap.push heap keys.(v) v
+      done;
+      let contracted = Array.make n false in
+      let deleted = Array.make n 0 in
+      let rank = Array.make n 0 in
+      let up_nbr = Array.make n [||] in
+      let up_wt = Array.make n [||] in
+      let up_mid = Array.make n [||] in
+      let order = ref 0 in
+      let shortcuts_total = ref 0 in
+      let witness_rounds = ref 0 in
+      while Iheap.length heap > 0 do
+        let v = Iheap.pop_min heap in
+        if not contracted.(v) then begin
+          (* Lazy update: re-derive the priority from the cheap 1-hop
+             estimate.  If the node no longer wins, push it back with
+             the fresh key; only the winner pays for the real
+             (pool-parallel) witness searches. *)
+          let row = adj.(v) in
+          let deg = row.len in
+          let key =
+            priority_key ~n ~shortcuts:(estimate_shortcuts adj v) ~deg
+              ~deleted:deleted.(v) v
+          in
+          if Iheap.length heap > 0 && key > Iheap.min_key heap then
+            Iheap.push heap key v
+          else begin
+            let decisions = Bytes.make (deg * deg) '\000' in
+            decide_shortcuts ~par:true ~budget:witness_budget adj v decisions;
+            incr witness_rounds;
+            (* Contract: snapshot the upward edges (every remaining
+               neighbour outranks [v] by construction), insert the
+               decided shortcuts in pair order, detach [v]. *)
+            contracted.(v) <- true;
+            rank.(v) <- !order;
+            incr order;
+            up_nbr.(v) <- Array.sub row.nbr 0 deg;
+            up_wt.(v) <- Array.sub row.wt 0 deg;
+            up_mid.(v) <- Array.sub row.mid 0 deg;
+            for i = 0 to deg - 1 do
+              for j = i + 1 to deg - 1 do
+                if Bytes.unsafe_get decisions ((i * deg) + j) = '\001' then begin
+                  let a = row.nbr.(i) and b = row.nbr.(j) in
+                  let w = row.wt.(i) +. row.wt.(j) in
+                  dyn_upsert_min adj.(a) b w v;
+                  dyn_upsert_min adj.(b) a w v;
+                  incr shortcuts_total
+                end
+              done
+            done;
+            for i = 0 to deg - 1 do
+              let u = row.nbr.(i) in
+              dyn_remove adj.(u) v;
+              deleted.(u) <- deleted.(u) + 1
+            done;
+            row.len <- 0
+          end
+        end
+      done;
+      (* Flatten the per-node snapshots into CSR. *)
+      let up_first = Array.make (n + 1) 0 in
+      for v = 0 to n - 1 do
+        up_first.(v + 1) <- up_first.(v) + Array.length up_nbr.(v)
+      done;
+      let m = up_first.(n) in
+      let up_dst = Array.make m 0 in
+      let up_weight = Array.make m 0.0 in
+      let up_middle = Array.make m 0 in
+      for v = 0 to n - 1 do
+        let base = up_first.(v) in
+        Array.iteri (fun i x -> up_dst.(base + i) <- x) up_nbr.(v);
+        Array.iteri (fun i x -> up_weight.(base + i) <- x) up_wt.(v);
+        Array.iteri (fun i x -> up_middle.(base + i) <- x) up_mid.(v)
+      done;
+      if Telemetry.enabled () then begin
+        Telemetry.add "ch.nodes" n;
+        Telemetry.add "ch.shortcuts" !shortcuts_total;
+        Telemetry.add "ch.witness_rounds" !witness_rounds
+      end;
+      { n; rank; up_first; up_dst; up_weight; up_middle })
+
+(* ---------- queries ---------- *)
+
+(* Relax every upward edge of the settled node in CSR order.  Flat
+   array walk, no closure, no boxing: this is the query inner loop the
+   allocation lint polices (registered in lint.hotpaths). *)
+let[@cisp.zero_alloc] relax_up t ws ~du ~slot ~first ~last =
+  for e = first to last - 1 do
+    let w = Array.unsafe_get t.up_dst e in
+    let nd = du +. Array.unsafe_get t.up_weight e in
+    if ws.stamp.(w) <> ws.version || nd < ws.dist.(w) then begin
+      ws.dist.(w) <- nd;
+      ws.stamp.(w) <- ws.version;
+      ws.tpar_slot.(w) <- slot;
+      ws.tpar_edge.(w) <- e;
+      Iheap.push ws.heap nd w
+    end
+  done
+
+(* Is [u] (about to settle at distance [d]) dominated by a path through
+   an already-settled higher neighbour?  Stall-on-demand: such a node
+   cannot lie on a shortest up-down path, so the search neither records
+   nor relaxes it.  (A neighbour with a smaller tentative distance than
+   the current heap minimum is necessarily settled, so one stamped
+   distance comparison is the whole test.) *)
+let[@cisp.zero_alloc] rec stalled t ws ~d ~first ~last =
+  first < last
+  && (let w = Array.unsafe_get t.up_dst first in
+      (ws.stamp.(w) = ws.version
+      && ws.dist.(w) +. Array.unsafe_get t.up_weight first < d)
+      || stalled t ws ~d ~first:(first + 1) ~last)
+
+(* Exhaustive upward Dijkstra from [src]; fills [out] with the settled
+   list in settle order (stalled nodes excluded). *)
+let run_upward t ws (out : side) ~src =
+  ws_ensure ws t.n;
+  let version = ws.version + 1 in
+  ws.version <- version;
+  out.scount <- 0;
+  let heap = ws.heap in
+  Iheap.clear heap;
+  ws.dist.(src) <- 0.0;
+  ws.stamp.(src) <- version;
+  ws.tpar_slot.(src) <- -1;
+  ws.tpar_edge.(src) <- -1;
+  Iheap.push heap 0.0 src;
+  while Iheap.length heap > 0 do
+    let d = Iheap.min_key heap in
+    let u = Iheap.pop_min heap in
+    if not (d > ws.dist.(u)) then begin
+      let first = t.up_first.(u) and last = t.up_first.(u + 1) in
+      if not (stalled t ws ~d ~first ~last) then begin
+        let slot = out.scount in
+        side_reserve out (slot + 1);
+        out.snodes.(slot) <- u;
+        out.sdist.(slot) <- d;
+        out.spar_slot.(slot) <- ws.tpar_slot.(u);
+        out.spar_edge.(slot) <- ws.tpar_edge.(u);
+        out.scount <- slot + 1;
+        relax_up t ws ~du:d ~slot ~first ~last
+      end
+    end
+  done
+
+(* CSR edge index connecting [v] (lower rank) to [dst]; segments are
+   sorted by destination. *)
+let find_up_edge t v dst =
+  let lo = ref t.up_first.(v) and hi = ref (t.up_first.(v + 1) - 1) and found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let m = (!lo + !hi) / 2 in
+    let y = t.up_dst.(m) in
+    if y = dst then found := m else if y < dst then lo := m + 1 else hi := m - 1
+  done;
+  if !found < 0 then invalid_arg "Ch: corrupt hierarchy (missing shortcut half)";
+  !found
+
+let[@cisp.zero_alloc] push_step ws node w =
+  let i = ws.plen in
+  path_reserve ws (i + 1);
+  ws.pnodes.(i) <- node;
+  ws.pwts.(i) <- w;
+  ws.plen <- i + 1
+
+(* Append the travel steps a -> b (excluding a itself) to the path
+   buffers, expanding shortcuts through their recorded middles.  The
+   halves of a shortcut created when [mid] was contracted are exactly
+   [mid]'s upward edges to the two endpoints. *)
+let rec emit_steps t ws a b eidx =
+  let mid = t.up_middle.(eidx) in
+  if mid < 0 then push_step ws b t.up_weight.(eidx)
+  else begin
+    emit_steps t ws a mid (find_up_edge t mid a);
+    emit_steps t ws mid b (find_up_edge t mid b)
+  end
+
+(* Walk the parent slots from [slot] to the root, emitting the travel
+   steps root -> node(slot) (forward side: the walk is reversed
+   through the chain scratch first). *)
+let emit_from_root t ws (s : side) slot =
+  ws.chain_len <- 0;
+  let cur = ref slot in
+  while !cur >= 0 do
+    chain_reserve ws (ws.chain_len + 1);
+    ws.chain.(ws.chain_len) <- !cur;
+    ws.chain_len <- ws.chain_len + 1;
+    cur := s.spar_slot.(!cur)
+  done;
+  for i = ws.chain_len - 2 downto 0 do
+    let child = ws.chain.(i) in
+    let parent = s.spar_slot.(child) in
+    emit_steps t ws s.snodes.(parent) s.snodes.(child) s.spar_edge.(child)
+  done
+
+(* Emit the travel steps node(slot) -> root (backward side: parent
+   order is already the direction of travel). *)
+let emit_to_root t ws (s : side) slot =
+  let cur = ref slot in
+  while s.spar_slot.(!cur) >= 0 do
+    let parent = s.spar_slot.(!cur) in
+    emit_steps t ws s.snodes.(!cur) s.snodes.(parent) s.spar_edge.(!cur);
+    cur := parent
+  done
+
+(* Left-to-right re-summation of the unpacked original edges: the
+   accumulation order of a sequential Dijkstra along the same node
+   sequence, hence bit-identical distances.  Structural recursion with
+   a float accumulator — the per-pair unpacks inside the many-to-many
+   pool body must not box a float per call (L11). *)
+let rec resum_from ws i acc =
+  if i >= ws.plen then acc else resum_from ws (i + 1) (acc +. ws.pwts.(i))
+
+let resum ws = resum_from ws 0 0.0
+
+let path_list ws ~src =
+  let rec build i acc = if i < 0 then src :: acc else build (i - 1) (ws.pnodes.(i) :: acc) in
+  build (ws.plen - 1) []
+
+(* Reconstruct the unpacked path for a meeting pair of slots; returns
+   the resummed distance (path steps stay in the workspace). *)
+let unpack_meeting t ws ~fwd ~bwd ~fslot ~bslot =
+  ws.plen <- 0;
+  emit_from_root t ws fwd fslot;
+  emit_to_root t ws bwd bslot;
+  resum ws
+
+let check_node t name v =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Ch.%s: node out of range" name)
+
+(* Bidirectional upward query; [Some (fslot, bslot)] of the best
+   meeting node.  Both searches run to exhaustion (upward search
+   spaces are small); the meeting scan visits backward slots in settle
+   order, keeping ties deterministic. *)
+let meet t ws ~src ~dst =
+  run_upward t ws ws.fwd ~src;
+  let sv = ws.slot_version + 1 in
+  ws.slot_version <- sv;
+  for i = 0 to ws.fwd.scount - 1 do
+    ws.slot_of.(ws.fwd.snodes.(i)) <- i;
+    ws.slot_stamp.(ws.fwd.snodes.(i)) <- sv
+  done;
+  run_upward t ws ws.bwd ~src:dst;
+  let best = ref infinity and bestf = ref (-1) and bestb = ref (-1) in
+  for i = 0 to ws.bwd.scount - 1 do
+    let u = ws.bwd.snodes.(i) in
+    if ws.slot_stamp.(u) = sv then begin
+      let f = ws.slot_of.(u) in
+      let cand = ws.fwd.sdist.(f) +. ws.bwd.sdist.(i) in
+      if cand < !best then begin
+        best := cand;
+        bestf := f;
+        bestb := i
+      end
+    end
+  done;
+  if !bestf < 0 then None else Some (!bestf, !bestb)
+
+let shortest_path t ~src ~dst =
+  check_node t "shortest_path" src;
+  check_node t "shortest_path" dst;
+  if src = dst then Some (0.0, [ src ])
+  else begin
+    let ws = Pool.Scratch.get ws_slot in
+    ws_ensure ws t.n;
+    match meet t ws ~src ~dst with
+    | None -> None
+    | Some (fslot, bslot) ->
+      let d = unpack_meeting t ws ~fwd:ws.fwd ~bwd:ws.bwd ~fslot ~bslot in
+      Some (d, path_list ws ~src)
+  end
+
+let distance t ~src ~dst =
+  check_node t "distance" src;
+  check_node t "distance" dst;
+  if src = dst then Some 0.0
+  else begin
+    let ws = Pool.Scratch.get ws_slot in
+    ws_ensure ws t.n;
+    match meet t ws ~src ~dst with
+    | None -> None
+    | Some (fslot, bslot) ->
+      Some (unpack_meeting t ws ~fwd:ws.fwd ~bwd:ws.bwd ~fslot ~bslot)
+  end
+
+(* ---------- bucket-based many-to-many ---------- *)
+
+(* One backward upward search per target feeds per-node buckets; one
+   forward upward search per source then scans the buckets of its
+   settled nodes.  Every pair's final distance is still re-derived by
+   unpacking its meeting path, so the matrix is bit-identical to
+   per-source Dijkstra.  Backward searches and forward rows both
+   parallelize on the pool: each writes only its own slots. *)
+let many_to_many_gen t ~sources ~targets ~(emit : int -> int -> float -> ws -> unit) =
+  Array.iter (fun v -> check_node t "many_to_many" v) sources;
+  Array.iter (fun v -> check_node t "many_to_many" v) targets;
+  Telemetry.with_span "ch.many_to_many" (fun () ->
+      let nt = Array.length targets in
+      let pool = Pool.get () in
+      let bsearches =
+        Pool.parallel_map_array ~min_chunk:1 pool
+          (fun tgt ->
+            let ws = Pool.Scratch.get ws_slot in
+            run_upward t ws ws.bwd ~src:tgt;
+            side_snapshot ws.bwd)
+          targets
+      in
+      (* Bucket CSR over nodes, filled in target order. *)
+      let bucket_first = Array.make (t.n + 1) 0 in
+      Array.iter
+        (fun (b : side) ->
+          for i = 0 to b.scount - 1 do
+            let u = b.snodes.(i) in
+            bucket_first.(u + 1) <- bucket_first.(u + 1) + 1
+          done)
+        bsearches;
+      for u = 0 to t.n - 1 do
+        bucket_first.(u + 1) <- bucket_first.(u + 1) + bucket_first.(u)
+      done;
+      let nb = bucket_first.(t.n) in
+      let bucket_t = Array.make nb 0 in
+      let bucket_slot = Array.make nb 0 in
+      let bucket_dist = Array.make nb 0.0 in
+      let cursor = Array.copy bucket_first in
+      Array.iteri
+        (fun ti (b : side) ->
+          for i = 0 to b.scount - 1 do
+            let u = b.snodes.(i) in
+            let c = cursor.(u) in
+            bucket_t.(c) <- ti;
+            bucket_slot.(c) <- i;
+            bucket_dist.(c) <- b.sdist.(i);
+            cursor.(u) <- c + 1
+          done)
+        bsearches;
+      if Telemetry.enabled () then Telemetry.add "ch.bucket_entries" nb;
+      Pool.parallel_for ~min_chunk:1 pool ~n:(Array.length sources) (fun si ->
+          let ws = Pool.Scratch.get ws_slot in
+          run_upward t ws ws.fwd ~src:sources.(si);
+          let best = Array.make nt infinity in
+          let meetf = Array.make nt (-1) in
+          let meetb = Array.make nt (-1) in
+          for fs = 0 to ws.fwd.scount - 1 do
+            let u = ws.fwd.snodes.(fs) in
+            let du = ws.fwd.sdist.(fs) in
+            for bi = bucket_first.(u) to bucket_first.(u + 1) - 1 do
+              let ti = bucket_t.(bi) in
+              let cand = du +. bucket_dist.(bi) in
+              if cand < best.(ti) then begin
+                best.(ti) <- cand;
+                meetf.(ti) <- fs;
+                meetb.(ti) <- bucket_slot.(bi)
+              end
+            done
+          done;
+          for ti = 0 to nt - 1 do
+            if meetf.(ti) >= 0 then begin
+              let d =
+                unpack_meeting t ws ~fwd:ws.fwd ~bwd:bsearches.(ti) ~fslot:meetf.(ti)
+                  ~bslot:meetb.(ti)
+              in
+              emit si ti d ws
+            end
+          done))
+
+let many_to_many t ~sources ~targets =
+  let out =
+    Array.init (Array.length sources) (fun _ -> Array.make (Array.length targets) infinity)
+  in
+  many_to_many_gen t ~sources ~targets ~emit:(fun si ti d _ws -> out.(si).(ti) <- d);
+  out
+
+let many_to_many_paths t ~sources ~targets =
+  let out = Array.make_matrix (Array.length sources) (Array.length targets) None in
+  many_to_many_gen t ~sources ~targets ~emit:(fun si ti d ws ->
+      out.(si).(ti) <- Some (d, path_list ws ~src:sources.(si)));
+  out

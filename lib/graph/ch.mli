@@ -1,0 +1,57 @@
+(** Contraction hierarchies for undirected graphs.
+
+    {!build} contracts nodes in deterministic edge-difference order
+    (lazy-update priority queue, ties by node id), inserting a
+    shortcut between two neighbours of the contracted node unless a
+    bounded witness search proves a no-longer path around it.  Witness
+    searches run on the domain pool but each writes only its own
+    decision row, so the hierarchy — and therefore every query result
+    — is bit-identical at any [CISP_JOBS].
+
+    Queries never report a sum of shortcut weights: the meeting path
+    is unpacked to original edges and resummed left-to-right from the
+    source, the exact accumulation order of {!Dijkstra.run}, so
+    distances are bit-identical to Dijkstra's whenever the shortest
+    path's node sequence is unique (for the geodesic weights used
+    here, ties between distinct node sequences have measure zero). *)
+
+type t
+
+val build : ?witness_budget:int -> Graph.t -> t
+(** Preprocess the graph.  The multigraph is collapsed to its
+    min-weight simple form first (distances are unchanged).
+    [witness_budget] (default 64) bounds the nodes settled per witness
+    search; a smaller budget only ever adds redundant shortcuts, never
+    wrong distances.  Raises [Invalid_argument] if the graph is not
+    symmetric (directed graphs are not supported) or
+    [witness_budget < 1]. *)
+
+val node_count : t -> int
+
+val rank : t -> int -> int
+(** Contraction order of a node (0 = contracted first).  A pure
+    function of the graph — the determinism tests compare it across
+    pool widths. *)
+
+val shortcut_count : t -> int
+(** Upward edges that are shortcuts (not original edges). *)
+
+val distance : t -> src:int -> dst:int -> float option
+(** Shortest-path distance, [None] if unreachable.  Bit-identical to
+    [Dijkstra.distance] (see module preamble for the tie caveat). *)
+
+val shortest_path : t -> src:int -> dst:int -> (float * int list) option
+(** Distance and node path [src; ...; dst]. *)
+
+val many_to_many : t -> sources:int array -> targets:int array -> float array array
+(** Distance matrix [m.(i).(j)] = d(sources.(i), targets.(j)),
+    [infinity] if unreachable.  Bucket-based: one backward upward
+    search per target, one forward upward search per source, both
+    parallel on the pool; every finite entry is still re-derived by
+    unpacking its meeting path, so the matrix matches per-source
+    Dijkstra bit-for-bit. *)
+
+val many_to_many_paths :
+  t -> sources:int array -> targets:int array -> (float * int list) option array array
+(** As {!many_to_many} but each reachable pair also carries its node
+    path [src; ...; dst]. *)

@@ -1,4 +1,4 @@
-let successive g ~src ~dst ~rounds ~protected =
+let successive ?query g ~src ~dst ~rounds ~protected =
   let n = Graph.node_count g in
   let alive = Array.make n true in
   (* Work on a mutable copy so the caller's graph survives. *)
@@ -14,10 +14,18 @@ let successive g ~src ~dst ~rounds ~protected =
   let removable path =
     List.exists (fun v -> v <> src && v <> dst && not (protected v)) path
   in
+  (* Round one runs on an untouched copy of [g], so a caller-prepared
+     engine (for [g] itself) may answer it; every later round queries
+     the pruned working copy with plain Dijkstra. *)
+  let round_query k =
+    match query with
+    | Some q when k = rounds && Query.graph q == g -> Query.shortest_path q ~src ~dst
+    | _ -> Query.shortest_path_graph !work ~src ~dst
+  in
   let rec loop k acc =
     if k = 0 then List.rev acc
     else begin
-      match Dijkstra.shortest_path !work ~src ~dst with
+      match round_query k with
       | None -> List.rev acc
       | Some (d, path) ->
         if removable path || List.exists protected path then begin

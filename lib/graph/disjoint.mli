@@ -6,6 +6,7 @@
     process on an arbitrary graph. *)
 
 val successive :
+  ?query:Query.t ->
   Graph.t -> src:int -> dst:int -> rounds:int ->
   protected:(int -> bool) ->
   (float * int list) list
@@ -14,4 +15,6 @@ val successive :
     of the found path with [protected v = false] is removed (all its
     edges dropped).  Stops early when [dst] becomes unreachable.
     [src] and [dst] are always kept.  The input graph is not
-    modified. *)
+    modified.  [query] (if prepared from [g] itself) answers the first
+    round; pruned rounds always run plain Dijkstra on the working
+    copy.  Results are bit-identical with or without it. *)

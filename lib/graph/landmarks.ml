@@ -1,0 +1,221 @@
+(* ALT (A*, landmarks, triangle inequality) engine.
+
+   Preprocessing picks landmarks by farthest-point selection over a
+   deterministic {!Cisp_util.Rng}-sampled candidate set and stores
+   each landmark's full single-source distance row in one flat
+   [Bigarray] float64 table (count x n, C layout — row-major so a
+   query's column walk strides by n, and the table lives outside the
+   OCaml heap where the allocation lint can see the queries touch
+   nothing).
+
+   Queries run A* with the landmark lower bound
+   pi(v) = max_L |d(L, v) - d(L, dst)| (infinite rows contribute 0).
+   The bound is consistent (two triangle inequalities), so every node
+   settles once with its exact distance, and the g-values accumulate
+   [g(u) +. w] along the chosen path — the same left-to-right float
+   fold as {!Dijkstra.run} — so reported distances are bit-identical
+   to Dijkstra's whenever the shortest path is unique. *)
+
+module Pool = Cisp_util.Pool
+module Telemetry = Cisp_util.Telemetry
+
+type t = {
+  g : Graph.t;
+  nodes : int array;  (* chosen landmark nodes *)
+  table : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t;
+}
+
+let count t = Array.length t.nodes
+let nodes t = Array.copy t.nodes
+
+let default_count = 8
+
+let build ?(count = default_count) ?(seed = 0x415454) g =
+  Telemetry.with_span "alt.build" (fun () ->
+      if count < 1 then invalid_arg "Landmarks.build: count < 1";
+      let n = Graph.node_count g in
+      if n = 0 then
+        { g; nodes = [||]; table = Bigarray.Array2.create Float64 C_layout 0 0 }
+      else begin
+        (* Candidate pool: an Rng-sampled subset (all nodes when small).
+           Sampling, selection, and the parallel candidate Dijkstras are
+           all pure functions of (graph, seed, count) — bit-identical at
+           any pool width. *)
+        let rng = Cisp_util.Rng.create seed in
+        let want = min n (max count (4 * count)) in
+        let candidates = Cisp_util.Rng.sample rng (Array.init n Fun.id) want in
+        Array.sort Int.compare candidates;
+        let rows = Dijkstra.all_pairs_results g ~sources:candidates in
+        let nc = Array.length candidates in
+        let count = min count nc in
+        (* Farthest-point selection among the candidates: start from
+           the candidate farthest from candidate 0, then repeatedly
+           take the candidate maximizing its min distance to the
+           chosen set.  Unreachable reads as infinity, so every new
+           component wins a landmark before refinement continues; ties
+           break to the smaller node id (strict >). *)
+        let chosen = Array.make count 0 in
+        let picked = Array.make nc false in
+        let pick_best score =
+          let best = ref (-1) and best_score = ref neg_infinity in
+          for c = 0 to nc - 1 do
+            if not picked.(c) then begin
+              let s = score c in
+              if s > !best_score then begin
+                best_score := s;
+                best := c
+              end
+            end
+          done;
+          !best
+        in
+        let root_row = rows.(0).Dijkstra.dist in
+        let first = pick_best (fun c -> root_row.(candidates.(c))) in
+        picked.(first) <- true;
+        chosen.(0) <- first;
+        let min_dist = Array.make nc infinity in
+        for k = 1 to count - 1 do
+          let prev_row = rows.(chosen.(k - 1)).Dijkstra.dist in
+          for c = 0 to nc - 1 do
+            let d = prev_row.(candidates.(c)) in
+            if d < min_dist.(c) then min_dist.(c) <- d
+          done;
+          let next = pick_best (fun c -> min_dist.(c)) in
+          picked.(next) <- true;
+          chosen.(k) <- next
+        done;
+        let table = Bigarray.Array2.create Float64 C_layout count n in
+        let nodes =
+          Array.mapi
+            (fun l c ->
+              let row = rows.(c).Dijkstra.dist in
+              for v = 0 to n - 1 do
+                Bigarray.Array2.unsafe_set table l v row.(v)
+              done;
+              candidates.(c))
+            chosen
+        in
+        if Telemetry.enabled () then Telemetry.add "alt.landmarks" count;
+        { g; nodes; table }
+      end)
+
+(* ---------- query ---------- *)
+
+type ws = {
+  mutable dist : float array;   (* exact g-values, stamped *)
+  mutable stamp : int array;
+  mutable prev : int array;
+  mutable settled : int array;  (* settle stamp, same version counter *)
+  mutable version : int;
+  mutable pdst : float array;   (* d(L, dst) per landmark, loaded per query *)
+  heap : Iheap.t;
+}
+
+let ws_slot =
+  Pool.Scratch.create (fun () ->
+      {
+        dist = [||];
+        stamp = [||];
+        prev = [||];
+        settled = [||];
+        version = 0;
+        pdst = [||];
+        heap = Iheap.create ();
+      })
+
+let ws_ensure ws n k =
+  if Array.length ws.dist < n then begin
+    ws.dist <- Array.make n 0.0;
+    ws.stamp <- Array.make n 0;
+    ws.prev <- Array.make n 0;
+    ws.settled <- Array.make n 0;
+    ws.version <- 0
+  end;
+  if Array.length ws.pdst < k then ws.pdst <- Array.make k 0.0
+
+(* max_L |d(L, v) - d(L, dst)|; rows where either side is infinite
+   contribute nothing (the difference is then no lower bound).
+   Structural recursion with a float accumulator — this runs once per
+   heap push of the A* inner loop, where a float ref would box (L10). *)
+let[@cisp.zero_alloc] rec potential_from t ws v l k best =
+  if l >= k then best
+  else begin
+    let dv = Bigarray.Array2.unsafe_get t.table l v in
+    let dt = Array.unsafe_get ws.pdst l in
+    let b = if dv < infinity && dt < infinity then Float.abs (dv -. dt) else 0.0 in
+    potential_from t ws v (l + 1) k (if b > best then b else best)
+  end
+
+let[@cisp.zero_alloc] potential t ws v = potential_from t ws v 0 (Array.length t.nodes) 0.0
+
+(* Relax the adjacency of the settled node [u]: structural recursion,
+   no closure (same shape as Dijkstra.relax), keys carry g + pi. *)
+let[@cisp.zero_alloc] rec relax t ws d u = function
+  | [] -> ()
+  | (e : Graph.edge) :: rest ->
+    let v = e.Graph.dst in
+    let nd = d +. e.Graph.weight in
+    if ws.stamp.(v) <> ws.version || nd < ws.dist.(v) then begin
+      ws.dist.(v) <- nd;
+      ws.stamp.(v) <- ws.version;
+      ws.prev.(v) <- u;
+      Iheap.push ws.heap (nd +. potential t ws v) v
+    end;
+    relax t ws d u rest
+
+let check_node t name v =
+  if v < 0 || v >= Graph.node_count t.g then
+    invalid_arg (Printf.sprintf "Landmarks.%s: node out of range" name)
+
+(* A* from src until dst settles; true iff reached.  Exact distances
+   and prev pointers stay readable in the workspace. *)
+let search t ws ~src ~dst =
+  let n = Graph.node_count t.g in
+  ws_ensure ws n (Array.length t.nodes);
+  let version = ws.version + 1 in
+  ws.version <- version;
+  let k = Array.length t.nodes in
+  for l = 0 to k - 1 do
+    ws.pdst.(l) <- Bigarray.Array2.unsafe_get t.table l dst
+  done;
+  let heap = ws.heap in
+  Iheap.clear heap;
+  ws.dist.(src) <- 0.0;
+  ws.stamp.(src) <- version;
+  ws.prev.(src) <- -1;
+  Iheap.push heap (potential t ws src) src;
+  let found = ref false and running = ref true in
+  while !running && Iheap.length heap > 0 do
+    let u = Iheap.pop_min heap in
+    if ws.settled.(u) <> version then begin
+      ws.settled.(u) <- version;
+      if u = dst then begin
+        found := true;
+        running := false
+      end
+      else relax t ws ws.dist.(u) u (Graph.succ t.g u)
+    end
+  done;
+  !found
+
+let distance t ~src ~dst =
+  check_node t "distance" src;
+  check_node t "distance" dst;
+  if src = dst then Some 0.0
+  else begin
+    let ws = Pool.Scratch.get ws_slot in
+    if search t ws ~src ~dst then Some ws.dist.(dst) else None
+  end
+
+let shortest_path t ~src ~dst =
+  check_node t "shortest_path" src;
+  check_node t "shortest_path" dst;
+  if src = dst then Some (0.0, [ src ])
+  else begin
+    let ws = Pool.Scratch.get ws_slot in
+    if search t ws ~src ~dst then begin
+      let rec walk acc v = if v = -1 then acc else walk (v :: acc) ws.prev.(v) in
+      Some (ws.dist.(dst), walk [] dst)
+    end
+    else None
+  end

@@ -1,0 +1,32 @@
+(** ALT engine: A* with landmark (triangle-inequality) lower bounds.
+
+    {!build} picks landmarks by farthest-point selection over an
+    {!Cisp_util.Rng}-seeded candidate sample and stores their
+    single-source distance rows in an off-heap [Bigarray] float64
+    table.  {!distance}/{!shortest_path} run A* with the consistent
+    bound [max_L |d(L,v) - d(L,dst)|], so distances are bit-identical
+    to {!Dijkstra} whenever the shortest path is unique.
+
+    The engine keeps a reference to the graph it was built from;
+    mutating that graph afterwards invalidates the landmark table
+    (results become lower-bound-unsafe).  Build a fresh engine — or
+    fall back to plain Dijkstra via {!Query} — for working copies. *)
+
+type t
+
+val build : ?count:int -> ?seed:int -> Graph.t -> t
+(** [build g] preprocesses [g] with [count] landmarks (default 8;
+    clamped to the candidate-sample size).  Deterministic for fixed
+    [(g, count, seed)] at any pool width.  Raises [Invalid_argument]
+    if [count < 1]. *)
+
+val count : t -> int
+(** Number of landmarks actually chosen. *)
+
+val nodes : t -> int array
+(** The landmark nodes (a copy; for tests and diagnostics). *)
+
+val distance : t -> src:int -> dst:int -> float option
+
+val shortest_path : t -> src:int -> dst:int -> (float * int list) option
+(** Distance and node path [src; ...; dst]; [None] if unreachable. *)

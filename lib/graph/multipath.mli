@@ -10,7 +10,12 @@
     graph allows [k] distinct simple paths at all.
 
     Every function leaves the input graph unmodified and is
-    deterministic (pure function of the graph and arguments). *)
+    deterministic (pure function of the graph and arguments).  Each
+    accepts an optional prepared {!Query.t}: when it was prepared from
+    the input graph itself, the first round (the only one that sees
+    the unmutated graph) is answered by the engine; later rounds
+    always run plain Dijkstra on the working copy.  Results are
+    bit-identical with or without the engine. *)
 
 type disjointness =
   | Edge_disjoint
@@ -20,6 +25,7 @@ type disjointness =
       (** successive paths additionally share no interior node *)
 
 val successive :
+  ?query:Query.t ->
   Graph.t -> src:int -> dst:int -> k:int ->
   remove:(Graph.t -> float * int list -> unit) ->
   (float * int list) list
@@ -33,6 +39,7 @@ val successive :
 
 val k_disjoint :
   ?disjointness:disjointness ->
+  ?query:Query.t ->
   Graph.t -> src:int -> dst:int -> k:int ->
   (float * int list) list
 (** Up to [k] pairwise disjoint shortest paths, greedily shortest
@@ -44,6 +51,7 @@ val k_disjoint :
 
 val k_paths :
   ?disjointness:disjointness ->
+  ?query:Query.t ->
   Graph.t -> src:int -> dst:int -> k:int ->
   (float * int list) list
 (** {!k_disjoint} results first (the disjoint prefix is the failover

@@ -1,0 +1,104 @@
+(* Unified shortest-path facade over the three engines.
+
+   [prepare] picks the engine once per graph: plain Dijkstra below the
+   size threshold (preprocessing would cost more than it saves) and on
+   dense graphs (contraction of a near-clique drowns in witness work
+   and shortcuts — per-source Dijkstra is genuinely cheaper there),
+   the contraction hierarchy above it; ALT is an explicit opt-in for
+   point-to-point workloads that want preprocessing lighter than CH.
+   Every engine returns distances bit-identical to {!Dijkstra.run}, so
+   callers may switch engines (or thresholds) without perturbing a
+   single downstream float.
+
+   Working copies that mutate their graph (Yen spur searches, disjoint
+   path removal, failure replays) must not reuse a prepared engine —
+   they route through {!shortest_path_graph}, the plain-Dijkstra
+   fallback on the current graph state. *)
+
+module Telemetry = Cisp_util.Telemetry
+
+type mode = Auto | Force_plain | Force_ch | Force_alt
+
+type engine = Plain | Ch_engine of Ch.t | Alt_engine of Landmarks.t
+
+type t = { g : Graph.t; engine : engine }
+
+let default_threshold = 512
+
+(* Above this average degree Auto refuses the hierarchy: CH
+   preprocessing on a near-clique (the dense tower graphs reach
+   average degree in the hundreds) costs far more than the per-source
+   Dijkstra sweeps it would replace. *)
+let default_max_avg_degree = 64.0
+
+let dense g =
+  let n = Graph.node_count g in
+  n > 0
+  && float_of_int (Graph.edge_count g) /. float_of_int n > default_max_avg_degree
+
+let prepare ?(mode = Auto) ?(threshold = default_threshold) g =
+  let engine =
+    match mode with
+    | Force_plain -> Plain
+    | Force_ch -> Ch_engine (Ch.build g)
+    | Force_alt -> Alt_engine (Landmarks.build g)
+    | Auto ->
+      if Graph.node_count g < threshold || dense g then Plain else Ch_engine (Ch.build g)
+  in
+  if Telemetry.enabled () then
+    Telemetry.incr
+      (match engine with
+      | Plain -> "query.prepare.plain"
+      | Ch_engine _ -> "query.prepare.ch"
+      | Alt_engine _ -> "query.prepare.alt");
+  { g; engine }
+
+let graph t = t.g
+
+let shortest_path_graph g ~src ~dst = Dijkstra.shortest_path g ~src ~dst
+
+let shortest_path t ~src ~dst =
+  match t.engine with
+  | Plain -> Dijkstra.shortest_path t.g ~src ~dst
+  | Ch_engine ch -> Ch.shortest_path ch ~src ~dst
+  | Alt_engine alt -> Landmarks.shortest_path alt ~src ~dst
+
+let distance t ~src ~dst =
+  match t.engine with
+  | Plain -> Dijkstra.distance t.g ~src ~dst
+  | Ch_engine ch -> Ch.distance ch ~src ~dst
+  | Alt_engine alt -> Landmarks.distance alt ~src ~dst
+
+(* Plain-engine many-to-many: one Dijkstra per source (parallel on the
+   pool via all_pairs_results), rows sliced to the target set. *)
+let plain_rows g ~sources = Dijkstra.all_pairs_results g ~sources
+
+let many_to_many t ~sources ~targets =
+  match t.engine with
+  | Ch_engine ch -> Ch.many_to_many ch ~sources ~targets
+  | Plain | Alt_engine _ ->
+    (* ALT has no bucket structure; per-source Dijkstra is the honest
+       baseline for matrix workloads on a point-to-point engine. *)
+    let rows = plain_rows t.g ~sources in
+    Array.map
+      (fun (r : Dijkstra.result) -> Array.map (fun dst -> r.Dijkstra.dist.(dst)) targets)
+      rows
+
+let many_to_many_paths t ~sources ~targets =
+  match t.engine with
+  | Ch_engine ch -> Ch.many_to_many_paths ch ~sources ~targets
+  | Plain | Alt_engine _ ->
+    let rows = plain_rows t.g ~sources in
+    Array.map
+      (fun (r : Dijkstra.result) ->
+        Array.map
+          (fun dst ->
+            if Float.equal r.Dijkstra.dist.(dst) infinity then None
+            else Some (r.Dijkstra.dist.(dst), Dijkstra.path r ~dst))
+          targets)
+      rows
+
+let all_pairs t =
+  let n = Graph.node_count t.g in
+  let ids = Array.init n Fun.id in
+  many_to_many t ~sources:ids ~targets:ids

@@ -1,0 +1,61 @@
+(** Unified shortest-path query facade.
+
+    {!prepare} binds a graph to an engine: plain Dijkstra below the
+    node-count threshold, a contraction hierarchy ({!Ch}) above it,
+    with landmark A* ({!Landmarks}) as an explicit opt-in.  All
+    engines return distances bit-identical to {!Dijkstra.run} (unique
+    shortest paths assumed — see the engine modules), so the selection
+    is purely a performance decision.
+
+    A prepared engine snapshots the graph's current edges; callers
+    that mutate working copies (spur searches, failure replays) use
+    {!shortest_path_graph} on the mutated graph instead. *)
+
+type t
+
+(** Engine selection policy for {!prepare}. *)
+type mode =
+  | Auto
+      (** plain below the node-count threshold or above the density
+          cutoff, CH otherwise *)
+  | Force_plain
+  | Force_ch
+  | Force_alt
+
+val default_threshold : int
+(** Node count at which [Auto] switches to the preprocessed engine
+    (512: below this a full CH build costs more than the Dijkstras it
+    replaces on every workload we run). *)
+
+val default_max_avg_degree : float
+(** Average degree above which [Auto] keeps plain Dijkstra regardless
+    of size: contracting a near-clique (dense tower graphs run to
+    average degree in the hundreds) drowns in witness searches and
+    shortcut insertions, while a per-source Dijkstra sweep over the
+    same graph is cheap. *)
+
+val prepare : ?mode:mode -> ?threshold:int -> Graph.t -> t
+(** Build the engine for [g].  Preprocessing (if any) parallelizes on
+    the domain pool and is bit-identical at any [CISP_JOBS]. *)
+
+val graph : t -> Graph.t
+(** The graph the engine was prepared from. *)
+
+val shortest_path : t -> src:int -> dst:int -> (float * int list) option
+val distance : t -> src:int -> dst:int -> float option
+
+val shortest_path_graph : Graph.t -> src:int -> dst:int -> (float * int list) option
+(** Plain-Dijkstra fallback for mutated working graphs (no engine,
+    always current state). *)
+
+val many_to_many : t -> sources:int array -> targets:int array -> float array array
+(** [m.(i).(j)] = d(sources.(i), targets.(j)), [infinity] when
+    unreachable.  CH engines use the bucket algorithm; others run one
+    (pool-parallel) Dijkstra per source. *)
+
+val many_to_many_paths :
+  t -> sources:int array -> targets:int array -> (float * int list) option array array
+
+val all_pairs : t -> float array array
+(** [many_to_many] over all nodes as both sources and targets — the
+    drop-in replacement for [Dijkstra.all_pairs]. *)

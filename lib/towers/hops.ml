@@ -3,7 +3,7 @@ module Grid = Cisp_geo.Grid
 module Dem_cache = Cisp_terrain.Dem_cache
 module Los = Cisp_rf.Los
 module Graph = Cisp_graph.Graph
-module Dijkstra = Cisp_graph.Dijkstra
+module Query = Cisp_graph.Query
 module City = Cisp_data.City
 
 type config = {
@@ -28,6 +28,7 @@ type t = {
   graph : Graph.t;
   n_sites : int;
   feasible_hops : int;
+  mutable engine : Query.t option;
 }
 
 let tower_node t k = t.n_sites + k
@@ -162,7 +163,7 @@ let build ?(config = default_config) ~cache ~sites ~towers () =
     Cisp_util.Telemetry.add "hops.towers" n_towers;
     Cisp_util.Telemetry.add "hops.feasible_hops" !feasible_hops
   end;
-  { config; sites; towers; graph; n_sites; feasible_hops = !feasible_hops })
+  { config; sites; towers; graph; n_sites; feasible_hops = !feasible_hops; engine = None })
 
 type link = {
   src : int;
@@ -182,37 +183,55 @@ let hops_of_link l =
   in
   pairs l.node_path
 
-let link_of_result t ~src ~dst (r : Dijkstra.result) =
-  if Float.equal r.dist.(dst) infinity then None
-  else begin
-    let node_path = Dijkstra.path r ~dst in
+let link_of_path t ~src ~dst = function
+  | None -> None
+  | Some (distance_km, node_path) ->
     let tower_count = List.length (List.filter (fun v -> is_tower_node t v) node_path) in
     Some
       {
         src;
         dst;
-        distance_km = r.dist.(dst);
+        distance_km;
         geodesic_km = Geodesy.distance_km t.sites.(src).coord t.sites.(dst).coord;
         node_path;
         tower_count;
       }
-  end
+
+(* The query engine over the tower graph, built on first demand (an
+   all-pairs link extraction; the build amortizes across it and every
+   later query).  Auto mode: realistic tower graphs (tens of thousands
+   of nodes, average degree in the tens) get the contraction
+   hierarchy; tiny or pathologically dense ones keep per-source
+   Dijkstra, which genuinely wins there. *)
+let engine t =
+  match t.engine with
+  | Some q -> q
+  | None ->
+    let q = Query.prepare t.graph in
+    t.engine <- Some q;
+    q
 
 let shortest_link t ~src ~dst =
-  let r = Dijkstra.run_to t.graph ~src ~dst in
-  link_of_result t ~src ~dst r
+  match t.engine with
+  | Some q -> link_of_path t ~src ~dst (Query.shortest_path q ~src ~dst)
+  | None ->
+    (* No engine yet: a lone pair is cheaper as one bounded Dijkstra
+       than as a full CH build. *)
+    link_of_path t ~src ~dst (Query.shortest_path_graph t.graph ~src ~dst)
 
 let all_links t =
   Cisp_util.Telemetry.with_span "hops.all_links" (fun () ->
       let n = t.n_sites in
-      (* One Dijkstra per site (APSP over the hop graph, parallel on
-         the pool); path extraction is cheap and runs sequentially. *)
-      let rs = Dijkstra.all_pairs_results t.graph ~sources:(Array.init n Fun.id) in
+      (* Many-to-many on the query engine (CH buckets or pool-parallel
+         per-source Dijkstra, per the Auto policy); either way the
+         distances and paths match a per-site Dijkstra sweep
+         bit-for-bit. *)
+      let ids = Array.init n Fun.id in
+      let routes = Query.many_to_many_paths (engine t) ~sources:ids ~targets:ids in
       let out = Array.make_matrix n n None in
-      Array.iteri
-        (fun src r ->
-          for dst = 0 to n - 1 do
-            if dst <> src then out.(src).(dst) <- link_of_result t ~src ~dst r
-          done)
-        rs;
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if dst <> src then out.(src).(dst) <- link_of_path t ~src ~dst routes.(src).(dst)
+        done
+      done;
       out)

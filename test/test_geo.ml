@@ -102,6 +102,33 @@ let test_grid_fold () =
   let sum = Grid.fold g ~init:0 ~f:(fun acc _ v -> acc + v) in
   Alcotest.(check int) "fold sum" 6 sum
 
+let test_grid_fold_order_independent () =
+  (* The fold visits cells in sorted key order, so on points in
+     distinct cells the sequence it produces is a pure function of the
+     contents — not of the insertion order, which perturbs [Hashtbl]'s
+     internal layout (regression: the old [Hashtbl.fold] traversal
+     leaked hash order into any accumulator). *)
+  let pts =
+    (* A lattice one point per cell at cell_deg 1.0. *)
+    List.init 96 (fun i ->
+        (coord ~lat:(20.0 +. float_of_int (i mod 12)) ~lon:(-130.0 +. float_of_int (i / 12)), i))
+  in
+  let visit order =
+    let g = Grid.of_list ~cell_deg:1.0 order in
+    List.rev (Grid.fold g ~init:[] ~f:(fun acc _ v -> v :: acc))
+  in
+  let forward = visit pts in
+  Alcotest.(check (list int)) "reverse insertion, identical fold sequence" forward
+    (visit (List.rev pts));
+  let shuffled =
+    let rng = Cisp_util.Rng.create 41 in
+    let arr = Array.of_list pts in
+    Cisp_util.Rng.shuffle rng arr;
+    Array.to_list arr
+  in
+  Alcotest.(check (list int)) "shuffled insertion, identical fold sequence" forward
+    (visit shuffled)
+
 let test_grid_antimeridian () =
   (* Neighbours straddling the +/-180 meridian: the query window wraps
      and must find towers on both sides (regression — the unwrapped
@@ -241,6 +268,7 @@ let suites =
       [
         Alcotest.test_case "nearby" `Quick test_grid_nearby;
         Alcotest.test_case "fold" `Quick test_grid_fold;
+        Alcotest.test_case "fold order-independent" `Quick test_grid_fold_order_independent;
         Alcotest.test_case "antimeridian wrap" `Quick test_grid_antimeridian;
         Alcotest.test_case "freeze equivalence" `Quick test_grid_freeze_equivalence;
         Alcotest.test_case "radius boundary" `Quick test_grid_radius_exact;

@@ -1,0 +1,252 @@
+open Cisp_graph
+
+(* Equivalence suite for the hierarchical shortest-path engines: CH
+   and ALT must agree with plain Dijkstra bit-for-bit — distances via
+   Float.equal, not a tolerance — on random geometric multigraphs,
+   including parallel edges and disconnected pairs. *)
+
+(* Random geometric multigraph: nodes scattered in the unit square,
+   edges between nearby pairs weighted by euclidean distance (so ties
+   between distinct node sequences have measure zero), plus a sprinkle
+   of parallel edges (heavier duplicates that must never change a
+   shortest path, same-weight duplicates that must not confuse the
+   collapse). *)
+let geometric_graph seed ~n ~radius =
+  let rng = Cisp_util.Rng.create seed in
+  let xs = Array.init n (fun _ -> Cisp_util.Rng.uniform rng 0.0 1.0) in
+  let ys = Array.init n (fun _ -> Cisp_util.Rng.uniform rng 0.0 1.0) in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      if d <= radius then begin
+        Graph.add_undirected g u v d;
+        (* parallel heavier edge on some pairs, exact duplicate on a
+           few others *)
+        let roll = Cisp_util.Rng.int rng 10 in
+        if roll = 0 then Graph.add_undirected g u v (d *. 1.5)
+        else if roll = 1 then Graph.add_undirected g u v d
+      end
+    done
+  done;
+  g
+
+let node_pairs rng n count =
+  Array.init count (fun _ -> (Cisp_util.Rng.int rng n, Cisp_util.Rng.int rng n))
+
+(* Bitwise agreement of one engine answer with Dijkstra's, distances
+   AND node paths (unique shortest paths make the path comparable). *)
+let agrees dijkstra engine =
+  match (dijkstra, engine) with
+  | None, None -> true
+  | Some (d, p), Some (d', p') -> Float.equal d d' && p = p'
+  | _ -> false
+
+let prop_ch_matches_dijkstra =
+  QCheck.Test.make ~name:"ch distances and paths bitwise-equal dijkstra" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let n = 40 in
+      let g = geometric_graph (seed + 1000) ~n ~radius:0.3 in
+      let ch = Ch.build g in
+      let rng = Cisp_util.Rng.create (seed + 2000) in
+      Array.for_all
+        (fun (src, dst) ->
+          agrees (Dijkstra.shortest_path g ~src ~dst) (Ch.shortest_path ch ~src ~dst)
+          &&
+          match (Dijkstra.distance g ~src ~dst, Ch.distance ch ~src ~dst) with
+          | None, None -> true
+          | Some d, Some d' -> Float.equal d d'
+          | _ -> false)
+        (node_pairs rng n 30))
+
+let prop_ch_disconnected =
+  QCheck.Test.make ~name:"ch agrees on sparse graphs with disconnected pairs" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let n = 50 in
+      (* radius small enough that several components appear *)
+      let g = geometric_graph (seed + 3000) ~n ~radius:0.12 in
+      let ch = Ch.build g in
+      let rng = Cisp_util.Rng.create (seed + 4000) in
+      Array.for_all
+        (fun (src, dst) ->
+          agrees (Dijkstra.shortest_path g ~src ~dst) (Ch.shortest_path ch ~src ~dst))
+        (node_pairs rng n 30))
+
+let prop_ch_many_to_many =
+  QCheck.Test.make ~name:"ch many_to_many bitwise-equal per-source dijkstra" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let n = 35 in
+      let g = geometric_graph (seed + 5000) ~n ~radius:0.25 in
+      let ch = Ch.build g in
+      let rng = Cisp_util.Rng.create (seed + 6000) in
+      let sources = Array.init 6 (fun _ -> Cisp_util.Rng.int rng n) in
+      let targets = Array.init 7 (fun _ -> Cisp_util.Rng.int rng n) in
+      let m = Ch.many_to_many ch ~sources ~targets in
+      let mp = Ch.many_to_many_paths ch ~sources ~targets in
+      let ok = ref true in
+      Array.iteri
+        (fun si src ->
+          let r = Dijkstra.run g ~src in
+          Array.iteri
+            (fun ti dst ->
+              let want = r.Dijkstra.dist.(dst) in
+              if not (Float.equal m.(si).(ti) want) then ok := false;
+              match mp.(si).(ti) with
+              | None -> if want < infinity then ok := false
+              | Some (d, p) ->
+                if not (Float.equal d want && p = Dijkstra.path r ~dst) then ok := false)
+            targets)
+        sources;
+      !ok)
+
+let test_ch_tiny_cases () =
+  (* hand cases: single node, self query, two components *)
+  let g1 = Graph.create 1 in
+  let ch1 = Ch.build g1 in
+  (match Ch.shortest_path ch1 ~src:0 ~dst:0 with
+  | Some (d, p) ->
+    Alcotest.(check (float 0.0)) "self dist" 0.0 d;
+    Alcotest.(check (list int)) "self path" [ 0 ] p
+  | None -> Alcotest.fail "self query");
+  let g2 = Graph.create 4 in
+  Graph.add_undirected g2 0 1 2.0;
+  Graph.add_undirected g2 2 3 1.0;
+  let ch2 = Ch.build g2 in
+  Alcotest.(check bool) "disconnected" true (Ch.distance ch2 ~src:0 ~dst:3 = None);
+  (match Ch.shortest_path ch2 ~src:0 ~dst:1 with
+  | Some (d, p) ->
+    Alcotest.(check (float 0.0)) "edge dist" 2.0 d;
+    Alcotest.(check (list int)) "edge path" [ 0; 1 ] p
+  | None -> Alcotest.fail "edge query")
+
+let test_ch_rejects_directed () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 1.0;
+  Alcotest.check_raises "asymmetric graph rejected"
+    (Invalid_argument "Ch.build: graph is not symmetric (undirected graphs only)")
+    (fun () -> ignore (Ch.build g))
+
+let prop_alt_matches_dijkstra =
+  QCheck.Test.make ~name:"alt distances bitwise-equal dijkstra" ~count:40 QCheck.small_int
+    (fun seed ->
+      let n = 45 in
+      let g = geometric_graph (seed + 7000) ~n ~radius:0.25 in
+      let alt = Landmarks.build ~count:4 g in
+      let rng = Cisp_util.Rng.create (seed + 8000) in
+      Array.for_all
+        (fun (src, dst) ->
+          agrees (Dijkstra.shortest_path g ~src ~dst) (Landmarks.shortest_path alt ~src ~dst)
+          &&
+          match (Dijkstra.distance g ~src ~dst, Landmarks.distance alt ~src ~dst) with
+          | None, None -> true
+          | Some d, Some d' -> Float.equal d d'
+          | _ -> false)
+        (node_pairs rng n 30))
+
+let prop_alt_disconnected =
+  QCheck.Test.make ~name:"alt agrees across components" ~count:30 QCheck.small_int
+    (fun seed ->
+      let n = 50 in
+      let g = geometric_graph (seed + 9000) ~n ~radius:0.12 in
+      let alt = Landmarks.build ~count:6 g in
+      let rng = Cisp_util.Rng.create (seed + 10000) in
+      Array.for_all
+        (fun (src, dst) ->
+          match (Dijkstra.distance g ~src ~dst, Landmarks.distance alt ~src ~dst) with
+          | None, None -> true
+          | Some d, Some d' -> Float.equal d d'
+          | _ -> false)
+        (node_pairs rng n 30))
+
+let test_alt_landmark_selection () =
+  let g = geometric_graph 42 ~n:40 ~radius:0.3 in
+  let alt = Landmarks.build ~count:5 g in
+  Alcotest.(check int) "count" 5 (Landmarks.count alt);
+  let nodes = Landmarks.nodes alt in
+  let sorted = Array.copy nodes in
+  Array.sort Int.compare sorted;
+  let distinct = ref true in
+  Array.iteri (fun i v -> if i > 0 && sorted.(i - 1) = v then distinct := false) sorted;
+  Alcotest.(check bool) "landmarks distinct" true !distinct;
+  (* same (graph, seed, count) -> same landmarks *)
+  let alt' = Landmarks.build ~count:5 g in
+  Alcotest.(check (array int)) "selection deterministic" nodes (Landmarks.nodes alt')
+
+(* The facade must give the same bits whatever engine it picked. *)
+let prop_query_engine_agnostic =
+  QCheck.Test.make ~name:"query facade identical across engines" ~count:25 QCheck.small_int
+    (fun seed ->
+      let n = 40 in
+      let g = geometric_graph (seed + 11000) ~n ~radius:0.28 in
+      (* threshold 0 forces CH under Auto; n < 512 forces plain *)
+      let q_plain = Query.prepare ~mode:Force_plain g in
+      let q_auto_small = Query.prepare g in
+      let q_ch = Query.prepare ~threshold:0 g in
+      let q_alt = Query.prepare ~mode:Force_alt g in
+      let rng = Cisp_util.Rng.create (seed + 12000) in
+      let pairs = node_pairs rng n 15 in
+      let same_p2p =
+        Array.for_all
+          (fun (src, dst) ->
+            let base = Query.shortest_path q_plain ~src ~dst in
+            agrees base (Query.shortest_path q_auto_small ~src ~dst)
+            && agrees base (Query.shortest_path q_ch ~src ~dst)
+            && agrees base (Query.shortest_path q_alt ~src ~dst)
+            && Query.shortest_path_graph g ~src ~dst = base)
+          pairs
+      in
+      let sources = Array.init 5 (fun _ -> Cisp_util.Rng.int rng n) in
+      let targets = Array.init 5 (fun _ -> Cisp_util.Rng.int rng n) in
+      let m_plain = Query.many_to_many q_plain ~sources ~targets in
+      let m_ch = Query.many_to_many q_ch ~sources ~targets in
+      let same_m2m =
+        Array.for_all2
+          (fun r r' -> Array.for_all2 (fun a b -> Float.equal a b) r r')
+          m_plain m_ch
+      in
+      same_p2p && same_m2m)
+
+let test_query_all_pairs () =
+  let g = geometric_graph 7 ~n:30 ~radius:0.3 in
+  let want = Dijkstra.all_pairs g in
+  let got_plain = Query.all_pairs (Query.prepare ~mode:Force_plain g) in
+  let got_ch = Query.all_pairs (Query.prepare ~threshold:0 g) in
+  let check name got =
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j d ->
+            if not (Float.equal d want.(i).(j)) then
+              Alcotest.failf "%s: mismatch at (%d,%d): %h vs %h" name i j d want.(i).(j))
+          row)
+      got
+  in
+  check "plain" got_plain;
+  check "ch" got_ch
+
+let suites =
+  [
+    ( "graph.ch",
+      [
+        Alcotest.test_case "tiny cases" `Quick test_ch_tiny_cases;
+        Alcotest.test_case "rejects directed" `Quick test_ch_rejects_directed;
+        QCheck_alcotest.to_alcotest prop_ch_matches_dijkstra;
+        QCheck_alcotest.to_alcotest prop_ch_disconnected;
+        QCheck_alcotest.to_alcotest prop_ch_many_to_many;
+      ] );
+    ( "graph.alt",
+      [
+        Alcotest.test_case "landmark selection" `Quick test_alt_landmark_selection;
+        QCheck_alcotest.to_alcotest prop_alt_matches_dijkstra;
+        QCheck_alcotest.to_alcotest prop_alt_disconnected;
+      ] );
+    ( "graph.query",
+      [
+        Alcotest.test_case "all_pairs replacement" `Quick test_query_all_pairs;
+        QCheck_alcotest.to_alcotest prop_query_engine_agnostic;
+      ] );
+  ]
